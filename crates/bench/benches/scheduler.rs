@@ -1,0 +1,114 @@
+//! Criterion benchmarks: scheduler throughput and the cost of its
+//! supporting analyses, per §6's compilation-time discussion.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lsms_front::compile;
+use lsms_machine::huff_machine;
+use lsms_sched::bounds::{rec_mii_by_enumeration, rec_mii_min_ratio};
+use lsms_sched::{CydromeScheduler, MinDist, SchedProblem, SlackScheduler};
+
+fn kernel_source(name: &str) -> String {
+    lsms_loops::kernels()
+        .into_iter()
+        .find(|k| k.name == name)
+        .unwrap_or_else(|| panic!("no kernel named {name}"))
+        .source
+}
+
+/// A large generated loop for the heavy cases.
+fn big_loop_source() -> String {
+    lsms_loops::generate(&lsms_loops::GeneratorConfig { seed: 77, count: 64 })
+        .into_iter()
+        .max_by_key(|l| l.source.len())
+        .expect("generator produced loops")
+        .source
+}
+
+fn bench_schedulers(c: &mut Criterion) {
+    let machine = huff_machine();
+    let sources = [
+        ("huff_sample", kernel_source("huff_sample")),
+        ("ll7_state", kernel_source("ll7_state")),
+        ("ll6_recurrence", kernel_source("ll6_recurrence")),
+        ("generated_big", big_loop_source()),
+    ];
+    let mut group = c.benchmark_group("schedule");
+    for (name, source) in &sources {
+        let unit = compile(source).expect("benchmark kernels compile");
+        let body = unit.loops[0].body.clone();
+        let problem = SchedProblem::new(&body, &machine).expect("schedulable");
+        group.bench_with_input(BenchmarkId::new("slack", name), &problem, |b, p| {
+            b.iter(|| SlackScheduler::new().run(p).expect("schedules"))
+        });
+        group.bench_with_input(BenchmarkId::new("cydrome", name), &problem, |b, p| {
+            b.iter(|| CydromeScheduler::new().run(p))
+        });
+    }
+    group.finish();
+}
+
+fn bench_analyses(c: &mut Criterion) {
+    let machine = huff_machine();
+    let unit = compile(&big_loop_source()).expect("compiles");
+    let body = unit.loops[0].body.clone();
+    let problem = SchedProblem::new(&body, &machine).expect("schedulable");
+    let mii = problem.mii();
+    c.bench_function("mindist/big", |b| b.iter(|| MinDist::compute(&problem, mii)));
+    c.bench_function("recmii/circuits/big", |b| {
+        b.iter(|| rec_mii_by_enumeration(&problem, 1_000_000))
+    });
+    c.bench_function("recmii/min_ratio/big", |b| b.iter(|| rec_mii_min_ratio(&problem)));
+}
+
+fn bench_frontend(c: &mut Criterion) {
+    let source = big_loop_source();
+    c.bench_function("frontend/compile_big", |b| b.iter(|| compile(&source).expect("compiles")));
+}
+
+criterion_group!(benches, bench_schedulers, bench_analyses, bench_frontend);
+
+fn bench_backend(c: &mut Criterion) {
+    use lsms_ir::RegClass;
+    use lsms_regalloc::{allocate_rotating, Strategy};
+    use lsms_sim::{make_workspace, run_kernel, run_reference};
+
+    let machine = huff_machine();
+    let unit = compile(&kernel_source("huff_sample")).expect("compiles");
+    let compiled = unit.loops.into_iter().next().expect("one loop");
+    let body = compiled.body.clone();
+    let problem = SchedProblem::new(&body, &machine).expect("schedulable");
+    let schedule = SlackScheduler::new().run(&problem).expect("schedules");
+
+    c.bench_function("regalloc/rotating/sample", |b| {
+        b.iter(|| {
+            allocate_rotating(&problem, &schedule, RegClass::Rr, Strategy::default())
+                .expect("allocates")
+        })
+    });
+
+    let rr = allocate_rotating(&problem, &schedule, RegClass::Rr, Strategy::default())
+        .expect("allocates");
+    let icr = allocate_rotating(&problem, &schedule, RegClass::Icr, Strategy::default())
+        .expect("allocates");
+    c.bench_function("codegen/kernel/sample", |b| {
+        b.iter(|| lsms_codegen::emit(&problem, &schedule, &rr, &icr).expect("emits"))
+    });
+    c.bench_function("codegen/mve/sample", |b| {
+        b.iter(|| lsms_codegen::emit_mve(&problem, &schedule).expect("emits"))
+    });
+
+    let kernel = lsms_codegen::emit(&problem, &schedule, &rr, &icr).expect("emits");
+    let workspace = make_workspace(&compiled, 256, 7);
+    c.bench_function("sim/rotating/sample/256iters", |b| {
+        b.iter(|| {
+            run_kernel(&compiled, &problem, &schedule, &kernel, &rr, &icr, &workspace)
+                .expect("runs")
+        })
+    });
+    c.bench_function("sim/reference/sample/256iters", |b| {
+        b.iter(|| run_reference(&compiled, &workspace))
+    });
+}
+
+criterion_group!(backend, bench_backend);
+criterion_main!(benches, backend);

@@ -1,0 +1,77 @@
+//! §6: compilation-time profile of both schedulers.
+//!
+//! Paper values: 889 of 1,525 loops needed no backtracking; the other 636
+//! placed 23,603 operations in 306,860 central-loop iterations, invoking
+//! Step 3 157,694 times (ejecting 282,130 operations) and Step 6 a mere
+//! 139 times. Scheduling took 3.96 minutes on an HP 9000/730; Cydrome's
+//! scheduler took 6.5× longer, backtracking 3.7× as much.
+
+use std::time::Duration;
+
+use lsms_bench::{default_corpus_size, evaluate_corpus, CORPUS_SEED};
+use lsms_machine::huff_machine;
+use lsms_sched::SchedStats;
+
+fn report(label: &str, per_loop: &[(&str, usize, SchedStats)]) {
+    let clean = per_loop.iter().filter(|(_, _, s)| s.backtrack_free()).count();
+    let dirty: Vec<_> = per_loop.iter().filter(|(_, _, s)| !s.backtrack_free()).collect();
+    let dirty_ops: usize = dirty.iter().map(|(_, ops, _)| ops).sum();
+    let mut total = SchedStats::default();
+    for (_, _, s) in per_loop {
+        total += s;
+    }
+    let mut dirty_total = SchedStats::default();
+    for (_, _, s) in &dirty {
+        dirty_total += s;
+    }
+    println!("== {label} ==");
+    println!("loops needing no backtracking: {clean} of {}", per_loop.len());
+    println!(
+        "backtracking loops: {} loops, {} ops, {} central-loop iterations",
+        dirty.len(),
+        dirty_ops,
+        dirty_total.central_iterations
+    );
+    println!(
+        "Step 3 invocations: {} (ejecting {} operations); Step 6 restarts: {}",
+        total.step3_invocations, total.ejected_ops, total.step6_restarts
+    );
+    println!(
+        "II attempts: {}; scheduler wall time: {:.2?}",
+        total.attempts, total.elapsed
+    );
+    println!();
+}
+
+fn main() {
+    let machine = huff_machine();
+    let records = evaluate_corpus(default_corpus_size(), CORPUS_SEED, &machine);
+
+    let new: Vec<(&str, usize, SchedStats)> = records
+        .iter()
+        .map(|r| (r.name.as_str(), r.num_ops, r.new.stats.clone()))
+        .collect();
+    let old: Vec<(&str, usize, SchedStats)> = records
+        .iter()
+        .map(|r| (r.name.as_str(), r.num_ops, r.old.stats.clone()))
+        .collect();
+    report("New scheduler (bidirectional slack)", &new);
+    report("Old scheduler (Cydrome-style)", &old);
+
+    let sum = |rows: &[(&str, usize, SchedStats)]| -> (u64, Duration) {
+        let mut ejected = 0;
+        let mut time = Duration::ZERO;
+        for (_, _, s) in rows {
+            ejected += s.ejected_ops;
+            time += s.elapsed;
+        }
+        (ejected, time)
+    };
+    let (new_ej, new_t) = sum(&new);
+    let (old_ej, old_t) = sum(&old);
+    println!(
+        "old/new backtracking ratio: {:.2}x (paper: 3.7x); old/new time ratio: {:.2}x (paper: 6.5x)",
+        old_ej as f64 / new_ej.max(1) as f64,
+        old_t.as_secs_f64() / new_t.as_secs_f64().max(1e-9),
+    );
+}

@@ -1,0 +1,18 @@
+//! Writes the benchmark corpus to disk as `.loop` files — the shareable
+//! stand-in for the paper's 1,525 FORTRAN loops.
+//!
+//! ```sh
+//! LSMS_CORPUS=1525 cargo run --release -p lsms-bench --bin dump_corpus -- corpus/
+//! ```
+
+fn main() -> std::io::Result<()> {
+    let dir = std::env::args().nth(1).unwrap_or_else(|| "corpus".to_owned());
+    let count = std::env::var("LSMS_CORPUS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(lsms_loops::PAPER_CORPUS_SIZE);
+    let written =
+        lsms_loops::write_corpus(std::path::Path::new(&dir), count, lsms_bench::CORPUS_SEED)?;
+    println!("wrote {written} loops to {dir}/");
+    Ok(())
+}

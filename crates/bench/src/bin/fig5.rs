@@ -1,0 +1,37 @@
+//! Figure 5: distribution of MaxLive − MinAvg for the new (bidirectional),
+//! ablated (always-early), and old (Cydrome-style) schedulers.
+//!
+//! Paper observations: for the new scheduler, 46% of loops achieve
+//! MaxLive = MinAvg exactly, and 93% are within 10 rotating registers of
+//! ideal; the old scheduler's curve sits far to the right. §7 also notes
+//! that *without* the bidirectional heuristics the slack scheduler
+//! "generates nearly the same register pressure as Cydrome's scheduler" —
+//! the `slack/early` series shows that ablation.
+
+use lsms_bench::{cumulative_histogram, default_corpus_size, evaluate_corpus, CORPUS_SEED};
+use lsms_machine::huff_machine;
+
+fn main() {
+    let machine = huff_machine();
+    let records = evaluate_corpus(default_corpus_size(), CORPUS_SEED, &machine);
+    let series = |pick: &dyn Fn(&lsms_bench::LoopRecord) -> Option<i64>| -> Vec<i64> {
+        records.iter().filter_map(pick).collect()
+    };
+    let new = series(&|r| r.new.pressure.as_ref().map(|p| p.excess()));
+    let early = series(&|r| r.early.pressure.as_ref().map(|p| p.excess()));
+    let old = series(&|r| r.old.pressure.as_ref().map(|p| p.excess()));
+    println!(
+        "{}",
+        cumulative_histogram(
+            "Figure 5: MaxLive - MinAvg (cumulative % of loops)",
+            &[("new (bidir)", new.clone()), ("slack/early", early), ("old (Cydrome)", old)],
+        )
+    );
+    let optimal = new.iter().filter(|&&x| x <= 0).count();
+    let within10 = new.iter().filter(|&&x| x <= 10).count();
+    println!(
+        "new scheduler: {:.1}% of loops achieve MinAvg exactly; {:.1}% within 10 RRs (paper: 46% / 93%)",
+        100.0 * optimal as f64 / new.len().max(1) as f64,
+        100.0 * within10 as f64 / new.len().max(1) as f64,
+    );
+}

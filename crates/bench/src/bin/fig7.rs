@@ -1,0 +1,42 @@
+//! Figure 7: GPR usage, and combined GPRs + MaxLive.
+//!
+//! Paper observations: 97% of loops use no more than 16 GPRs, only 3 use
+//! more than 32; 82% of loops keep RRs + GPRs ≤ 32 and only 16 exceed 64.
+
+use lsms_bench::{cumulative_histogram, default_corpus_size, evaluate_corpus, CORPUS_SEED};
+use lsms_machine::huff_machine;
+
+fn main() {
+    let machine = huff_machine();
+    let records = evaluate_corpus(default_corpus_size(), CORPUS_SEED, &machine);
+    let gprs: Vec<i64> = records.iter().map(|r| i64::from(r.gprs)).collect();
+    let combined = |pick: &dyn Fn(&lsms_bench::LoopRecord) -> Option<i64>| -> Vec<i64> {
+        records.iter().filter_map(pick).collect()
+    };
+    let new =
+        combined(&|r| r.new.pressure.as_ref().map(|p| i64::from(p.rr_max_live + r.gprs)));
+    let old =
+        combined(&|r| r.old.pressure.as_ref().map(|p| i64::from(p.rr_max_live + r.gprs)));
+    println!(
+        "{}",
+        cumulative_histogram(
+            "Figure 7: GPRs and GPRs + MaxLive (cumulative % of loops)",
+            &[
+                ("GPRs", gprs.clone()),
+                ("new GPR+RR", new.clone()),
+                ("old GPR+RR", old),
+            ],
+        )
+    );
+    let g16 = gprs.iter().filter(|&&x| x <= 16).count();
+    let g32 = gprs.iter().filter(|&&x| x > 32).count();
+    let c32 = new.iter().filter(|&&x| x <= 32).count();
+    let c64 = new.iter().filter(|&&x| x > 64).count();
+    println!(
+        "GPRs: {:.1}% <= 16, {} loops > 32 (paper: 97% / 3). GPR+RR: {:.1}% <= 32, {} loops > 64 (paper: 82% / 16).",
+        100.0 * g16 as f64 / gprs.len().max(1) as f64,
+        g32,
+        100.0 * c32 as f64 / new.len().max(1) as f64,
+        c64,
+    );
+}

@@ -1,0 +1,30 @@
+//! Figure 8: ICR predicate usage.
+//!
+//! Paper observations: ICR pressure is of no real concern — only one loop
+//! used more than 32 predicates, and the two schedulers generate very
+//! similar ICR pressure.
+
+use lsms_bench::{cumulative_histogram, default_corpus_size, evaluate_corpus, CORPUS_SEED};
+use lsms_machine::huff_machine;
+
+fn main() {
+    let machine = huff_machine();
+    let records = evaluate_corpus(default_corpus_size(), CORPUS_SEED, &machine);
+    let pick = |f: &dyn Fn(&lsms_bench::LoopRecord) -> Option<i64>| -> Vec<i64> {
+        records.iter().filter_map(f).collect()
+    };
+    let new = pick(&|r| r.new.pressure.as_ref().map(|p| i64::from(p.icr_max_live)));
+    let old = pick(&|r| r.old.pressure.as_ref().map(|p| i64::from(p.icr_max_live)));
+    println!(
+        "{}",
+        cumulative_histogram(
+            "Figure 8: ICR predicate usage (cumulative % of loops; stage predicates included)",
+            &[("new (bidir)", new.clone()), ("old (Cydrome)", old.clone())],
+        )
+    );
+    let over32_new = new.iter().filter(|&&x| x > 32).count();
+    let over32_old = old.iter().filter(|&&x| x > 32).count();
+    println!(
+        "loops using > 32 ICR predicates: new {over32_new}, old {over32_old} (paper: 1)"
+    );
+}

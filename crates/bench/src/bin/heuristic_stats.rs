@@ -1,0 +1,47 @@
+//! §4.3 / §5.2: the dynamic-priority and bidirectional-heuristic decision
+//! mix.
+//!
+//! Paper values: the minimum dynamic priority identifies a unique
+//! operation 48% of the time; 46% of candidates have no slack; among the
+//! rest, more stretchable inputs than outputs 30%, fewer 4%, ties 20%;
+//! overall the heuristics favour early placement about 2:1.
+
+use lsms_bench::{default_corpus_size, evaluate_corpus, CORPUS_SEED};
+use lsms_machine::huff_machine;
+use lsms_sched::DecisionStats;
+
+fn main() {
+    let machine = huff_machine();
+    let records = evaluate_corpus(default_corpus_size(), CORPUS_SEED, &machine);
+    let mut total = DecisionStats::default();
+    for r in &records {
+        total += &r.decisions;
+    }
+    let pct = |x: u64| 100.0 * x as f64 / total.selections.max(1) as f64;
+    println!("Heuristic decision mix over {} candidate selections", total.selections);
+    println!(
+        "unique minimum dynamic priority: {:>6.1}%   (paper: 48%)",
+        pct(total.unique_min_priority)
+    );
+    println!("zero slack (no direction choice): {:>6.1}%   (paper: 46%)", pct(total.zero_slack));
+    println!(
+        "more stretchable inputs -> early: {:>6.1}%   (paper: 30%)",
+        pct(total.early_more_inputs)
+    );
+    println!(
+        "fewer stretchable inputs -> late: {:>6.1}%   (paper:  4%)",
+        pct(total.late_more_outputs)
+    );
+    println!(
+        "ties (early {:>5.1}% / late {:>5.1}%):  {:>6.1}%   (paper: 20%)",
+        pct(total.tie_early),
+        pct(total.tie_late),
+        pct(total.tie_early + total.tie_late + total.isolated_early)
+    );
+    let early = total.early();
+    let late = total.late();
+    println!(
+        "early : late among sloppy ops = {early} : {late} = {:.2} : 1   (paper: ~2 : 1)",
+        early as f64 / late.max(1) as f64
+    );
+}

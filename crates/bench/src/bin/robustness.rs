@@ -1,0 +1,48 @@
+//! §7 robustness: "other experiments with different latencies for the
+//! functional units give very similar performance results and compilation
+//! times."
+//!
+//! Runs a corpus slice against the paper machine and two latency
+//! variants, reporting the headline metrics side by side.
+
+use lsms_bench::{evaluate_corpus, CORPUS_SEED};
+use lsms_machine::alternate_machines;
+
+fn main() {
+    let count = std::env::var("LSMS_CORPUS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(400);
+    println!("Robustness across machine variants ({count} loops each)");
+    println!(
+        "{:<16} {:>8} {:>10} {:>12} {:>14} {:>12}",
+        "machine", "optimal", "II/MII", "mean excess", "median MaxLive", "failures"
+    );
+    for machine in alternate_machines() {
+        let records = evaluate_corpus(count, CORPUS_SEED, &machine);
+        let optimal = records.iter().filter(|r| r.new.ii == Some(r.mii)).count();
+        let sum_ii: u64 = records.iter().map(|r| r.new.counted_ii()).sum();
+        let sum_mii: u64 = records.iter().map(|r| u64::from(r.mii)).sum();
+        let excesses: Vec<i64> = records
+            .iter()
+            .filter_map(|r| r.new.pressure.as_ref().map(|p| p.excess()))
+            .collect();
+        let mean_excess = excesses.iter().sum::<i64>() as f64 / excesses.len().max(1) as f64;
+        let mut maxlive: Vec<u32> = records
+            .iter()
+            .filter_map(|r| r.new.pressure.as_ref().map(|p| p.rr_max_live))
+            .collect();
+        maxlive.sort_unstable();
+        let median_maxlive = maxlive.get(maxlive.len() / 2).copied().unwrap_or(0);
+        let failures = records.iter().filter(|r| r.new.ii.is_none()).count();
+        println!(
+            "{:<16} {:>7.1}% {:>10.3} {:>12.2} {:>14} {:>12}",
+            machine.name(),
+            100.0 * optimal as f64 / records.len().max(1) as f64,
+            sum_ii as f64 / sum_mii.max(1) as f64,
+            mean_excess,
+            median_maxlive,
+            failures,
+        );
+    }
+}

@@ -1,0 +1,66 @@
+//! Correctness soak: random generated loops through the full pipeline —
+//! both code-generation schemes, several trip counts and direction
+//! policies — compared bit for bit against the reference interpreter.
+//!
+//! ```sh
+//! LSMS_SOAK_START=0 LSMS_SOAK_COUNT=2000 \
+//!     cargo run --release -p lsms-bench --bin soak
+//! ```
+
+use lsms_machine::huff_machine;
+use lsms_sched::{DirectionPolicy, SlackConfig};
+use lsms_sim::{check_equivalence, check_equivalence_mve, RunConfig};
+
+fn env(name: &str, default: u64) -> u64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn main() {
+    let start = env("LSMS_SOAK_START", 100_000);
+    let count = env("LSMS_SOAK_COUNT", 1_000);
+    let machine = huff_machine();
+    let mut ok = 0u64;
+    let mut sched_fails = 0u64;
+    let mut fails = 0u64;
+    for seed in start..start + count {
+        let loops = lsms_loops::generate(&lsms_loops::GeneratorConfig { seed, count: 1 });
+        let unit = match lsms_front::compile(&loops[0].source) {
+            Ok(u) => u,
+            Err(e) => {
+                println!("COMPILE FAIL {seed}: {e}");
+                fails += 1;
+                continue;
+            }
+        };
+        for (trip, policy) in [
+            (1, DirectionPolicy::Bidirectional),
+            (7, DirectionPolicy::AlwaysLate),
+            (23, DirectionPolicy::AlwaysEarly),
+        ] {
+            let config = RunConfig {
+                trip,
+                seed: seed ^ 0x1111,
+                scheduler: SlackConfig { direction: policy, ..Default::default() },
+            };
+            for (engine, result) in [
+                ("rotating", check_equivalence(&unit.loops[0], &machine, &config)),
+                ("mve", check_equivalence_mve(&unit.loops[0], &machine, &config)),
+            ] {
+                match result {
+                    Ok(_) => ok += 1,
+                    Err(e) if e.starts_with("schedule:") => sched_fails += 1,
+                    Err(e) => {
+                        fails += 1;
+                        if fails <= 8 {
+                            println!("FAIL [{engine}] seed {seed} trip {trip} {policy:?}: {e}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+    println!("ok={ok} sched_fails={sched_fails} real_fails={fails}");
+    if fails > 0 {
+        std::process::exit(1);
+    }
+}

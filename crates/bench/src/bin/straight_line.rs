@@ -1,0 +1,68 @@
+//! §8's closing suggestion: "Future experimentation may assess how well
+//! slack-scheduling would work in the context where IPS has been studied"
+//! — lifetime-sensitive scheduling of *straight-line* code.
+//!
+//! Every corpus body is scheduled as a single basic block (no iteration
+//! overlap) with the bidirectional heuristic and with the always-early
+//! ablation (the unidirectional strategy IPS competes against), comparing
+//! schedule length and peak register pressure.
+
+use lsms_ir::RegClass;
+use lsms_machine::huff_machine;
+use lsms_sched::pressure::{lifetimes, live_vector};
+use lsms_sched::{DirectionPolicy, SchedProblem, SlackConfig, SlackScheduler};
+
+fn main() {
+    let count = std::env::var("LSMS_CORPUS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(400);
+    let machine = huff_machine();
+    let corpus = lsms_loops::corpus(count, lsms_bench::CORPUS_SEED);
+    let mut rows = 0usize;
+    let mut len = [0u64; 2];
+    let mut pressure = [0u64; 2];
+    let mut wins = 0usize;
+    let mut losses = 0usize;
+    for l in &corpus {
+        let Ok(problem) = SchedProblem::new(&l.body, &machine) else { continue };
+        let mut this = [0u64; 2];
+        let mut ok = true;
+        for (slot, direction) in
+            [DirectionPolicy::Bidirectional, DirectionPolicy::AlwaysEarly].into_iter().enumerate()
+        {
+            let scheduler = SlackScheduler::with_config(SlackConfig {
+                direction,
+                ..SlackConfig::default()
+            });
+            let Ok(schedule) = scheduler.run_straight_line(&problem) else {
+                ok = false;
+                break;
+            };
+            let lt = lifetimes(&problem, &schedule);
+            let vector = live_vector(&problem, &schedule, &lt, RegClass::Rr);
+            let max_live = u64::from(vector.iter().copied().max().unwrap_or(0));
+            len[slot] += schedule.length() as u64;
+            pressure[slot] += max_live;
+            this[slot] = max_live;
+        }
+        if ok {
+            rows += 1;
+            if this[0] < this[1] {
+                wins += 1;
+            } else if this[0] > this[1] {
+                losses += 1;
+            }
+        }
+    }
+    println!("Straight-line (basic-block) scheduling over {rows} bodies:");
+    println!("{:<22} {:>14} {:>14}", "", "bidirectional", "always-early");
+    println!("{:<22} {:>14} {:>14}", "total schedule length", len[0], len[1]);
+    println!("{:<22} {:>14} {:>14}", "total peak pressure", pressure[0], pressure[1]);
+    println!(
+        "\nbidirectional uses fewer registers on {wins} bodies, more on {losses} \
+         ({:.1}% pressure saved overall, schedule length {:+.2}%)",
+        100.0 * (pressure[1] as f64 - pressure[0] as f64) / pressure[1].max(1) as f64,
+        100.0 * (len[0] as f64 / len[1].max(1) as f64 - 1.0),
+    );
+}

@@ -1,0 +1,40 @@
+//! Table 1: functional-unit latencies of the target machine.
+//!
+//! The machine description is an *input* to the evaluation; this binary
+//! prints it in the paper's layout so the configuration is auditable.
+
+use lsms_machine::huff_machine;
+
+fn main() {
+    let machine = huff_machine();
+    println!("Table 1: Functional Unit Latencies ({})", machine.name());
+    println!("{:<14} {:>4}  {:<40} {:>8}", "Pipeline", "No.", "Operations", "Latency");
+    // Group opcodes by (class, latency, pipelined?) like the paper's rows.
+    let mut rows: Vec<(usize, u32, bool, Vec<String>)> = Vec::new();
+    for (kind, desc) in machine.op_table() {
+        let pipelined = desc.reservation.len() == 1;
+        if let Some(row) = rows
+            .iter_mut()
+            .find(|(c, l, p, _)| *c == desc.class.index() && *l == desc.latency && *p == pipelined)
+        {
+            row.3.push(kind.to_string());
+        } else {
+            rows.push((desc.class.index(), desc.latency, pipelined, vec![kind.to_string()]));
+        }
+    }
+    rows.sort();
+    let mut last_class = usize::MAX;
+    for (class, latency, pipelined, ops) in rows {
+        let (name, count) = if class == last_class {
+            (String::new(), String::new())
+        } else {
+            last_class = class;
+            (
+                machine.classes()[class].name.clone(),
+                machine.classes()[class].count.to_string(),
+            )
+        };
+        let note = if pipelined { "" } else { " (not pipelined)" };
+        println!("{name:<14} {count:>4}  {:<40} {latency:>8}{note}", ops.join(" / "));
+    }
+}

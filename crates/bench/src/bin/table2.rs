@@ -1,0 +1,41 @@
+//! Table 2: complexity measurements over the whole corpus.
+//!
+//! Paper values for comparison (1,525 loops):
+//!
+//! ```text
+//! Metric                    Min    50%    90%    Max
+//! # Basic Blocks              1      1      5     30
+//! # Operations                3     15     48    322
+//! # Critical Ops at MII       0      6     24    133
+//! # Ops on Recurrences        0      0     14    166
+//! # Div/Mod/Sqrt Ops          0      0      1     28
+//! RecMII                      1      1     23    278
+//! ResMII                      1      5     17    163
+//! MII                         1      6     26    278
+//! MinAvg at MII               1     10     32    212
+//! # GPRs                      0     11     27     85
+//! ```
+
+use lsms_bench::{default_corpus_size, evaluate_corpus, stat_row, CORPUS_SEED};
+use lsms_machine::huff_machine;
+
+fn main() {
+    let machine = huff_machine();
+    let records = evaluate_corpus(default_corpus_size(), CORPUS_SEED, &machine);
+    println!("Table 2: Measurements from all {} loops", records.len());
+    println!("{:<24} {:>6} {:>6} {:>6} {:>6}", "Metric", "Min", "50%", "90%", "Max");
+    let col = |label: &str, f: &dyn Fn(&lsms_bench::LoopRecord) -> u64| {
+        let mut values: Vec<u64> = records.iter().map(f).collect();
+        println!("{}", stat_row(label, &mut values));
+    };
+    col("# Basic Blocks", &|r| u64::from(r.basic_blocks));
+    col("# Operations", &|r| r.num_ops as u64);
+    col("# Critical Ops at MII", &|r| r.critical_ops as u64);
+    col("# Ops on Recurrences", &|r| r.ops_on_recurrences as u64);
+    col("# Div/Mod/Sqrt Ops", &|r| r.div_ops as u64);
+    col("RecMII", &|r| u64::from(r.rec_mii));
+    col("ResMII", &|r| u64::from(r.res_mii));
+    col("MII", &|r| u64::from(r.mii));
+    col("MinAvg at MII", &|r| u64::from(r.min_avg_at_mii));
+    col("# GPRs", &|r| u64::from(r.gprs));
+}

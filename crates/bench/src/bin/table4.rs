@@ -1,0 +1,70 @@
+//! Table 4: Cydrome-style baseline performance by loop class.
+//!
+//! Paper values: 1,393 of 1,525 optimal (91%), overall ΣII/ΣMII = 1.12,
+//! 14 loops failed to pipeline (counted at the last II attempted); for
+//! the 132 non-optimal loops II − MII reaches 198 and II/MII reaches 12.
+
+use lsms_bench::{class_line, default_corpus_size, evaluate_corpus, percentiles, CORPUS_SEED};
+use lsms_ir::LoopClass;
+use lsms_machine::huff_machine;
+
+fn main() {
+    let machine = huff_machine();
+    let records = evaluate_corpus(default_corpus_size(), CORPUS_SEED, &machine);
+    println!("Table 4: Cydrome-Style Scheduling Performance (Old Scheduler)");
+    println!(
+        "{:<18} {:>5} {:>5} {:>6} {:>8} {:>8} {:>6}",
+        "Loop Class", "Opt", "All", "%", "Sum II", "Sum MII", "Ratio"
+    );
+    for class in [
+        LoopClass::Conditional,
+        LoopClass::Recurrence,
+        LoopClass::Both,
+        LoopClass::Neither,
+    ] {
+        let rows: Vec<_> = records.iter().filter(|r| r.class == class).collect();
+        if rows.is_empty() {
+            continue;
+        }
+        println!("{}", class_line(&class.to_string(), &rows, |r| &r.old));
+    }
+    let all: Vec<_> = records.iter().collect();
+    println!("{}", class_line("All Loops", &all, |r| &r.old));
+
+    let behind: Vec<_> = records
+        .iter()
+        .filter(|r| r.old.counted_ii() > u64::from(r.mii))
+        .collect();
+    println!("\nFor the {} loops with II > MII:", behind.len());
+    if !behind.is_empty() {
+        println!("{:<12} {:>8} {:>8} {:>8} {:>8}", "Metric", "Min", "50%", "90%", "Max");
+        let mut gaps: Vec<u64> =
+            behind.iter().map(|r| r.old.counted_ii() - u64::from(r.mii)).collect();
+        let (a, b, c, d) = percentiles(&mut gaps);
+        println!("{:<12} {a:>8} {b:>8} {c:>8} {d:>8}", "II - MII");
+        let mut ratios: Vec<u64> = behind
+            .iter()
+            .map(|r| r.old.counted_ii() * 1000 / u64::from(r.mii))
+            .collect();
+        let (a, b, c, d) = percentiles(&mut ratios);
+        println!(
+            "{:<12} {:>8.3} {:>8.3} {:>8.3} {:>8.3}",
+            "II / MII",
+            a as f64 / 1000.0,
+            b as f64 / 1000.0,
+            c as f64 / 1000.0,
+            d as f64 / 1000.0
+        );
+    }
+    let failures = records.iter().filter(|r| r.old.ii.is_none()).count();
+    println!("\nPipelining failures (reported at last attempted II): {failures}");
+
+    // The headline comparison: the slack scheduler's speedup over the
+    // baseline, 1.11x in the paper.
+    let new_ii: u64 = records.iter().map(|r| r.new.counted_ii()).sum();
+    let old_ii: u64 = records.iter().map(|r| r.old.counted_ii()).sum();
+    println!(
+        "\nOverall Sum II: new {new_ii}, old {old_ii}; old/new = {:.3}",
+        old_ii as f64 / new_ii.max(1) as f64
+    );
+}

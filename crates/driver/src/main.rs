@@ -1,0 +1,273 @@
+//! `lsmsc` — the lifetime-sensitive modulo scheduling compiler driver.
+//!
+//! ```text
+//! lsmsc FILE.loop [options]
+//!
+//!   --machine huff|short|wide    target machine (default: huff)
+//!   --policy  bidir|early|late   direction policy (default: bidir)
+//!   --emit    report|sched|asm|mve|dot|all   what to print (default: report)
+//!   --unroll  N                  unroll the loop N times before scheduling
+//!   --straight-line              schedule as a basic block (no overlap)
+//!   --run     TRIP               simulate TRIP iterations and verify
+//!                                against the reference interpreter
+//! ```
+//!
+//! Example:
+//!
+//! ```sh
+//! echo 'loop daxpy(i = 1..n) { real x[], y[]; param real a;
+//!       y[i] = y[i] + a * x[i]; }' > /tmp/daxpy.loop
+//! lsmsc /tmp/daxpy.loop --emit asm --run 100
+//! ```
+
+use std::process::ExitCode;
+
+use lsms_front::compile;
+use lsms_ir::RegClass;
+use lsms_machine::{huff_machine, short_latency_machine, wide_machine, Machine};
+use lsms_regalloc::{allocate_rotating, Strategy};
+use lsms_sched::{
+    explain, DirectionPolicy, SchedProblem, Schedule, SlackConfig, SlackScheduler,
+};
+use lsms_sim::{check_equivalence, RunConfig};
+
+struct Options {
+    file: String,
+    machine: Machine,
+    policy: DirectionPolicy,
+    emit: Vec<String>,
+    unroll: u32,
+    straight_line: bool,
+    run: Option<u64>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: lsmsc FILE.loop [--machine huff|short|wide] [--policy bidir|early|late]\n\
+         \x20             [--emit report|sched|list|asm|mve|dot|svg|all] [--unroll N]\n\
+         \x20             [--straight-line] [--run TRIP]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Options {
+    let mut args = std::env::args().skip(1);
+    let mut options = Options {
+        file: String::new(),
+        machine: huff_machine(),
+        policy: DirectionPolicy::Bidirectional,
+        emit: vec!["report".to_owned()],
+        unroll: 1,
+        straight_line: false,
+        run: None,
+    };
+    let need = |args: &mut dyn Iterator<Item = String>, flag: &str| -> String {
+        args.next().unwrap_or_else(|| {
+            eprintln!("{flag} needs a value");
+            usage();
+        })
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--machine" => {
+                options.machine = match need(&mut args, "--machine").as_str() {
+                    "huff" => huff_machine(),
+                    "short" => short_latency_machine(),
+                    "wide" => wide_machine(),
+                    other => {
+                        eprintln!("unknown machine `{other}`");
+                        usage();
+                    }
+                }
+            }
+            "--policy" => {
+                options.policy = match need(&mut args, "--policy").as_str() {
+                    "bidir" => DirectionPolicy::Bidirectional,
+                    "early" => DirectionPolicy::AlwaysEarly,
+                    "late" => DirectionPolicy::AlwaysLate,
+                    other => {
+                        eprintln!("unknown policy `{other}`");
+                        usage();
+                    }
+                }
+            }
+            "--emit" => {
+                let what = need(&mut args, "--emit");
+                options.emit = if what == "all" {
+                    ["report", "sched", "list", "asm", "mve", "dot", "svg"]
+                        .iter()
+                        .map(|s| (*s).to_owned())
+                        .collect()
+                } else {
+                    vec![what]
+                };
+            }
+            "--unroll" => {
+                options.unroll = need(&mut args, "--unroll").parse().unwrap_or_else(|_| {
+                    eprintln!("--unroll needs a positive integer");
+                    usage();
+                });
+                if options.unroll == 0 {
+                    usage();
+                }
+            }
+            "--straight-line" => options.straight_line = true,
+            "--run" => {
+                options.run =
+                    Some(need(&mut args, "--run").parse().unwrap_or_else(|_| {
+                        eprintln!("--run needs an iteration count");
+                        usage();
+                    }))
+            }
+            "--help" | "-h" => usage(),
+            other if options.file.is_empty() && !other.starts_with('-') => {
+                options.file = other.to_owned();
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                usage();
+            }
+        }
+    }
+    if options.file.is_empty() {
+        usage();
+    }
+    options
+}
+
+fn schedule_body(
+    options: &Options,
+    problem: &SchedProblem<'_>,
+) -> Result<Schedule, lsms_sched::SchedFailure> {
+    let scheduler = SlackScheduler::with_config(SlackConfig {
+        direction: options.policy,
+        ..SlackConfig::default()
+    });
+    if options.straight_line {
+        scheduler.run_straight_line(problem)
+    } else {
+        scheduler.run(problem)
+    }
+}
+
+fn main() -> ExitCode {
+    let options = parse_args();
+    let source = match std::fs::read_to_string(&options.file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("lsmsc: cannot read {}: {e}", options.file);
+            return ExitCode::FAILURE;
+        }
+    };
+    let unit = match compile(&source) {
+        Ok(u) => u,
+        Err(e) => {
+            eprintln!("{}:{e}", options.file);
+            return ExitCode::FAILURE;
+        }
+    };
+    if unit.loops.is_empty() {
+        eprintln!("lsmsc: no loops in {}", options.file);
+        return ExitCode::FAILURE;
+    }
+
+    for compiled in &unit.loops {
+        let unrolled;
+        let body = if options.unroll > 1 {
+            unrolled = lsms_ir::unroll(&compiled.body, options.unroll);
+            &unrolled
+        } else {
+            &compiled.body
+        };
+        let problem = match SchedProblem::new(body, &options.machine) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("lsmsc: {}: {e}", compiled.def.name);
+                return ExitCode::FAILURE;
+            }
+        };
+        let schedule = match schedule_body(&options, &problem) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("lsmsc: {}: {e}", compiled.def.name);
+                return ExitCode::FAILURE;
+            }
+        };
+
+        for emit in &options.emit {
+            match emit.as_str() {
+                "report" => print!("{}", explain::report(&problem, &schedule)),
+                "sched" => {
+                    println!("loop {}: II = {}", compiled.def.name, schedule.ii);
+                    for op in body.ops() {
+                        println!(
+                            "  {:>4}  {}",
+                            schedule.times[op.id.index()],
+                            op.kind
+                        );
+                    }
+                }
+                "dot" => print!("{}", lsms_ir::to_dot(body)),
+                "list" => print!("{}", lsms_ir::to_listing(body)),
+                "svg" => println!("{}", lsms_sched::svg::to_svg(&problem, &schedule)),
+                "asm" => {
+                    let rr = allocate_rotating(
+                        &problem,
+                        &schedule,
+                        RegClass::Rr,
+                        Strategy::default(),
+                    );
+                    let icr = allocate_rotating(
+                        &problem,
+                        &schedule,
+                        RegClass::Icr,
+                        Strategy::default(),
+                    );
+                    match (rr, icr) {
+                        (Ok(rr), Ok(icr)) => {
+                            match lsms_codegen::emit(&problem, &schedule, &rr, &icr) {
+                                Ok(kernel) => {
+                                    print!("{}", lsms_codegen::to_asm(&kernel, &problem))
+                                }
+                                Err(e) => eprintln!("lsmsc: codegen: {e}"),
+                            }
+                        }
+                        _ => eprintln!("lsmsc: allocation failed"),
+                    }
+                }
+                "mve" => match lsms_codegen::emit_mve(&problem, &schedule) {
+                    Ok(kernel) => print!("{}", lsms_codegen::to_asm_mve(&kernel)),
+                    Err(e) => eprintln!("lsmsc: mve: {e}"),
+                },
+                other => {
+                    eprintln!("unknown --emit `{other}`");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+
+        if let Some(trip) = options.run {
+            if options.unroll > 1 || options.straight_line {
+                eprintln!("lsmsc: --run applies to the plain modulo pipeline only");
+                return ExitCode::FAILURE;
+            }
+            let config = RunConfig {
+                trip,
+                seed: 0x5eed,
+                scheduler: SlackConfig { direction: options.policy, ..SlackConfig::default() },
+            };
+            match check_equivalence(compiled, &options.machine, &config) {
+                Ok(report) => println!(
+                    "run: {} iterations in {} cycles (II {}, {} stages); \
+                     {} array elements verified against the reference interpreter",
+                    trip, report.cycles, report.ii, report.stages, report.elements
+                ),
+                Err(e) => {
+                    eprintln!("lsmsc: verification FAILED: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,89 @@
+//! End-to-end tests of the `lsmsc` binary.
+
+use std::process::Command;
+
+fn lsmsc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_lsmsc"))
+}
+
+fn write_loop(name: &str, source: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(name);
+    std::fs::write(&path, source).expect("write test loop");
+    path
+}
+
+const DAXPY: &str = "loop daxpy(i = 1..n) {
+    real x[], y[];
+    param real a;
+    y[i] = y[i] + a * x[i];
+}";
+
+#[test]
+fn report_prints_bounds_and_pressure() {
+    let path = write_loop("lsmsc_daxpy.loop", DAXPY);
+    let out = lsmsc().arg(&path).output().expect("runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("ResMII 2"), "{text}");
+    assert!(text.contains("MaxLive"), "{text}");
+    assert!(text.contains("LiveVector"), "{text}");
+}
+
+#[test]
+fn run_verifies_against_the_reference() {
+    let path = write_loop("lsmsc_daxpy_run.loop", DAXPY);
+    let out = lsmsc().arg(&path).args(["--run", "64", "--emit", "sched"]).output().expect("runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("verified against the reference interpreter"), "{text}");
+    assert!(text.contains("II = 2"), "{text}");
+}
+
+#[test]
+fn emit_variants_produce_their_formats() {
+    let path = write_loop("lsmsc_daxpy_emit.loop", DAXPY);
+    for (emit, marker) in [
+        ("asm", "; kernel: II="),
+        ("mve", "; MVE kernel:"),
+        ("dot", "digraph"),
+        ("svg", "<svg"),
+        ("list", "loop daxpy ("),
+    ] {
+        let out = lsmsc().arg(&path).args(["--emit", emit]).output().expect("runs");
+        assert!(out.status.success(), "--emit {emit}");
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert!(text.contains(marker), "--emit {emit}: {text}");
+    }
+}
+
+#[test]
+fn unroll_halves_the_effective_ii() {
+    let path = write_loop("lsmsc_daxpy_unroll.loop", DAXPY);
+    let out =
+        lsmsc().arg(&path).args(["--unroll", "2", "--emit", "sched"]).output().expect("runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("II = 3"), "unrolled daxpy runs at 1.5 cycles/iter: {text}");
+}
+
+#[test]
+fn machine_and_policy_flags_are_honoured() {
+    let path = write_loop("lsmsc_daxpy_flags.loop", DAXPY);
+    let out = lsmsc()
+        .arg(&path)
+        .args(["--machine", "short", "--policy", "early", "--emit", "sched"])
+        .output()
+        .expect("runs");
+    assert!(out.status.success());
+    let out = lsmsc().arg(&path).args(["--machine", "bogus"]).output().expect("runs");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn compile_errors_are_reported_with_location() {
+    let path = write_loop("lsmsc_bad.loop", "loop b(i = 1..9) { real x[]; x[i] = q; }");
+    let out = lsmsc().arg(&path).output().expect("runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("undeclared scalar"), "{err}");
+}

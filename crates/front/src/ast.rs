@@ -1,0 +1,264 @@
+//! Abstract syntax for the loop DSL.
+//!
+//! One `loop` construct models a FORTRAN DO loop over an induction
+//! variable with unit stride; array subscripts are restricted to
+//! `i ± constant`, which keeps every dependence distance exact — the
+//! property the paper's front end exploits for load/store elimination
+//! (§2.3, footnote 3).
+
+use crate::Span;
+
+/// A scalar type.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Ty {
+    /// 64-bit float (`real`).
+    Real,
+    /// 64-bit integer (`int`).
+    Int,
+}
+
+/// A loop bound: a constant or a runtime parameter.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Bound {
+    /// Known at compile time.
+    Const(i64),
+    /// Named parameter supplied at run time.
+    Param(String),
+}
+
+/// A declaration inside a loop.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Decl {
+    /// `real x[], y[];` — arrays indexed by the induction variable.
+    Array {
+        /// Element type.
+        ty: Ty,
+        /// Array names.
+        names: Vec<String>,
+    },
+    /// `param real alpha;` — loop-invariant scalars.
+    Param {
+        /// Scalar type.
+        ty: Ty,
+        /// Parameter names.
+        names: Vec<String>,
+    },
+    /// `real s;` — loop-carried scalars (assigned inside the loop).
+    Scalar {
+        /// Scalar type.
+        ty: Ty,
+        /// Scalar names.
+        names: Vec<String>,
+    },
+}
+
+/// An assignable location.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LValue {
+    /// `x[i + offset]`.
+    Elem {
+        /// Array name.
+        array: String,
+        /// Constant distance from the induction variable.
+        offset: i64,
+    },
+    /// A loop-carried scalar.
+    Scalar(String),
+}
+
+/// Binary arithmetic operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%` (integers only)
+    Rem,
+}
+
+/// Comparison operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RelOp {
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// An expression.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// Real literal.
+    Real(f64),
+    /// Integer literal.
+    Int(i64),
+    /// Parameter or loop-carried scalar.
+    Scalar(String, Span),
+    /// `x[i + offset]`.
+    Elem {
+        /// Array name.
+        array: String,
+        /// Constant distance from the induction variable.
+        offset: i64,
+        /// Location, for diagnostics.
+        span: Span,
+    },
+    /// Unary negation.
+    Neg(Box<Expr>),
+    /// Binary arithmetic.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// `sqrt(e)` (reals only).
+    Sqrt(Box<Expr>),
+    /// `min(a, b)` / `max(a, b)` — lowered to compare + select.
+    MinMax {
+        /// True for `max`.
+        is_max: bool,
+        /// First operand.
+        lhs: Box<Expr>,
+        /// Second operand.
+        rhs: Box<Expr>,
+    },
+    /// `abs(e)` — lowered to compare-against-zero + select.
+    Abs(Box<Expr>),
+}
+
+/// A comparison guarding an `if`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Cond {
+    /// Comparison operator.
+    pub op: RelOp,
+    /// Left operand.
+    pub lhs: Expr,
+    /// Right operand.
+    pub rhs: Expr,
+}
+
+/// A statement.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Stmt {
+    /// `lvalue = expr;`
+    Assign {
+        /// Where the result goes.
+        target: LValue,
+        /// What to compute.
+        value: Expr,
+        /// Location, for diagnostics.
+        span: Span,
+    },
+    /// `if (cond) { ... } else { ... }` — removed by if-conversion.
+    If {
+        /// The branch condition.
+        cond: Cond,
+        /// Taken statements.
+        then_body: Vec<Stmt>,
+        /// Not-taken statements (possibly empty).
+        else_body: Vec<Stmt>,
+    },
+    /// `break if (cond);` — an early exit, taken *after* the iteration
+    /// completes (post-tested). Lowered to a carried `live` predicate that
+    /// squashes the stores of post-exit iterations, so the software
+    /// pipeline may keep running speculatively (§6, citing Tirumalai et
+    /// al. \[22\]).
+    BreakIf {
+        /// The exit condition, evaluated at the end of each iteration.
+        cond: Cond,
+    },
+}
+
+/// One `loop name(i = lo..hi) { decls stmts }` construct.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LoopDef {
+    /// Loop name, for diagnostics and reports.
+    pub name: String,
+    /// Induction variable name.
+    pub var: String,
+    /// Inclusive lower bound.
+    pub lo: Bound,
+    /// Inclusive upper bound.
+    pub hi: Bound,
+    /// Declarations.
+    pub decls: Vec<Decl>,
+    /// Statements.
+    pub body: Vec<Stmt>,
+}
+
+impl LoopDef {
+    /// Number of basic blocks the body would occupy *before*
+    /// if-conversion, for the Table 2 complexity statistics: the entry
+    /// block, plus then/else/join blocks per `if`, recursively.
+    pub fn basic_blocks(&self) -> u32 {
+        fn count(stmts: &[Stmt]) -> u32 {
+            stmts
+                .iter()
+                .map(|s| match s {
+                    Stmt::Assign { .. } => 0,
+                    Stmt::BreakIf { .. } => 1,
+                    Stmt::If { then_body, else_body, .. } => {
+                        2 + u32::from(!else_body.is_empty())
+                            + count(then_body)
+                            + count(else_body)
+                    }
+                })
+                .sum()
+        }
+        1 + count(&self.body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assign() -> Stmt {
+        Stmt::Assign {
+            target: LValue::Scalar("s".into()),
+            value: Expr::Int(0),
+            span: Span::default(),
+        }
+    }
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let def = LoopDef {
+            name: "t".into(),
+            var: "i".into(),
+            lo: Bound::Const(1),
+            hi: Bound::Param("n".into()),
+            decls: vec![],
+            body: vec![assign(), assign()],
+        };
+        assert_eq!(def.basic_blocks(), 1);
+    }
+
+    #[test]
+    fn ifs_add_blocks() {
+        let iff = Stmt::If {
+            cond: Cond { op: RelOp::Lt, lhs: Expr::Int(0), rhs: Expr::Int(1) },
+            then_body: vec![assign()],
+            else_body: vec![assign()],
+        };
+        let def = LoopDef {
+            name: "t".into(),
+            var: "i".into(),
+            lo: Bound::Const(1),
+            hi: Bound::Const(9),
+            decls: vec![],
+            body: vec![iff],
+        };
+        // entry + then + else + join
+        assert_eq!(def.basic_blocks(), 4);
+    }
+}

@@ -1,0 +1,52 @@
+//! Front-end errors with source locations.
+
+use std::fmt;
+
+/// A half-open source location: line and column, both 1-based.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Span {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Any error the front end can report: lexical, syntactic, or semantic.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FrontError {
+    /// Where the problem was found.
+    pub span: Span,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl FrontError {
+    pub(crate) fn new(span: Span, message: impl Into<String>) -> Self {
+        Self { span, message: message.into() }
+    }
+}
+
+impl fmt::Display for FrontError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for FrontError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_displays_location_first() {
+        let e = FrontError::new(Span { line: 3, col: 7 }, "unexpected token");
+        assert_eq!(e.to_string(), "3:7: unexpected token");
+    }
+}

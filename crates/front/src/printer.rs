@@ -1,0 +1,302 @@
+//! Pretty-printing the AST back to DSL source (unparsing).
+//!
+//! Useful for diagnostics, corpus inspection, and — paired with the
+//! parser — for round-trip testing: `parse(print(ast)) == ast`.
+
+use std::fmt::Write as _;
+
+use crate::ast::{BinOp, Bound, Cond, Decl, Expr, LValue, LoopDef, RelOp, Stmt, Ty};
+
+/// Renders one loop definition as DSL source text that re-parses to an
+/// equivalent AST.
+pub fn print_loop(def: &LoopDef) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "loop {}({} = ", def.name, def.var);
+    print_bound(&mut out, &def.lo);
+    out.push_str("..");
+    print_bound(&mut out, &def.hi);
+    out.push_str(") {\n");
+    for decl in &def.decls {
+        match decl {
+            Decl::Array { ty, names } => {
+                let list: Vec<String> = names.iter().map(|n| format!("{n}[]")).collect();
+                let _ = writeln!(out, "    {} {};", ty_name(*ty), list.join(", "));
+            }
+            Decl::Param { ty, names } => {
+                let _ = writeln!(out, "    param {} {};", ty_name(*ty), names.join(", "));
+            }
+            Decl::Scalar { ty, names } => {
+                let _ = writeln!(out, "    {} {};", ty_name(*ty), names.join(", "));
+            }
+        }
+    }
+    for stmt in &def.body {
+        print_stmt(&mut out, stmt, 1);
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn ty_name(ty: Ty) -> &'static str {
+    match ty {
+        Ty::Real => "real",
+        Ty::Int => "int",
+    }
+}
+
+fn print_bound(out: &mut String, bound: &Bound) {
+    match bound {
+        Bound::Const(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Bound::Param(name) => out.push_str(name),
+    }
+}
+
+fn print_stmt(out: &mut String, stmt: &Stmt, indent: usize) {
+    let pad = "    ".repeat(indent);
+    match stmt {
+        Stmt::Assign { target, value, .. } => {
+            out.push_str(&pad);
+            match target {
+                LValue::Elem { array, offset } => print_subscript(out, array, *offset),
+                LValue::Scalar(name) => out.push_str(name),
+            }
+            out.push_str(" = ");
+            print_expr(out, value);
+            out.push_str(";\n");
+        }
+        Stmt::BreakIf { cond } => {
+            out.push_str(&pad);
+            out.push_str("break if (");
+            print_cond(out, cond);
+            out.push_str(");\n");
+        }
+        Stmt::If { cond, then_body, else_body } => {
+            out.push_str(&pad);
+            out.push_str("if (");
+            print_cond(out, cond);
+            out.push_str(") {\n");
+            for s in then_body {
+                print_stmt(out, s, indent + 1);
+            }
+            let _ = write!(out, "{pad}}}");
+            if else_body.is_empty() {
+                out.push('\n');
+            } else {
+                out.push_str(" else {\n");
+                for s in else_body {
+                    print_stmt(out, s, indent + 1);
+                }
+                let _ = writeln!(out, "{pad}}}");
+            }
+        }
+    }
+}
+
+fn print_cond(out: &mut String, cond: &Cond) {
+    print_expr(out, &cond.lhs);
+    let rel = match cond.op {
+        RelOp::Eq => "==",
+        RelOp::Ne => "!=",
+        RelOp::Lt => "<",
+        RelOp::Le => "<=",
+        RelOp::Gt => ">",
+        RelOp::Ge => ">=",
+    };
+    let _ = write!(out, " {rel} ");
+    print_expr(out, &cond.rhs);
+}
+
+fn print_subscript(out: &mut String, array: &str, offset: i64) {
+    match offset {
+        0 => {
+            let _ = write!(out, "{array}[i]");
+        }
+        o if o > 0 => {
+            let _ = write!(out, "{array}[i+{o}]");
+        }
+        o => {
+            let _ = write!(out, "{array}[i-{}]", -o);
+        }
+    }
+}
+
+/// Parenthesizes conservatively: every binary node gets parentheses, so
+/// precedence never needs reconstructing.
+fn print_expr(out: &mut String, expr: &Expr) {
+    match expr {
+        Expr::Real(x) => {
+            // Keep a decimal point so the literal re-lexes as a real.
+            if x.fract() == 0.0 && x.is_finite() {
+                let _ = write!(out, "{x:.1}");
+            } else {
+                let _ = write!(out, "{x}");
+            }
+        }
+        Expr::Int(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Expr::Scalar(name, _) => out.push_str(name),
+        Expr::Elem { array, offset, .. } => print_subscript(out, array, *offset),
+        Expr::Neg(inner) => {
+            out.push_str("-(");
+            print_expr(out, inner);
+            out.push(')');
+        }
+        Expr::Bin(op, lhs, rhs) => {
+            out.push('(');
+            print_expr(out, lhs);
+            let sym = match op {
+                BinOp::Add => " + ",
+                BinOp::Sub => " - ",
+                BinOp::Mul => " * ",
+                BinOp::Div => " / ",
+                BinOp::Rem => " % ",
+            };
+            out.push_str(sym);
+            print_expr(out, rhs);
+            out.push(')');
+        }
+        Expr::Sqrt(inner) => {
+            out.push_str("sqrt(");
+            print_expr(out, inner);
+            out.push(')');
+        }
+        Expr::MinMax { is_max, lhs, rhs } => {
+            out.push_str(if *is_max { "max(" } else { "min(" });
+            print_expr(out, lhs);
+            out.push_str(", ");
+            print_expr(out, rhs);
+            out.push(')');
+        }
+        Expr::Abs(inner) => {
+            out.push_str("abs(");
+            print_expr(out, inner);
+            out.push(')');
+        }
+    }
+}
+
+/// Source texts used by printer round-trip tests (the hand-written corpus
+/// kernels, duplicated here to avoid a dependency cycle with
+/// `lsms-loops`).
+#[cfg(test)]
+pub(crate) fn tests_corpus_sources() -> Vec<String> {
+    vec![
+        "loop h(i = 1..n) { real x[], y[], z[]; param real q, r, t;
+             x[i] = q + y[i] * (r * z[i+10] + t * z[i+11]); }"
+            .to_owned(),
+        "loop t(i = 2..n) { real x[], y[], z[]; x[i] = z[i] * (y[i] - x[i-1]); }".to_owned(),
+        "loop m(i = 1..n) { real x[], m[]; real best;
+             if (x[i] > best) { best = x[i]; } m[i] = best; }"
+            .to_owned(),
+        "loop d(i = 6..n) { real x[], y[]; param real c;
+             x[i] = x[i] - x[i-1] * y[i] - x[i-5] * y[i-1] * c; }"
+            .to_owned(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{lex, parse};
+
+    /// Strips source spans so round-trip comparison ignores locations.
+    fn strip_expr(e: &mut Expr) {
+        match e {
+            Expr::Scalar(_, span) => *span = crate::Span::default(),
+            Expr::Elem { span, .. } => *span = crate::Span::default(),
+            Expr::Neg(x) | Expr::Sqrt(x) | Expr::Abs(x) => strip_expr(x),
+            Expr::Bin(_, l, r) | Expr::MinMax { lhs: l, rhs: r, .. } => {
+                strip_expr(l);
+                strip_expr(r);
+            }
+            Expr::Real(_) | Expr::Int(_) => {}
+        }
+    }
+
+    fn strip(def: &mut LoopDef) {
+        fn stmts(list: &mut [Stmt]) {
+            for s in list {
+                match s {
+                    Stmt::Assign { value, span, .. } => {
+                        strip_expr(value);
+                        *span = crate::Span::default();
+                    }
+                    Stmt::If { cond, then_body, else_body } => {
+                        strip_expr(&mut cond.lhs);
+                        strip_expr(&mut cond.rhs);
+                        stmts(then_body);
+                        stmts(else_body);
+                    }
+                    Stmt::BreakIf { cond } => {
+                        strip_expr(&mut cond.lhs);
+                        strip_expr(&mut cond.rhs);
+                    }
+                }
+            }
+        }
+        stmts(&mut def.body);
+    }
+
+    fn roundtrip(src: &str) {
+        let mut original = parse(&lex(src).unwrap()).unwrap();
+        let printed = print_loop(&original[0]);
+        let mut reparsed = parse(&lex(&printed).unwrap())
+            .unwrap_or_else(|e| panic!("printed source does not parse: {e}\n{printed}"));
+        strip(&mut original[0]);
+        strip(&mut reparsed[0]);
+        assert_eq!(original[0], reparsed[0], "round trip changed the AST:\n{printed}");
+    }
+
+    #[test]
+    fn roundtrips_the_kernel_shapes() {
+        roundtrip(
+            "loop sample(i = 3..n) {
+                 real x[], y[];
+                 x[i] = x[i-1] + y[i-2];
+                 y[i] = y[i-1] + x[i-2];
+             }",
+        );
+        roundtrip(
+            "loop clip(i = 1..n) {
+                 real x[], y[];
+                 param real lo, hi;
+                 if (x[i] < lo) { y[i] = lo; }
+                 else { if (x[i] > hi) { y[i] = hi; } else { y[i] = x[i]; } }
+             }",
+        );
+        roundtrip(
+            "loop ints(i = 2..9) {
+                 int k[], m[];
+                 int s;
+                 s = s + k[i] % 3;
+                 m[i] = -(s) * 2 / (k[i-1] + 1);
+             }",
+        );
+        roundtrip(
+            "loop lits(i = 1..n) {
+                 real x[];
+                 x[i] = sqrt(x[i-1] * 2.0 + 0.125) - 3.0;
+             }",
+        );
+    }
+
+    #[test]
+    fn roundtrips_every_named_kernel_and_generated_loop() {
+        // The kernels and a generated batch cover the whole grammar.
+        for k in crate::tests_corpus_sources() {
+            roundtrip(&k);
+        }
+    }
+
+    #[test]
+    fn real_literals_keep_their_point() {
+        let src = "loop r(i = 1..4) { real x[]; x[i] = 2.0; }";
+        let def = &parse(&lex(src).unwrap()).unwrap()[0];
+        let printed = print_loop(def);
+        assert!(printed.contains("2.0"), "{printed}");
+    }
+}
+

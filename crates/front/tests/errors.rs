@@ -1,0 +1,109 @@
+//! Error-path coverage: every diagnostic the front end can produce, with
+//! its source location.
+
+use lsms_front::{compile, FrontError};
+
+fn err(src: &str) -> FrontError {
+    compile(src).expect_err("source should be rejected")
+}
+
+#[test]
+fn lexical_errors_carry_positions() {
+    let e = err("loop f(i = 1..9) {\n    real x[];\n    x[i] = 1 @ 2;\n}");
+    assert!(e.message.contains("unexpected character"), "{e}");
+    assert_eq!(e.span.line, 3);
+}
+
+#[test]
+fn syntax_errors() {
+    assert!(err("bogus").message.contains("expected `loop`"));
+    assert!(err("loop f(i = 1..9) {").message.contains("unterminated"));
+    assert!(err("loop f(i = 1..9) { real x[]; x[i] 1.0; }").message.contains("expected `=`"));
+    assert!(err("loop f(i = 1..9) { real x[]; x[i] = ; }").message.contains("expected expression"));
+    assert!(err("loop f(i = ..9) { }").message.contains("expected loop bound"));
+    assert!(err("loop f(i = 1..9) { real x[]; if x[i] > 0.0 { x[i] = 0.0; } }")
+        .message
+        .contains("expected `(`"));
+    assert!(err("loop f(i = 1..9) { real x[]; if (x[i] ? 0.0) { x[i] = 0.0; } }")
+        .message
+        .contains("unexpected character"));
+}
+
+#[test]
+fn subscript_discipline_is_enforced() {
+    assert!(err("loop f(i = 1..9) { real x[]; x[j] = 1.0; }")
+        .message
+        .contains("induction variable"));
+    assert!(err("loop f(i = 1..9) { real x[]; x[i*2] = 1.0; }").message.contains("expected"));
+    assert!(err("loop f(i = 1..9) { real x[]; x[i+j] = 1.0; }")
+        .message
+        .contains("constant offset"));
+}
+
+#[test]
+fn semantic_errors() {
+    // Undeclared names.
+    assert!(err("loop f(i=1..9){ real x[]; x[i] = q; }").message.contains("undeclared scalar"));
+    assert!(err("loop f(i=1..9){ real x[]; x[i] = z[i]; }").message.contains("undeclared array"));
+    assert!(err("loop f(i=1..9){ real x[]; z[i] = 1.0; }").message.contains("undeclared array"));
+    // Parameter assignment.
+    assert!(err("loop f(i=1..9){ param real a; real x[]; a = x[i]; }")
+        .message
+        .contains("cannot assign to parameter"));
+    // Induction variable misuse.
+    assert!(err("loop f(i=1..9){ real x[]; x[i] = i; }").message.contains("induction variable"));
+    assert!(err("loop f(i=1..9){ real x[]; i = 1; }").message.contains("induction variable"));
+    // Type errors.
+    assert!(err("loop f(i=1..9){ real x[]; int k[]; x[i] = k[i]; }")
+        .message
+        .contains("int value in real context"));
+    assert!(err("loop f(i=1..9){ real x[]; int k[]; k[i] = x[i]; }")
+        .message
+        .contains("real value in int context"));
+    assert!(err("loop f(i=1..9){ real x[]; int k[]; x[i] = x[i] + k[i]; }")
+        .message
+        .contains("mixed real/int"));
+    assert!(err("loop f(i=1..9){ real x[]; x[i] = x[i] % 2.0; }").message.contains('%'));
+    assert!(err("loop f(i=1..9){ int k[]; k[i] = sqrt(k[i]); }").message.contains("sqrt"));
+    // Duplicates.
+    assert!(err("loop f(i=1..9){ real x[]; param real x; x[i] = 0.0; }")
+        .message
+        .contains("declared twice"));
+    // Arrays need subscripts.
+    assert!(err("loop f(i=1..9){ real x[], y[]; y = x[i]; }").message.contains("subscript"));
+}
+
+#[test]
+fn rem_is_definitely_int_even_for_literals() {
+    // `2 % 3` may not leak into a real context (its value is an integer
+    // bit pattern).
+    let e = err("loop f(i=1..9){ real x[]; x[i] = (2 % 3) * x[i-1]; }");
+    assert!(e.message.contains("mixed real/int") || e.message.contains("int value"), "{e}");
+}
+
+#[test]
+fn multiple_loops_report_errors_in_the_right_one() {
+    let e = err(
+        "loop ok(i = 1..9) { real x[]; x[i] = 1.0; }
+         loop bad(i = 1..9) { real y[]; y[i] = undeclared; }",
+    );
+    assert!(e.message.contains("undeclared scalar"), "{e}");
+    assert_eq!(e.span.line, 2);
+}
+
+#[test]
+fn valid_edge_cases_still_compile() {
+    // Empty loop body.
+    compile("loop empty(i = 1..9) { real x[]; }").unwrap();
+    // Declared-but-unassigned scalar acts as a parameter.
+    compile("loop p(i = 1..9) { real x[]; real s; x[i] = s; }").unwrap();
+    // Whole expression is one literal.
+    compile("loop c(i = 1..9) { int k[]; k[i] = 7; }").unwrap();
+    // Deeply nested conditionals within the basic-block budget.
+    compile(
+        "loop nest(i = 1..9) { real x[];
+             if (x[i] > 0.0) { if (x[i] > 1.0) { if (x[i] > 2.0) { x[i] = 2.0; } } }
+         }",
+    )
+    .unwrap();
+}

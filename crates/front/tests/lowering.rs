@@ -1,0 +1,331 @@
+//! End-to-end front-end tests: source text through lowering, checked
+//! against the schedulers.
+
+use lsms_front::{compile, InitialSource, InvariantSource};
+use lsms_ir::{DepVia, OpKind, RegClass};
+use lsms_machine::huff_machine;
+use lsms_sched::{validate, SchedProblem, SlackScheduler};
+
+/// The paper's Figure 1 loop.
+const SAMPLE: &str = "loop sample(i = 3..n) {
+    real x[], y[];
+    x[i] = x[i-1] + y[i-2];
+    y[i] = y[i-1] + x[i-2];
+}";
+
+#[test]
+fn sample_loop_eliminates_all_loads() {
+    let unit = compile(SAMPLE).unwrap();
+    let body = &unit.loops[0].body;
+    // Load/store elimination removes every load: x(i-1), x(i-2), y(i-1),
+    // y(i-2) all come from registers.
+    assert_eq!(
+        body.ops().iter().filter(|o| o.kind == OpKind::Load).count(),
+        0,
+        "all reads should be register flows:\n{}",
+        lsms_ir::to_dot(body)
+    );
+    assert_eq!(body.ops().iter().filter(|o| o.kind == OpKind::Store).count(), 2);
+    assert!(body.has_recurrence());
+    assert!(!body.has_conditional());
+}
+
+#[test]
+fn sample_loop_has_cross_iteration_flows() {
+    let unit = compile(SAMPLE).unwrap();
+    let body = &unit.loops[0].body;
+    // The two fadds feed each other at distance 2 and themselves at 1.
+    let omegas: Vec<u32> = body
+        .deps()
+        .iter()
+        .filter(|d| d.is_register_flow())
+        .map(|d| d.omega)
+        .collect();
+    assert!(omegas.contains(&1), "self recurrences at omega 1: {omegas:?}");
+    assert!(omegas.contains(&2), "cross recurrences at omega 2: {omegas:?}");
+}
+
+#[test]
+fn sample_loop_schedules_like_the_paper() {
+    let unit = compile(SAMPLE).unwrap();
+    let body = &unit.loops[0].body;
+    let machine = huff_machine();
+    let problem = SchedProblem::new(body, &machine).unwrap();
+    // Ops: 2 fadds (adder) + 2 stores (2 ports) + iv8 + 2 ref addrs
+    // (2 addr ALUs: ceil(3/2) = 2) + brtop. ResMII = 2; RecMII: the
+    // cross circuit fx -(2)-> fy -(2)-> fx has L=2, omega=4 -> 1; self
+    // arcs 1/1 = 1. The paper's Figure 3 schedules this loop at II = 2.
+    assert_eq!(problem.mii(), 2);
+    let schedule = SlackScheduler::new().run(&problem).unwrap();
+    assert_eq!(schedule.ii, 2);
+    assert_eq!(validate(&problem, &schedule), Ok(()));
+}
+
+#[test]
+fn ineligible_arrays_keep_loads_and_memory_deps() {
+    // Two stores to x: elimination must not fire; loads stay, with
+    // distance-labelled memory arcs.
+    let unit = compile(
+        "loop twostores(i = 2..n) {
+             real x[], y[];
+             x[i] = y[i] + x[i-1];
+             x[i+1] = x[i] * 2.0;
+         }",
+    )
+    .unwrap();
+    let body = &unit.loops[0].body;
+    assert!(body.ops().iter().filter(|o| o.kind == OpKind::Load).count() >= 2);
+    let mem_arcs: Vec<_> = body.deps().iter().filter(|d| d.via == DepVia::Memory).collect();
+    assert!(!mem_arcs.is_empty(), "expected memory dependences");
+    // store x[i+1] -> load x[i-1] at distance 2 must be present.
+    assert!(
+        mem_arcs.iter().any(|d| d.omega == 2),
+        "expected an omega-2 memory arc: {mem_arcs:?}"
+    );
+}
+
+#[test]
+fn conditionals_are_if_converted() {
+    let unit = compile(
+        "loop clip(i = 1..n) {
+             real x[], y[];
+             param real t;
+             if (x[i] > t) { y[i] = t; } else { y[i] = x[i]; }
+         }",
+    )
+    .unwrap();
+    let body = &unit.loops[0].body;
+    assert!(body.has_conditional());
+    // One compare, one pnot, two guarded stores.
+    assert_eq!(body.ops().iter().filter(|o| o.kind == OpKind::CmpGt).count(), 1);
+    assert_eq!(body.ops().iter().filter(|o| o.kind == OpKind::PredNot).count(), 1);
+    let guarded: Vec<_> = body.ops().iter().filter(|o| o.predicate.is_some()).collect();
+    assert_eq!(guarded.len(), 2);
+    assert!(guarded.iter().all(|o| o.kind == OpKind::Store));
+    // Schedulable.
+    let machine = huff_machine();
+    let problem = SchedProblem::new(body, &machine).unwrap();
+    let schedule = SlackScheduler::new().run(&problem).unwrap();
+    assert_eq!(validate(&problem, &schedule), Ok(()));
+}
+
+#[test]
+fn predicated_scalar_assignment_merges_with_select() {
+    let unit = compile(
+        "loop maxloop(i = 1..n) {
+             real x[];
+             real m;
+             if (x[i] > m) { m = x[i]; }
+         }",
+    )
+    .unwrap();
+    let body = &unit.loops[0].body;
+    let selects: Vec<_> = body.ops().iter().filter(|o| o.kind == OpKind::Select).collect();
+    assert_eq!(selects.len(), 1);
+    // The select's false-side input is the previous iteration's m: an
+    // input with omega 1.
+    let sel = selects[0];
+    assert_eq!(sel.input_omegas.iter().filter(|&&w| w == 1).count(), 1);
+    assert!(body.has_recurrence());
+}
+
+#[test]
+fn scalar_reduction_creates_self_recurrence() {
+    let unit = compile(
+        "loop dot(i = 1..n) {
+             real x[], y[];
+             real s;
+             s = s + x[i] * y[i];
+         }",
+    )
+    .unwrap();
+    let body = &unit.loops[0].body;
+    // s's fadd must use its own result at omega 1.
+    let fadds: Vec<_> = body.ops().iter().filter(|o| o.kind == OpKind::FAdd).collect();
+    assert_eq!(fadds.len(), 1);
+    let fadd = fadds[0];
+    assert!(fadd
+        .inputs
+        .iter()
+        .zip(&fadd.input_omegas)
+        .any(|(&v, &w)| Some(v) == fadd.result && w == 1));
+    // Its carried initial value is recorded for the simulator.
+    let loop0 = &unit.loops[0];
+    assert!(loop0
+        .initials
+        .iter()
+        .any(|(_, src)| matches!(src, InitialSource::Scalar(name) if name == "s")));
+}
+
+#[test]
+fn addresses_use_one_shared_induction() {
+    let unit = compile(
+        "loop axpy(i = 1..n) {
+             real x[], y[];
+             param real a;
+             y[i] = y[i] + a * x[i];
+         }",
+    )
+    .unwrap();
+    let body = &unit.loops[0].body;
+    // iv8 + one AddrAdd per distinct reference (x[i], y[i] read+write
+    // share one reference each... y[i] read and y[i] write share (y, 0)).
+    let addr_adds = body.ops().iter().filter(|o| o.kind == OpKind::AddrAdd).count();
+    assert_eq!(addr_adds, 3, "iv8 + x[i] + y[i]:\n{}", lsms_ir::to_dot(body));
+    // Invariants include the stride, two ref bases, and the parameter.
+    let loop0 = &unit.loops[0];
+    assert!(loop0.invariants.iter().any(|(_, s)| matches!(s, InvariantSource::Stride)));
+    assert_eq!(
+        loop0
+            .invariants
+            .iter()
+            .filter(|(_, s)| matches!(s, InvariantSource::RefBase { .. }))
+            .count(),
+        2
+    );
+    assert!(loop0
+        .invariants
+        .iter()
+        .any(|(_, s)| matches!(s, InvariantSource::Param(p) if p == "a")));
+}
+
+#[test]
+fn same_iteration_store_forwards_to_later_load() {
+    let unit = compile(
+        "loop fwd(i = 1..n) {
+             real x[], y[];
+             x[i] = y[i] * 2.0;
+             y[i+1] = x[i] + 1.0;  // x[i] was just stored: forwarded
+         }",
+    )
+    .unwrap();
+    let body = &unit.loops[0].body;
+    // x[i] is forwarded within the iteration and y[i] reads the value
+    // stored (to y[i+1]) one iteration earlier — no loads remain at all.
+    assert_eq!(body.ops().iter().filter(|o| o.kind == OpKind::Load).count(), 0);
+    // The same-iteration forward shows up as an omega-0 use of the stored
+    // value by the fadd.
+    let fadd = body.ops().iter().find(|o| o.kind == OpKind::FAdd).unwrap();
+    assert!(fadd.input_omegas.contains(&0));
+}
+
+#[test]
+fn constants_are_shared_invariants() {
+    let unit = compile(
+        "loop c(i = 1..n) {
+             real x[];
+             x[i] = x[i-1] * 2.0 + 2.0;
+         }",
+    )
+    .unwrap();
+    let loop0 = &unit.loops[0];
+    let two_count = loop0
+        .invariants
+        .iter()
+        .filter(|(_, s)| matches!(s, InvariantSource::ConstReal(x) if *x == 2.0))
+        .count();
+    assert_eq!(two_count, 1, "the literal 2.0 is materialised once");
+    // Constants live in the GPR file.
+    let (v, _) = loop0
+        .invariants
+        .iter()
+        .find(|(_, s)| matches!(s, InvariantSource::ConstReal(_)))
+        .unwrap();
+    assert_eq!(loop0.body.value(*v).reg_class(), RegClass::Gpr);
+}
+
+#[test]
+fn eliminated_constant_store_is_wrapped_in_copy() {
+    // x[i] = 0.0 then a read of x[i-1]: the elimination target must be a
+    // loop variant so pre-loop iterations can read initial memory.
+    let unit = compile(
+        "loop z(i = 1..n) {
+             real x[], y[];
+             x[i] = 0.0;
+             y[i] = x[i-1];
+         }",
+    )
+    .unwrap();
+    let body = &unit.loops[0].body;
+    assert_eq!(body.ops().iter().filter(|o| o.kind == OpKind::Load).count(), 0);
+    assert_eq!(body.ops().iter().filter(|o| o.kind == OpKind::Copy).count(), 1);
+    let loop0 = &unit.loops[0];
+    assert!(loop0
+        .initials
+        .iter()
+        .any(|(_, s)| matches!(s, InitialSource::ArrayElem { array: 0, offset: 0 })));
+}
+
+#[test]
+fn every_compiled_loop_is_schedulable() {
+    let sources = [
+        SAMPLE,
+        "loop hydro(i = 1..n) { real x[], y[], z[]; param real q, r, t;
+             x[i] = q + y[i] * (r * z[i+10] + t * z[i+11]); }",
+        "loop tridiag(i = 2..n) { real x[], y[], z[]; x[i] = z[i] * (y[i] - x[i-1]); }",
+        "loop sqrtloop(i = 1..n) { real x[], y[]; y[i] = sqrt(x[i] / 2.5); }",
+        "loop intloop(i = 1..n) { int k[], m[]; k[i] = (m[i] * 3 + k[i-1]) % 7; }",
+    ];
+    let machine = huff_machine();
+    for src in sources {
+        let unit = compile(src).unwrap();
+        for l in &unit.loops {
+            l.body.validate().unwrap();
+            let problem = SchedProblem::new(&l.body, &machine).unwrap();
+            let schedule = SlackScheduler::new()
+                .run(&problem)
+                .unwrap_or_else(|e| panic!("{}: {e}", l.def.name));
+            assert_eq!(validate(&problem, &schedule), Ok(()), "{}", l.def.name);
+        }
+    }
+}
+
+#[test]
+fn meta_records_basic_blocks_and_trip_count() {
+    let unit = compile(
+        "loop m(i = 5..20) {
+             real x[];
+             if (x[i] > 0.0) { x[i] = 0.0; } else { x[i] = 1.0; }
+         }",
+    )
+    .unwrap();
+    let meta = unit.loops[0].body.meta();
+    assert_eq!(meta.basic_blocks, 4);
+    assert_eq!(meta.min_trip_count, Some(16));
+}
+
+#[test]
+fn literal_real_subtrees_are_folded_at_compile_time() {
+    let unit = compile(
+        "loop fold(i = 2..n) {
+             real w[], b[];
+             w[i] = (0.0100 + 2.0 * 3.5) + b[i] * (w[i-1] - sqrt(4.0));
+         }",
+    )
+    .unwrap();
+    let body = &unit.loops[0].body;
+    // No fsub/fmul/sqrt for the literal subtrees: only the two real fadd/
+    // fsub/fmul that touch loop data remain.
+    assert_eq!(body.ops().iter().filter(|o| o.kind == OpKind::FSqrt).count(), 0);
+    let arith = body
+        .ops()
+        .iter()
+        .filter(|o| matches!(o.kind, OpKind::FAdd | OpKind::FSub | OpKind::FMul))
+        .count();
+    assert_eq!(arith, 3, "{}", lsms_ir::to_listing(body));
+    // The folded constants became invariants.
+    let consts = unit.loops[0]
+        .invariants
+        .iter()
+        .filter(|(_, s)| matches!(s, InvariantSource::ConstReal(_)))
+        .count();
+    assert_eq!(consts, 2, "7.01 and 2.0 (=sqrt 4)");
+}
+
+#[test]
+fn folding_never_touches_polymorphic_int_literals() {
+    let unit = compile("loop p(i = 1..9) { int k[]; k[i] = (2 + 3) * k[i-1]; }").unwrap();
+    let body = &unit.loops[0].body;
+    // 2 + 3 stays an IntAdd of constants (context-dependent type).
+    assert_eq!(body.ops().iter().filter(|o| o.kind == OpKind::IntAdd).count(), 1);
+}

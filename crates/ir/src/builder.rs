@@ -1,0 +1,338 @@
+//! Incremental construction of [`LoopBody`] graphs.
+
+use crate::{
+    Dep, DepId, DepKind, DepVia, LoopBody, LoopMeta, Op, OpId, OpKind, Value, ValueId, ValueType,
+};
+
+/// Builds a [`LoopBody`] one value, operation, and arc at a time.
+///
+/// The builder does not add dependence arcs implied by the SSA def/use
+/// wiring: front ends know the iteration distance (ω) of each use, so they
+/// state every arc explicitly via [`flow_dep`](Self::flow_dep) and
+/// [`dep`](Self::dep). Guard-predicate arcs, however, follow the same rule —
+/// add a flow arc from the predicate's definition to the guarded operation.
+///
+/// # Example
+///
+/// ```
+/// use lsms_ir::{LoopBuilder, OpKind, ValueType};
+///
+/// let mut b = LoopBuilder::new("axpy");
+/// let a = b.invariant(ValueType::Float, "a");
+/// let x = b.new_value(ValueType::Float);
+/// let y = b.new_value(ValueType::Float);
+/// let t = b.new_value(ValueType::Float);
+/// let mul = b.op(OpKind::FMul, &[a, x], Some(y));
+/// let add = b.op(OpKind::FAdd, &[y, a], Some(t));
+/// b.flow_dep(mul, add, 0);
+/// let body = b.finish();
+/// assert_eq!(body.num_ops(), 2);
+/// ```
+#[derive(Debug)]
+pub struct LoopBuilder {
+    name: String,
+    ops: Vec<Op>,
+    values: Vec<Value>,
+    deps: Vec<Dep>,
+    meta: LoopMeta,
+}
+
+impl LoopBuilder {
+    /// Starts an empty body with the given diagnostic name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            ops: Vec::new(),
+            values: Vec::new(),
+            deps: Vec::new(),
+            meta: LoopMeta { basic_blocks: 1, min_trip_count: None },
+        }
+    }
+
+    /// Sets source metadata for the body.
+    pub fn meta(&mut self, meta: LoopMeta) -> &mut Self {
+        self.meta = meta;
+        self
+    }
+
+    /// Creates a fresh loop-variant value of type `ty` with a generated
+    /// name.
+    pub fn new_value(&mut self, ty: ValueType) -> ValueId {
+        let id = ValueId::new(self.values.len());
+        self.values.push(Value {
+            id,
+            ty,
+            def: None,
+            invariant: false,
+            name: format!("t{}", id.index()),
+        });
+        id
+    }
+
+    /// Creates a fresh named loop-variant value.
+    pub fn named_value(&mut self, ty: ValueType, name: impl Into<String>) -> ValueId {
+        let id = self.new_value(ty);
+        self.values[id.index()].name = name.into();
+        id
+    }
+
+    /// Creates a loop-invariant value (GPR file): a constant, an array base
+    /// address, or any scalar the loop only reads.
+    pub fn invariant(&mut self, ty: ValueType, name: impl Into<String>) -> ValueId {
+        let id = self.new_value(ty);
+        let v = &mut self.values[id.index()];
+        v.invariant = true;
+        v.name = name.into();
+        id
+    }
+
+    /// Appends an unguarded operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` does not match the kind's arity, if the kind
+    /// requires a result and `result` is `None` (or vice versa), or if
+    /// `result` names a value that already has a definition.
+    pub fn op(&mut self, kind: OpKind, inputs: &[ValueId], result: Option<ValueId>) -> OpId {
+        self.op_guarded(kind, inputs, result, None)
+    }
+
+    /// Appends an operation guarded by `predicate` (§2.2).
+    ///
+    /// # Panics
+    ///
+    /// As for [`op`](Self::op).
+    pub fn op_guarded(
+        &mut self,
+        kind: OpKind,
+        inputs: &[ValueId],
+        result: Option<ValueId>,
+        predicate: Option<ValueId>,
+    ) -> OpId {
+        let with_omegas: Vec<(ValueId, u32)> = inputs.iter().map(|&v| (v, 0)).collect();
+        self.op_with_omegas(kind, &with_omegas, result, predicate)
+    }
+
+    /// Appends an operation whose inputs carry explicit iteration
+    /// distances: position `k` reads `inputs[k].0` from `inputs[k].1`
+    /// iterations earlier. Front ends use this after load/store elimination
+    /// and scalar-recurrence resolution (§2.3).
+    ///
+    /// # Panics
+    ///
+    /// As for [`op`](Self::op).
+    pub fn op_with_omegas(
+        &mut self,
+        kind: OpKind,
+        inputs: &[(ValueId, u32)],
+        result: Option<ValueId>,
+        predicate: Option<ValueId>,
+    ) -> OpId {
+        assert_eq!(inputs.len(), kind.arity(), "{kind}: wrong input count");
+        assert_eq!(
+            result.is_some(),
+            kind.has_result(),
+            "{kind}: result presence mismatch"
+        );
+        let id = OpId::new(self.ops.len());
+        if let Some(r) = result {
+            let v = &mut self.values[r.index()];
+            assert!(v.def.is_none(), "value {r} already defined");
+            assert!(!v.invariant, "invariant value {r} cannot be defined in the loop");
+            v.def = Some(id);
+        }
+        self.ops.push(Op {
+            id,
+            kind,
+            inputs: inputs.iter().map(|&(v, _)| v).collect(),
+            input_omegas: inputs.iter().map(|&(_, w)| w).collect(),
+            result,
+            predicate,
+        });
+        id
+    }
+
+    /// Adds a register flow dependence from `from`'s result to `to`,
+    /// carrying ω = `omega`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` has no result.
+    pub fn flow_dep(&mut self, from: OpId, to: OpId, omega: u32) -> DepId {
+        let value = self.ops[from.index()]
+            .result
+            .expect("flow dependence source must define a value");
+        self.push_dep(Dep { from, to, kind: DepKind::Flow, via: DepVia::Register, omega, value: Some(value) })
+    }
+
+    /// Adds an arbitrary dependence arc.
+    pub fn dep(&mut self, from: OpId, to: OpId, kind: DepKind, via: DepVia, omega: u32) -> DepId {
+        self.push_dep(Dep { from, to, kind, via, omega, value: None })
+    }
+
+    fn push_dep(&mut self, dep: Dep) -> DepId {
+        let id = DepId::new(self.deps.len());
+        self.deps.push(dep);
+        id
+    }
+
+    /// Number of operations appended so far.
+    pub fn num_ops(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// The type of a value created earlier.
+    pub fn value_type(&self, v: ValueId) -> ValueType {
+        self.values[v.index()].ty
+    }
+
+    /// True if `v` has been defined by an operation so far.
+    pub fn is_defined(&self, v: ValueId) -> bool {
+        self.values[v.index()].def.is_some()
+    }
+
+    /// The current `(value, ω)` at input position `index` of `op` —
+    /// current, because [`replace_uses`](Self::replace_uses) may have
+    /// rewritten it since the operation was appended.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range for the operation.
+    pub fn op_input(&self, op: OpId, index: usize) -> (ValueId, u32) {
+        let op = &self.ops[op.index()];
+        (op.inputs[index], op.input_omegas[index])
+    }
+
+    /// Rewires every input use of `of` to `with`, adding `add_omega` to the
+    /// use's iteration distance.
+    ///
+    /// Front ends emit *placeholder* values for quantities that resolve
+    /// only after the whole body is seen — the previous iteration's value
+    /// of a carried scalar, or the register replacing an eliminated load
+    /// (§2.3) — then call this once the real value and distance are known.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `of` is used as a guard predicate (guards cannot carry a
+    /// distance).
+    pub fn replace_uses(&mut self, of: ValueId, with: ValueId, add_omega: u32) {
+        for op in &mut self.ops {
+            assert_ne!(op.predicate, Some(of), "cannot rewrite a guard predicate use");
+            for (input, omega) in op.inputs.iter_mut().zip(op.input_omegas.iter_mut()) {
+                if *input == of {
+                    *input = with;
+                    *omega += add_omega;
+                }
+            }
+        }
+    }
+
+    /// Finalises the body after generating the register flow arcs implied
+    /// by the SSA wiring: for every input position `(v, ω)` whose value is
+    /// defined in the loop, a flow arc `def(v) → op` with distance ω, and
+    /// likewise for guard predicates (ω = 0). Arcs identical to manually
+    /// added ones are not duplicated.
+    pub fn finish_with_auto_flow(mut self) -> LoopBody {
+        let mut extra: Vec<Dep> = Vec::new();
+        for op in &self.ops {
+            let guard = op.predicate.iter().map(|&p| (p, 0u32));
+            for (v, omega) in op
+                .inputs
+                .iter()
+                .copied()
+                .zip(op.input_omegas.iter().copied())
+                .chain(guard)
+            {
+                let Some(def) = self.values[v.index()].def else { continue };
+                let dep = Dep {
+                    from: def,
+                    to: op.id,
+                    kind: DepKind::Flow,
+                    via: DepVia::Register,
+                    omega,
+                    value: Some(v),
+                };
+                if !self.deps.contains(&dep) && !extra.contains(&dep) {
+                    extra.push(dep);
+                }
+            }
+        }
+        self.deps.extend(extra);
+        self.finish()
+    }
+
+    /// Finalises the body, computing the adjacency tables.
+    pub fn finish(self) -> LoopBody {
+        let mut out_deps = vec![Vec::new(); self.ops.len()];
+        let mut in_deps = vec![Vec::new(); self.ops.len()];
+        for (i, dep) in self.deps.iter().enumerate() {
+            out_deps[dep.from.index()].push(DepId::new(i));
+            in_deps[dep.to.index()].push(DepId::new(i));
+        }
+        LoopBody {
+            name: self.name,
+            ops: self.ops,
+            values: self.values,
+            deps: self.deps,
+            out_deps,
+            in_deps,
+            meta: self.meta,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_wires_defs() {
+        let mut b = LoopBuilder::new("t");
+        let x = b.new_value(ValueType::Int);
+        let y = b.new_value(ValueType::Int);
+        let o = b.op(OpKind::IntAdd, &[y, y], Some(x));
+        let body = b.finish();
+        assert_eq!(body.value(x).def, Some(o));
+        assert_eq!(body.value(y).def, None);
+        assert!(body.validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "already defined")]
+    fn double_definition_panics() {
+        let mut b = LoopBuilder::new("t");
+        let x = b.new_value(ValueType::Int);
+        let y = b.new_value(ValueType::Int);
+        b.op(OpKind::IntAdd, &[y, y], Some(x));
+        b.op(OpKind::IntSub, &[y, y], Some(x));
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong input count")]
+    fn arity_mismatch_panics() {
+        let mut b = LoopBuilder::new("t");
+        let x = b.new_value(ValueType::Int);
+        b.op(OpKind::IntAdd, &[x], None);
+    }
+
+    #[test]
+    #[should_panic(expected = "must define a value")]
+    fn flow_dep_from_store_panics() {
+        let mut b = LoopBuilder::new("t");
+        let a = b.invariant(ValueType::Addr, "a");
+        let x = b.new_value(ValueType::Float);
+        let st = b.op(OpKind::Store, &[a, x], None);
+        b.flow_dep(st, st, 1);
+    }
+
+    #[test]
+    fn invariants_cannot_be_defined() {
+        let mut b = LoopBuilder::new("t");
+        let a = b.invariant(ValueType::Float, "a");
+        let x = b.new_value(ValueType::Float);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            b.op(OpKind::FAdd, &[x, x], Some(a));
+        }));
+        assert!(result.is_err());
+    }
+}

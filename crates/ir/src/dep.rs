@@ -1,0 +1,133 @@
+//! Dependence arcs.
+
+use std::fmt;
+
+use crate::{OpId, ValueId};
+
+/// The classical dependence kinds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DepKind {
+    /// Read-after-write: the sink consumes a value the source produces.
+    Flow,
+    /// Write-after-read: the sink overwrites storage the source reads.
+    Anti,
+    /// Write-after-write: the sink overwrites storage the source writes.
+    Output,
+}
+
+impl fmt::Display for DepKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DepKind::Flow => "flow",
+            DepKind::Anti => "anti",
+            DepKind::Output => "output",
+        };
+        f.write_str(s)
+    }
+}
+
+/// What carries the dependence.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DepVia {
+    /// A register (SSA value); the arc's `value` is set. Only these arcs
+    /// define lifetimes and participate in the bidirectional lifetime
+    /// heuristic (§5.2).
+    Register,
+    /// A memory location (array element); from dependence analysis.
+    Memory,
+    /// A scheduling-only constraint (e.g. keeping `brtop` ordered relative
+    /// to loop-control updates).
+    Control,
+}
+
+impl fmt::Display for DepVia {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DepVia::Register => "reg",
+            DepVia::Memory => "mem",
+            DepVia::Control => "ctl",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A dependence arc `from → to` with iteration distance `omega`.
+///
+/// `omega` (ω) is the minimum number of iterations that must separate the
+/// two operations (§3.1): an instance of `to` in iteration `i + omega` must
+/// follow the instance of `from` in iteration `i` by at least the arc's
+/// latency. `omega == 0` is an intra-iteration dependence. When the
+/// dependence analyzer can prove the distance exact (the vectorizing
+/// literature's *distance*), optimizations such as load/store elimination
+/// apply; otherwise ω is a conservative lower bound.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Dep {
+    /// Source operation.
+    pub from: OpId,
+    /// Sink operation.
+    pub to: OpId,
+    /// Dependence kind.
+    pub kind: DepKind,
+    /// What carries the dependence.
+    pub via: DepVia,
+    /// Minimum iteration distance (ω ≥ 0).
+    pub omega: u32,
+    /// For register flow arcs, the value whose lifetime the arc defines.
+    pub value: Option<ValueId>,
+}
+
+impl Dep {
+    /// True if this arc is a register flow dependence — the only arcs that
+    /// stretch operand lifetimes.
+    pub fn is_register_flow(&self) -> bool {
+        self.kind == DepKind::Flow && self.via == DepVia::Register
+    }
+
+    /// True if this is a self-arc (`from == to`), i.e. a *trivial*
+    /// recurrence circuit, which imposes no scheduling constraint once
+    /// `II ≥ RecMII` (§4).
+    pub fn is_self_arc(&self) -> bool {
+        self.from == self.to
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_flow_detection() {
+        let dep = Dep {
+            from: OpId::new(0),
+            to: OpId::new(1),
+            kind: DepKind::Flow,
+            via: DepVia::Register,
+            omega: 1,
+            value: Some(ValueId::new(0)),
+        };
+        assert!(dep.is_register_flow());
+        assert!(!dep.is_self_arc());
+
+        let mem = Dep { via: DepVia::Memory, value: None, ..dep };
+        assert!(!mem.is_register_flow());
+    }
+
+    #[test]
+    fn self_arc_detection() {
+        let dep = Dep {
+            from: OpId::new(3),
+            to: OpId::new(3),
+            kind: DepKind::Output,
+            via: DepVia::Memory,
+            omega: 1,
+            value: None,
+        };
+        assert!(dep.is_self_arc());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(DepKind::Anti.to_string(), "anti");
+        assert_eq!(DepVia::Memory.to_string(), "mem");
+    }
+}

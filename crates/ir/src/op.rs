@@ -1,0 +1,224 @@
+//! Operations: the nodes of the dependence graph.
+
+use std::fmt;
+
+use crate::{OpId, ValueId};
+
+/// The executable operation repertoire of the hypothetical VLIW target.
+///
+/// The set mirrors Table 1 of the paper: every kind maps onto exactly one
+/// functional-unit class in `lsms-machine` (memory port, address ALU, adder,
+/// multiplier, divider, or branch unit). Kinds carry no operands — operands
+/// are the SSA [`Value`](crate::Value) inputs of the containing [`Op`].
+///
+/// Constants and array base addresses are *not* operation kinds: they are
+/// loop-invariant values living in the GPR file.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[allow(missing_docs)] // variant meanings are given in the table below
+pub enum OpKind {
+    // Address ALU (latency 1, two units).
+    AddrAdd,
+    AddrSub,
+    AddrMul,
+    // Adder (latency 1): integer add/sub/logical and float add/sub,
+    // comparisons, predicate logic, select, and copies.
+    IntAdd,
+    IntSub,
+    And,
+    Or,
+    Xor,
+    FAdd,
+    FSub,
+    CmpEq,
+    CmpNe,
+    CmpLt,
+    CmpLe,
+    CmpGt,
+    CmpGe,
+    PredAnd,
+    PredOr,
+    PredNot,
+    /// `Select(p, a, b)` = `a` if `p` else `b`; produced by if-conversion at
+    /// join points so that merged variables keep a single SSA definition.
+    Select,
+    Copy,
+    // Multiplier (latency 2).
+    IntMul,
+    FMul,
+    // Divider (not pipelined; latency 17 for div/mod, 21 for sqrt).
+    IntDiv,
+    IntMod,
+    FDiv,
+    FMod,
+    FSqrt,
+    // Memory port (two units; load latency 13, store latency 1).
+    Load,
+    Store,
+    /// The loop-closing conditional branch; combines loop-count test,
+    /// register rotation, and stage-predicate update (§2.1, \[5\]).
+    Brtop,
+}
+
+impl OpKind {
+    /// True for `Load` and `Store`.
+    pub fn is_memory(self) -> bool {
+        matches!(self, OpKind::Load | OpKind::Store)
+    }
+
+    /// True for kinds executed by the non-pipelined divider.
+    ///
+    /// The slack scheduler halves the dynamic priority of these operations
+    /// (§4.3) because their complex resource patterns leave them very few
+    /// issue slots.
+    pub fn uses_divider(self) -> bool {
+        matches!(
+            self,
+            OpKind::IntDiv | OpKind::IntMod | OpKind::FDiv | OpKind::FMod | OpKind::FSqrt
+        )
+    }
+
+    /// True if this kind produces a result value.
+    pub fn has_result(self) -> bool {
+        !matches!(self, OpKind::Store | OpKind::Brtop)
+    }
+
+    /// The number of value inputs the kind consumes (excluding the guard
+    /// predicate, which every operation may optionally have).
+    pub fn arity(self) -> usize {
+        match self {
+            OpKind::PredNot | OpKind::Copy | OpKind::Load | OpKind::FSqrt => 1,
+            OpKind::Select => 3,
+            OpKind::Brtop => 0,
+            OpKind::Store => 2, // address, stored value
+            _ => 2,
+        }
+    }
+
+    /// A short lowercase mnemonic, used by the assembly printer and DOT
+    /// export.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            OpKind::AddrAdd => "aadd",
+            OpKind::AddrSub => "asub",
+            OpKind::AddrMul => "amul",
+            OpKind::IntAdd => "add",
+            OpKind::IntSub => "sub",
+            OpKind::And => "and",
+            OpKind::Or => "or",
+            OpKind::Xor => "xor",
+            OpKind::FAdd => "fadd",
+            OpKind::FSub => "fsub",
+            OpKind::CmpEq => "cmpeq",
+            OpKind::CmpNe => "cmpne",
+            OpKind::CmpLt => "cmplt",
+            OpKind::CmpLe => "cmple",
+            OpKind::CmpGt => "cmpgt",
+            OpKind::CmpGe => "cmpge",
+            OpKind::PredAnd => "pand",
+            OpKind::PredOr => "por",
+            OpKind::PredNot => "pnot",
+            OpKind::Select => "select",
+            OpKind::Copy => "copy",
+            OpKind::IntMul => "mul",
+            OpKind::FMul => "fmul",
+            OpKind::IntDiv => "div",
+            OpKind::IntMod => "mod",
+            OpKind::FDiv => "fdiv",
+            OpKind::FMod => "fmod",
+            OpKind::FSqrt => "fsqrt",
+            OpKind::Load => "load",
+            OpKind::Store => "store",
+            OpKind::Brtop => "brtop",
+        }
+    }
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// One operation of the loop body.
+///
+/// Every operation has a 1-bit predicate input (§2.2); `predicate == None`
+/// means the operation executes unconditionally (its predicate is the
+/// always-true stage predicate).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Op {
+    /// This operation's id.
+    pub id: OpId,
+    /// What the operation computes.
+    pub kind: OpKind,
+    /// Value inputs, in positional order (`kind.arity()` of them).
+    pub inputs: Vec<ValueId>,
+    /// Per-input iteration distance: position `k` reads the instance of
+    /// `inputs[k]` produced `input_omegas[k]` iterations earlier (0 = this
+    /// iteration). Lets `x(i-1) + x(i-2)` read the same SSA value at two
+    /// distances, as the rotating register file does in hardware (§2.3).
+    pub input_omegas: Vec<u32>,
+    /// The value defined, if any (SSA: at most one, defined nowhere else).
+    pub result: Option<ValueId>,
+    /// Guard predicate from if-conversion, if any.
+    pub predicate: Option<ValueId>,
+}
+
+impl Op {
+    /// All values read by this operation: inputs followed by the guard
+    /// predicate (if present).
+    pub fn reads(&self) -> impl Iterator<Item = ValueId> + '_ {
+        self.inputs.iter().copied().chain(self.predicate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn divider_kinds_are_flagged() {
+        assert!(OpKind::FSqrt.uses_divider());
+        assert!(OpKind::IntMod.uses_divider());
+        assert!(!OpKind::FMul.uses_divider());
+    }
+
+    #[test]
+    fn memory_kinds_are_flagged() {
+        assert!(OpKind::Load.is_memory());
+        assert!(OpKind::Store.is_memory());
+        assert!(!OpKind::AddrAdd.is_memory());
+    }
+
+    #[test]
+    fn stores_and_brtop_have_no_result() {
+        assert!(!OpKind::Store.has_result());
+        assert!(!OpKind::Brtop.has_result());
+        assert!(OpKind::Load.has_result());
+    }
+
+    #[test]
+    fn arity_matches_shape() {
+        assert_eq!(OpKind::Select.arity(), 3);
+        assert_eq!(OpKind::Load.arity(), 1);
+        assert_eq!(OpKind::Store.arity(), 2);
+        assert_eq!(OpKind::FAdd.arity(), 2);
+        assert_eq!(OpKind::Brtop.arity(), 0);
+    }
+
+    #[test]
+    fn reads_include_guard_predicate() {
+        let op = Op {
+            id: OpId::new(0),
+            kind: OpKind::FAdd,
+            inputs: vec![ValueId::new(1), ValueId::new(2)],
+            input_omegas: vec![0, 0],
+            result: Some(ValueId::new(3)),
+            predicate: Some(ValueId::new(4)),
+        };
+        let reads: Vec<_> = op.reads().collect();
+        assert_eq!(
+            reads,
+            vec![ValueId::new(1), ValueId::new(2), ValueId::new(4)]
+        );
+    }
+}

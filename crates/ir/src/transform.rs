@@ -1,0 +1,224 @@
+//! Loop transformations: unrolling for fractional initiation intervals.
+//!
+//! §3.1: "if a compiler performs loop unrolling, then it can take
+//! advantage of fractional lower bounds. For instance, if a loop had an
+//! exact minimum II of 3/2, then the compiler could unroll the loop once
+//! and attempt to schedule for an II of 3. Unfortunately, the current
+//! compiler does not perform any such loop transformations." This module
+//! supplies the transformation the paper left as future work.
+
+use crate::{Dep, LoopBody, LoopBuilder, LoopMeta, OpKind, ValueId};
+
+/// Unrolls the body `factor` times: the result executes `factor`
+/// consecutive source iterations per (new) iteration.
+///
+/// For a use at distance ω in copy `j`, the producing instance lies
+/// `ω` *source* iterations back, i.e. in copy `(j − ω) mod factor` at new
+/// distance `(ω − j + j′) / factor`. The same index arithmetic applies to
+/// every dependence arc. Loop invariants are shared across copies; the
+/// loop-closing `brtop` is emitted once.
+///
+/// The transformation preserves scheduling semantics (each new iteration
+/// is `factor` old ones), so `RecMII(unrolled) ≤ factor · RecMII(body)`
+/// and a schedule of the unrolled body at II corresponds to an effective
+/// per-source-iteration interval of `II / factor` — the fractional-MII
+/// win.
+///
+/// # Panics
+///
+/// Panics if `factor` is zero.
+pub fn unroll(body: &LoopBody, factor: u32) -> LoopBody {
+    assert!(factor > 0, "unroll factor must be positive");
+    let f = factor as usize;
+    let mut b = LoopBuilder::new(format!("{}@x{}", body.name(), factor));
+
+    // Value copies: invariants shared, variants one per copy.
+    let mut value_copy: Vec<Vec<ValueId>> = Vec::with_capacity(body.values().len());
+    for v in body.values() {
+        if v.invariant {
+            let nv = b.invariant(v.ty, v.name.clone());
+            value_copy.push(vec![nv; f]);
+        } else {
+            value_copy.push(
+                (0..f)
+                    .map(|j| b.named_value(v.ty, format!("{}.{j}", v.name)))
+                    .collect(),
+            );
+        }
+    }
+
+    // Which copy and distance a use in copy `j` at distance ω reads.
+    let split = |j: usize, omega: u32| -> (usize, u32) {
+        let j = j as i64;
+        let omega = i64::from(omega);
+        let src_copy = (j - omega).rem_euclid(f as i64);
+        let new_omega = (omega - j + src_copy) / f as i64;
+        (src_copy as usize, new_omega as u32)
+    };
+
+    let mut op_copy: Vec<Vec<crate::OpId>> = vec![Vec::new(); body.num_ops()];
+    for j in 0..f {
+        for op in body.ops() {
+            if op.kind == OpKind::Brtop {
+                continue; // one loop-closing branch for the whole body
+            }
+            let inputs: Vec<(ValueId, u32)> = op
+                .inputs
+                .iter()
+                .zip(&op.input_omegas)
+                .map(|(&v, &w)| {
+                    if body.value(v).invariant || body.value(v).def.is_none() {
+                        (value_copy[v.index()][0], w)
+                    } else {
+                        let (copy, nw) = split(j, w);
+                        (value_copy[v.index()][copy], nw)
+                    }
+                })
+                .collect();
+            let result = op.result.map(|r| value_copy[r.index()][j]);
+            let predicate = op.predicate.map(|p| {
+                if body.value(p).def.is_none() {
+                    value_copy[p.index()][0]
+                } else {
+                    // Guards are same-iteration (ω = 0): same copy.
+                    value_copy[p.index()][j]
+                }
+            });
+            let id = b.op_with_omegas(op.kind, &inputs, result, predicate);
+            op_copy[op.id.index()].push(id);
+        }
+    }
+    if body.brtop().is_some() {
+        b.op(OpKind::Brtop, &[], None);
+    }
+
+    // Replicate explicit arcs (memory and control arcs carry ordering the
+    // SSA wiring cannot reconstruct). Register flow arcs are regenerated
+    // by `finish_with_auto_flow`, so only non-register arcs are copied.
+    for dep in body.deps() {
+        if dep.is_register_flow() {
+            continue;
+        }
+        if op_copy[dep.from.index()].is_empty() || op_copy[dep.to.index()].is_empty() {
+            continue; // arcs touching brtop (none in practice)
+        }
+        for j in 0..f {
+            let (src_copy, new_omega) = split(j, dep.omega);
+            let from = op_copy[dep.from.index()][src_copy];
+            let to = op_copy[dep.to.index()][j];
+            if from == to && new_omega == 0 {
+                continue; // degenerate self arc within one copy
+            }
+            add_dep(&mut b, from, to, dep, new_omega);
+        }
+    }
+
+    b.meta(LoopMeta {
+        basic_blocks: body.meta().basic_blocks,
+        min_trip_count: body.meta().min_trip_count.map(|t| t / u64::from(factor)),
+    });
+    b.finish_with_auto_flow()
+}
+
+fn add_dep(b: &mut LoopBuilder, from: crate::OpId, to: crate::OpId, dep: &Dep, omega: u32) {
+    b.dep(from, to, dep.kind, dep.via, omega);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DepKind, DepVia, ValueType};
+
+    /// x(i) = x(i-1) * k — a one-op recurrence with a 2-cycle-latency mul.
+    fn one_op_recurrence() -> LoopBody {
+        let mut b = LoopBuilder::new("rec");
+        let k = b.invariant(ValueType::Float, "k");
+        let x = b.named_value(ValueType::Float, "x");
+        b.op_with_omegas(OpKind::FMul, &[(x, 1), (k, 0)], Some(x), None);
+        b.finish_with_auto_flow()
+    }
+
+    #[test]
+    fn unroll_doubles_ops_and_scales_omegas() {
+        let body = one_op_recurrence();
+        let unrolled = unroll(&body, 2);
+        assert_eq!(unrolled.num_ops(), 2);
+        // Copy 0 reads copy 1 at new omega 1; copy 1 reads copy 0 at 0.
+        let flows: Vec<(usize, usize, u32)> = unrolled
+            .deps()
+            .iter()
+            .filter(|d| d.is_register_flow())
+            .map(|d| (d.from.index(), d.to.index(), d.omega))
+            .collect();
+        assert!(flows.contains(&(1, 0, 1)), "{flows:?}");
+        assert!(flows.contains(&(0, 1, 0)), "{flows:?}");
+        assert_eq!(unrolled.validate(), Ok(()));
+    }
+
+    #[test]
+    fn unroll_by_one_is_identity_shaped() {
+        let body = one_op_recurrence();
+        let unrolled = unroll(&body, 1);
+        assert_eq!(unrolled.num_ops(), body.num_ops());
+        assert_eq!(
+            unrolled.deps().iter().filter(|d| d.is_register_flow()).count(),
+            body.deps().iter().filter(|d| d.is_register_flow()).count()
+        );
+    }
+
+    #[test]
+    fn deep_distances_split_across_copies() {
+        // x(i) = x(i-3) + c, unrolled by 2: copy 0 of iter I is source
+        // iteration 2I, reading source 2I-3 = copy 1 of iter I-2.
+        let mut b = LoopBuilder::new("deep");
+        let c = b.invariant(ValueType::Float, "c");
+        let x = b.named_value(ValueType::Float, "x");
+        b.op_with_omegas(OpKind::FAdd, &[(x, 3), (c, 0)], Some(x), None);
+        let body = b.finish_with_auto_flow();
+        let unrolled = unroll(&body, 2);
+        let flows: Vec<(usize, usize, u32)> = unrolled
+            .deps()
+            .iter()
+            .filter(|d| d.is_register_flow())
+            .map(|d| (d.from.index(), d.to.index(), d.omega))
+            .collect();
+        assert!(flows.contains(&(1, 0, 2)), "{flows:?}");
+        assert!(flows.contains(&(0, 1, 1)), "{flows:?}");
+    }
+
+    #[test]
+    fn memory_arcs_are_replicated() {
+        let mut b = LoopBuilder::new("mem");
+        let a = b.invariant(ValueType::Addr, "a");
+        let x = b.new_value(ValueType::Float);
+        let ld = b.op(OpKind::Load, &[a], Some(x));
+        let st = b.op(OpKind::Store, &[a, x], None);
+        b.dep(ld, st, DepKind::Anti, DepVia::Memory, 2);
+        let body = b.finish_with_auto_flow();
+        let unrolled = unroll(&body, 2);
+        let mems: Vec<u32> = unrolled
+            .deps()
+            .iter()
+            .filter(|d| d.via == DepVia::Memory)
+            .map(|d| d.omega)
+            .collect();
+        assert_eq!(mems.len(), 2, "one replica per copy");
+        assert_eq!(unrolled.validate(), Ok(()));
+    }
+
+    #[test]
+    fn brtop_is_emitted_once() {
+        let mut b = LoopBuilder::new("br");
+        let a = b.invariant(ValueType::Addr, "a");
+        let x = b.new_value(ValueType::Float);
+        b.op(OpKind::Load, &[a], Some(x));
+        b.op(OpKind::Brtop, &[], None);
+        let body = b.finish_with_auto_flow();
+        let unrolled = unroll(&body, 3);
+        assert_eq!(
+            unrolled.ops().iter().filter(|o| o.kind == OpKind::Brtop).count(),
+            1
+        );
+        assert_eq!(unrolled.num_ops(), 4);
+    }
+}

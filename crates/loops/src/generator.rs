@@ -1,0 +1,392 @@
+//! Seeded synthetic loop generation, calibrated to the paper's corpus.
+//!
+//! The generator emits DSL *source text* (so every loop exercises the
+//! whole front end) with marginals steered toward Table 2 and Table 3:
+//!
+//! * operation counts: median ≈ 15, 90th percentile ≈ 48, occasional
+//!   hundreds (size classes with a long tail);
+//! * roughly a quarter of loops carry if-converted conditionals;
+//! * a third carry non-trivial recurrences (negative-offset reads of
+//!   stored arrays, multiplicative reductions);
+//! * divisions and square roots are rare but present (Table 2 shows a
+//!   median of 0 and a max of 28 divider operations).
+//!
+//! Generated programs are well formed by construction: one type per loop
+//! (real or int), subscripts stay within `i ± 4`, scalars are read only
+//! if they are parameters or assigned somewhere in the loop, `%` appears
+//! only in integer loops and `sqrt` only in real ones, and at most six
+//! conditionals keep the §6 basic-block screen (≤ 30) satisfied.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::NamedLoop;
+
+/// A corpus *profile*: the per-loop probabilities that shape the
+/// synthesized population. [`Profile::calibrated`] matches the paper's
+/// Table 2/Table 3 marginals; the other constructors are for sensitivity
+/// experiments.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Profile {
+    /// Percent of loops using integer arithmetic throughout.
+    pub int_pct: u32,
+    /// Percent of loops in the conditional style (frequent `if`s, no
+    /// recurrence-makers — keeping the paper's Conditional class mostly
+    /// disjoint from Recurrence).
+    pub cond_style_pct: u32,
+    /// Per-leaf percent chance that an array read uses a negative offset
+    /// (the recurrence-maker once the array is stored).
+    pub negative_read_pct: u32,
+    /// Per-statement percent chance of a scalar reduction target.
+    pub reduction_pct: u32,
+    /// Per-binary-node permille chance of division (real loops).
+    pub division_permille: u32,
+}
+
+impl Profile {
+    /// The calibration used by the paper-reproduction corpus.
+    pub fn calibrated() -> Self {
+        Self {
+            int_pct: 7,
+            cond_style_pct: 24,
+            negative_read_pct: 15,
+            reduction_pct: 13,
+            division_permille: 20,
+        }
+    }
+
+    /// Recurrence-heavy: every other leaf reaches back across iterations.
+    pub fn recurrence_heavy() -> Self {
+        Self { negative_read_pct: 45, reduction_pct: 30, ..Self::calibrated() }
+    }
+
+    /// Straight-line-heavy: barely any cross-iteration flow.
+    pub fn streaming() -> Self {
+        Self { negative_read_pct: 2, reduction_pct: 2, cond_style_pct: 10, ..Self::calibrated() }
+    }
+
+    /// Divider-heavy: stresses the non-pipelined unit and the §4.3
+    /// priority halving.
+    pub fn division_heavy() -> Self {
+        Self { division_permille: 120, ..Self::calibrated() }
+    }
+}
+
+impl Default for Profile {
+    fn default() -> Self {
+        Self::calibrated()
+    }
+}
+
+/// Generator parameters.
+#[derive(Clone, Debug)]
+pub struct GeneratorConfig {
+    /// Master seed: the same seed reproduces the same loops.
+    pub seed: u64,
+    /// Number of loops to generate.
+    pub count: usize,
+}
+
+/// Generates `config.count` loops deterministically with the calibrated
+/// profile.
+pub fn generate(config: &GeneratorConfig) -> Vec<NamedLoop> {
+    generate_with_profile(config, &Profile::calibrated())
+}
+
+/// Generates loops with an explicit [`Profile`].
+pub fn generate_with_profile(config: &GeneratorConfig, profile: &Profile) -> Vec<NamedLoop> {
+    (0..config.count)
+        .map(|index| {
+            let mut rng = SmallRng::seed_from_u64(
+                config.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(index as u64),
+            );
+            gen_loop(&mut rng, index, profile)
+        })
+        .collect()
+}
+
+struct Gen {
+    profile: Profile,
+    int_loop: bool,
+    /// Conditional-style loops favour if-conversion and avoid the
+    /// recurrence-makers, mirroring the paper's mostly-disjoint
+    /// Conditional and Recurrence classes (Table 3).
+    cond_style: bool,
+    arrays: Vec<String>,
+    /// Arrays this loop stores, and at which offset (at most one store
+    /// per array, so load/store elimination stays in play).
+    stored: Vec<(usize, i64)>,
+    params: Vec<String>,
+    scalars: Vec<String>,
+    ifs_left: u32,
+    out: String,
+    indent: usize,
+}
+
+fn gen_loop(rng: &mut SmallRng, index: usize, profile: &Profile) -> NamedLoop {
+    let int_loop = profile.int_pct > 0 && rng.gen_ratio(profile.int_pct, 100);
+    let cond_style = profile.cond_style_pct > 0 && rng.gen_ratio(profile.cond_style_pct, 100);
+    let n_arrays = 1 + weighted(rng, &[35, 30, 18, 10, 7]); // 1..=5
+    let n_params = weighted(rng, &[30, 35, 22, 13]); // 0..=3
+    let n_scalars = weighted(rng, &[70, 22, 8]); // 0..=2
+    // Statement-count size classes with a long tail (Table 2's op counts).
+    let n_stmts = match weighted(rng, &[52, 30, 13, 5]) {
+        0 => rng.gen_range(1..=2),
+        1 => rng.gen_range(3..=6),
+        2 => rng.gen_range(7..=12),
+        _ => rng.gen_range(13..=28),
+    };
+
+    let name = format!("gen_{index:04}");
+    let mut g = Gen {
+        profile: profile.clone(),
+        int_loop,
+        cond_style,
+        arrays: (0..n_arrays).map(|a| format!("a{a}")).collect(),
+        stored: Vec::new(),
+        params: (0..n_params).map(|p| format!("p{p}")).collect(),
+        scalars: (0..n_scalars).map(|s| format!("s{s}")).collect(),
+        ifs_left: 6,
+        out: String::new(),
+        indent: 1,
+    };
+    let ty = if int_loop { "int" } else { "real" };
+    g.out.push_str(&format!("loop {name}(i = 4..n) {{\n"));
+    let array_list: Vec<String> = g.arrays.iter().map(|a| format!("{a}[]")).collect();
+    g.out.push_str(&format!("    {ty} {};\n", array_list.join(", ")));
+    if !g.params.is_empty() {
+        g.out.push_str(&format!("    param {ty} {};\n", g.params.join(", ")));
+    }
+    if !g.scalars.is_empty() {
+        g.out.push_str(&format!("    {ty} {};\n", g.scalars.join(", ")));
+    }
+
+    // Guarantee at least one array store so the loop has an effect.
+    let scalars = g.scalars.clone();
+    for stmt in 0..n_stmts {
+        let force_array = stmt == 0;
+        gen_stmt(&mut g, rng, force_array, &scalars);
+    }
+    g.out.push_str("}\n");
+    NamedLoop { name, source: g.out }
+}
+
+/// Picks an index with the given weights.
+fn weighted(rng: &mut SmallRng, weights: &[u32]) -> usize {
+    let total: u32 = weights.iter().sum();
+    let mut roll = rng.gen_range(0..total);
+    for (i, &w) in weights.iter().enumerate() {
+        if roll < w {
+            return i;
+        }
+        roll -= w;
+    }
+    weights.len() - 1
+}
+
+fn gen_stmt(g: &mut Gen, rng: &mut SmallRng, force_array: bool, scalars: &[String]) {
+    // Occasionally produce a conditional wrapping one or two assignments.
+    let if_pct = if g.cond_style { 40 } else { 4 };
+    if !force_array && g.ifs_left > 0 && rng.gen_ratio(if_pct, 100) {
+        g.ifs_left -= 1;
+        let lhs = gen_expr(g, rng, 1);
+        let rel = ["<", "<=", ">", ">=", "==", "!="][weighted(rng, &[28, 12, 28, 12, 10, 10])];
+        let rhs = gen_expr(g, rng, 1);
+        let pad = "    ".repeat(g.indent);
+        g.out.push_str(&format!("{pad}if ({lhs} {rel} {rhs}) {{\n"));
+        g.indent += 1;
+        gen_assign(g, rng, false, scalars);
+        if rng.gen_bool(0.5) {
+            gen_assign(g, rng, false, scalars);
+        }
+        g.indent -= 1;
+        let pad = "    ".repeat(g.indent);
+        if rng.gen_bool(0.55) {
+            g.out.push_str(&format!("{pad}}} else {{\n"));
+            g.indent += 1;
+            gen_assign(g, rng, false, scalars);
+            g.indent -= 1;
+            let pad = "    ".repeat(g.indent);
+            g.out.push_str(&format!("{pad}}}\n"));
+        } else {
+            g.out.push_str(&format!("{pad}}}\n"));
+        }
+        return;
+    }
+    gen_assign(g, rng, force_array, scalars);
+}
+
+fn gen_assign(g: &mut Gen, rng: &mut SmallRng, force_array: bool, scalars: &[String]) {
+    let pad = "    ".repeat(g.indent);
+    // Reductions create the recurrences Table 3 classifies on;
+    // conditional-style loops avoid them so the classes stay distinct.
+    let scalar_target =
+        !force_array
+        && !g.cond_style
+        && !scalars.is_empty()
+        && g.profile.reduction_pct > 0
+        && rng.gen_ratio(g.profile.reduction_pct, 100);
+    if scalar_target {
+        let s = scalars[rng.gen_range(0..scalars.len())].clone();
+        let expr = if rng.gen_bool(0.45) {
+            // A self-referential reduction: s = s <op> e or s = s*e + e.
+            let e = gen_expr(g, rng, 2);
+            match weighted(rng, &[40, 20, 40]) {
+                0 => format!("{s} + {e}"),
+                1 => format!("{s} - ({e})"),
+                _ => {
+                    let f = gen_leaf(g, rng);
+                    format!("{s} * {f} + {e}")
+                }
+            }
+        } else {
+            gen_expr(g, rng, 2)
+        };
+        g.out.push_str(&format!("{pad}{s} = {expr};\n"));
+        return;
+    }
+    // Array store: reuse an unstored array if possible, keeping one store
+    // per array.
+    let unstored: Vec<usize> = (0..g.arrays.len())
+        .filter(|a| !g.stored.iter().any(|&(b, _)| b == *a))
+        .collect();
+    let (array, offset) = if unstored.is_empty() {
+        // All arrays stored: overwrite the same (array, offset) pair so we
+        // never create a second static store to one array.
+        g.stored[rng.gen_range(0..g.stored.len())]
+    } else {
+        let a = unstored[rng.gen_range(0..unstored.len())];
+        let off = i64::from(rng.gen_ratio(8, 100)); // mostly x[i], some x[i+1]
+        g.stored.push((a, off));
+        (a, off)
+    };
+    let depth = 2 + u32::from(rng.gen_ratio(30, 100));
+    let expr = gen_expr(g, rng, depth);
+    let target = subscript(&g.arrays[array], offset);
+    g.out.push_str(&format!("{pad}{target} = {expr};\n"));
+}
+
+fn subscript(array: &str, offset: i64) -> String {
+    match offset {
+        0 => format!("{array}[i]"),
+        o if o > 0 => format!("{array}[i+{o}]"),
+        o => format!("{array}[i-{}]", -o),
+    }
+}
+
+fn gen_expr(g: &mut Gen, rng: &mut SmallRng, depth: u32) -> String {
+    if depth == 0 || rng.gen_ratio(30, 100) {
+        return gen_leaf(g, rng);
+    }
+    let lhs = gen_expr(g, rng, depth - 1);
+    let rhs = gen_expr(g, rng, depth - 1);
+    if !g.int_loop && rng.gen_ratio((g.profile.division_permille / 2).max(1), 1000) {
+        return format!("sqrt(({lhs}) * ({lhs}) + 1.0)");
+    }
+    if rng.gen_ratio(2, 100) {
+        return match weighted(rng, &[40, 40, 20]) {
+            0 => format!("min({lhs}, {rhs})"),
+            1 => format!("max({lhs}, {rhs})"),
+            _ => format!("abs({lhs})"),
+        };
+    }
+    let div = g.profile.division_permille.max(1);
+    let op = if g.int_loop {
+        ["+", "-", "*", "/", "%"][weighted(rng, &[340, 260, 320, div, div])]
+    } else {
+        ["+", "-", "*", "/"][weighted(rng, &[370, 270, 340, div])]
+    };
+    format!("({lhs} {op} {rhs})")
+}
+
+fn gen_leaf(g: &mut Gen, rng: &mut SmallRng) -> String {
+    // Leaves: array reads (negative offsets of stored arrays create the
+    // cross-iteration register flows of §2.3), params, scalars, literals.
+    match weighted(rng, &[55, 15, 12, 18]) {
+        0 => {
+            let a = rng.gen_range(0..g.arrays.len());
+            // Bias toward small negative offsets: they are the
+            // recurrence-makers once the array is stored.
+            let off = if g.cond_style {
+                // Forward-only reads keep conditional loops free of
+                // memory recurrences.
+                *[0, 0, 0, 0, 0, 1, 1, 2].get(rng.gen_range(0..8)).expect("in range")
+            } else if g.profile.negative_read_pct > 0
+                && rng.gen_ratio(g.profile.negative_read_pct, 100)
+            {
+                *[-3, -2, -1, -1].get(rng.gen_range(0..4)).expect("in range")
+            } else {
+                *[0, 0, 0, 0, 0, 0, 1, 2].get(rng.gen_range(0..8)).expect("in range")
+            };
+            subscript(&g.arrays[a], off)
+        }
+        1 if !g.params.is_empty() => g.params[rng.gen_range(0..g.params.len())].clone(),
+        2 if !g.scalars.is_empty() => g.scalars[rng.gen_range(0..g.scalars.len())].clone(),
+        _ => {
+            if g.int_loop {
+                format!("{}", rng.gen_range(1..7))
+            } else {
+                format!("{:.2}", (rng.gen_range(1..32) as f64) * 0.125)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsms_front::compile;
+
+    #[test]
+    fn generated_loops_always_compile() {
+        let loops = generate(&GeneratorConfig { seed: 11, count: 200 });
+        assert_eq!(loops.len(), 200);
+        for l in &loops {
+            let unit = compile(&l.source)
+                .unwrap_or_else(|e| panic!("{}: {e}\n{}", l.name, l.source));
+            unit.loops[0].body.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(&GeneratorConfig { seed: 3, count: 10 });
+        let b = generate(&GeneratorConfig { seed: 3, count: 10 });
+        assert_eq!(a, b);
+        let c = generate(&GeneratorConfig { seed: 4, count: 10 });
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn size_distribution_has_median_and_tail() {
+        let loops = generate(&GeneratorConfig { seed: 9, count: 300 });
+        let mut ops: Vec<usize> = loops
+            .iter()
+            .map(|l| compile(&l.source).unwrap().loops[0].body.num_ops())
+            .collect();
+        ops.sort_unstable();
+        let median = ops[ops.len() / 2];
+        let p90 = ops[ops.len() * 9 / 10];
+        let max = *ops.last().unwrap();
+        assert!((6..=40).contains(&median), "median ops = {median}");
+        assert!(p90 >= 20, "p90 = {p90}");
+        assert!(max >= 100, "max = {max}");
+    }
+
+    #[test]
+    fn some_loops_have_divisions_and_conditionals() {
+        let loops = generate(&GeneratorConfig { seed: 21, count: 200 });
+        let mut with_div = 0;
+        let mut with_cond = 0;
+        let mut with_rec = 0;
+        for l in &loops {
+            let body = compile(&l.source).unwrap().loops.remove(0).body;
+            with_div += usize::from(body.num_divider_ops() > 0);
+            with_cond += usize::from(body.has_conditional());
+            with_rec += usize::from(body.has_recurrence());
+        }
+        assert!(with_div >= 10, "loops with divider ops: {with_div}");
+        assert!(with_cond >= 20, "loops with conditionals: {with_cond}");
+        assert!(with_rec >= 30, "loops with recurrences: {with_rec}");
+    }
+}

@@ -1,0 +1,125 @@
+//! Pre-scheduling functional-unit assignment.
+
+use lsms_ir::LoopBody;
+
+use crate::{ClassId, Machine};
+
+/// The unit instance an operation was bound to before scheduling.
+///
+/// The paper's compiler "assigns operations to functional units before
+/// scheduling commences, thereby restricting an operation to one issue slot
+/// per cycle" (§4.3). Slack is therefore an upper bound on *issue cycles*,
+/// not issue slots.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct UnitAssignment {
+    /// The functional-unit class executing the operation.
+    pub class: ClassId,
+    /// Which unit within the class (0-based, `< class.count`).
+    pub instance: u32,
+}
+
+/// Binds every operation to a unit instance, round-robin within each
+/// class in ASAP order — operations that become ready at the same time
+/// land on different instances of the class, which keeps tight recurrence
+/// circuits schedulable at MII far more often than program-order
+/// round-robin does.
+///
+/// ASAP here is the longest intra-iteration dependence path (ω = 0 arcs
+/// only), which needs no candidate II.
+///
+/// Returns one assignment per operation, indexable by `OpId::index`.
+pub fn assign_units(machine: &Machine, body: &LoopBody) -> Vec<UnitAssignment> {
+    let n = body.num_ops();
+    // Longest path over the acyclic omega-0 subgraph, iteratively (the
+    // subgraph is a DAG for any schedulable loop; a cycle would make the
+    // loop unschedulable and is caught later, so cap the sweeps).
+    let mut asap = vec![0i64; n];
+    for _ in 0..n.max(1) {
+        let mut changed = false;
+        for dep in body.deps() {
+            if dep.omega != 0 {
+                continue;
+            }
+            let lat = i64::from(machine.latency(body.op(dep.from).kind));
+            let t = asap[dep.from.index()] + lat;
+            if t > asap[dep.to.index()] {
+                asap[dep.to.index()] = t;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| (asap[i], i));
+    let mut next = vec![0u32; machine.classes().len()];
+    let mut assignments = vec![UnitAssignment { class: ClassId::default(), instance: 0 }; n];
+    for i in order {
+        let class = machine.desc(body.ops()[i].kind).class;
+        let count = machine.classes()[class.index()].count;
+        let instance = next[class.index()] % count;
+        next[class.index()] += 1;
+        assignments[i] = UnitAssignment { class, instance };
+    }
+    assignments
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::huff_machine;
+    use lsms_ir::{LoopBuilder, OpKind, ValueType};
+
+    #[test]
+    fn round_robin_across_memory_ports() {
+        let m = huff_machine();
+        let mut b = LoopBuilder::new("t");
+        let a = b.invariant(ValueType::Addr, "a");
+        for _ in 0..4 {
+            let r = b.new_value(ValueType::Float);
+            b.op(OpKind::Load, &[a], Some(r));
+        }
+        let body = b.finish();
+        let asg = assign_units(&m, &body);
+        assert_eq!(
+            asg.iter().map(|a| a.instance).collect::<Vec<_>>(),
+            vec![0, 1, 0, 1]
+        );
+        assert!(asg.iter().all(|a| a.class == m.desc(OpKind::Load).class));
+    }
+
+    #[test]
+    fn single_unit_classes_always_get_instance_zero() {
+        let m = huff_machine();
+        let mut b = LoopBuilder::new("t");
+        let f = b.invariant(ValueType::Float, "f");
+        for _ in 0..3 {
+            let r = b.new_value(ValueType::Float);
+            b.op(OpKind::FAdd, &[f, f], Some(r));
+        }
+        let body = b.finish();
+        let asg = assign_units(&m, &body);
+        assert!(asg.iter().all(|a| a.instance == 0));
+    }
+
+    #[test]
+    fn classes_count_independently() {
+        let m = huff_machine();
+        let mut b = LoopBuilder::new("t");
+        let a = b.invariant(ValueType::Addr, "a");
+        let f = b.invariant(ValueType::Float, "f");
+        let r1 = b.new_value(ValueType::Float);
+        b.op(OpKind::Load, &[a], Some(r1)); // mem instance 0
+        let r2 = b.new_value(ValueType::Addr);
+        b.op(OpKind::AddrAdd, &[a, a], Some(r2)); // addr instance 0
+        let r3 = b.new_value(ValueType::Float);
+        b.op(OpKind::Load, &[a], Some(r3)); // mem instance 1
+        let _ = f;
+        let body = b.finish();
+        let asg = assign_units(&m, &body);
+        assert_eq!(asg[0].instance, 0);
+        assert_eq!(asg[1].instance, 0);
+        assert_eq!(asg[2].instance, 1);
+    }
+}

@@ -1,0 +1,33 @@
+//! Target-machine model for lifetime-sensitive modulo scheduling.
+//!
+//! The hypothetical target (§2 of the paper) is a VLIW processor similar to
+//! Cydrome's Cydra 5: six functional-unit classes with the latencies of
+//! Table 1, all fully pipelined except the divider, predicated execution,
+//! and rotating register files. This crate models:
+//!
+//! * [`Machine`] — functional-unit classes, per-opcode latencies and
+//!   reservation patterns, with [`huff_machine`] reproducing Table 1 and a
+//!   few alternates for the paper's §7 robustness experiment;
+//! * pre-scheduling functional-unit assignment ([`assign_units`]) — the
+//!   compiler binds each operation to a specific unit instance before
+//!   scheduling, restricting it to one issue slot per cycle (§4.3);
+//! * the modulo resource table ([`Mrt`]) — the `II`-entry table enforcing
+//!   the modulo constraint: no resource may be used more than once at the
+//!   same time modulo `II`;
+//! * the resource-contention lower bound [`res_mii`] (§3.1);
+//! * dependence-arc latency resolution ([`dep_latency`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod assign;
+mod machine;
+mod mrt;
+mod resource;
+
+pub use assign::{assign_units, UnitAssignment};
+pub use machine::{
+    alternate_machines, huff_machine, short_latency_machine, wide_machine, Machine, MachineBuilder,
+};
+pub use mrt::Mrt;
+pub use resource::{critical_classes, dep_latency, res_mii, ClassId, OpDesc, ResourceClass};

@@ -1,0 +1,222 @@
+//! The modulo resource table (MRT).
+
+use lsms_ir::OpId;
+
+use crate::{Machine, OpDesc};
+
+/// The `II`-entry table that enforces the modulo constraint: *no resource
+/// may be used more than once at the same time modulo the initiation
+/// interval* (§1).
+///
+/// Placing an operation at cycle `t` commits its unit instance at every
+/// cycle `t + r (mod II)` for each reservation offset `r` — equivalently at
+/// `t + r + k·II` for all `k`, which is why an operation that does not fit
+/// at one cycle might not fit at *any* later cycle (§4).
+#[derive(Clone, Debug)]
+pub struct Mrt {
+    ii: u32,
+    /// `slots[class][instance][cycle % ii]` = occupying op, if any.
+    slots: Vec<Vec<Vec<Option<OpId>>>>,
+}
+
+impl Mrt {
+    /// Creates an empty table for the given machine and candidate II.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ii` is zero.
+    pub fn new(machine: &Machine, ii: u32) -> Self {
+        assert!(ii > 0, "II must be positive");
+        let slots = machine
+            .classes()
+            .iter()
+            .map(|c| vec![vec![None; ii as usize]; c.count as usize])
+            .collect();
+        Self { ii, slots }
+    }
+
+    /// The initiation interval this table enforces.
+    pub fn ii(&self) -> u32 {
+        self.ii
+    }
+
+    fn cell(&self, desc: &OpDesc, instance: u32, time: i64, offset: u32) -> (usize, usize, usize) {
+        debug_assert!(time >= 0, "operations issue at non-negative cycles");
+        let cycle = (time + i64::from(offset)).rem_euclid(i64::from(self.ii)) as usize;
+        (desc.class.index(), instance as usize, cycle)
+    }
+
+    /// The distinct operations (other than `this`) whose reservations
+    /// collide with placing `this` at `time` on `instance`.
+    pub fn conflicts(&self, this: OpId, desc: &OpDesc, instance: u32, time: i64) -> Vec<OpId> {
+        let mut out = Vec::new();
+        for &r in &desc.reservation {
+            let (c, u, cyc) = self.cell(desc, instance, time, r);
+            if let Some(occ) = self.slots[c][u][cyc] {
+                if occ != this && !out.contains(&occ) {
+                    out.push(occ);
+                }
+            }
+        }
+        out
+    }
+
+    /// True if `this` can be placed at `time` without displacing anyone.
+    ///
+    /// A reservation pattern longer than II collides with *itself* when two
+    /// offsets coincide modulo II; self-collisions are permitted (the same
+    /// operation occupies the slot), matching the behaviour of a
+    /// non-pipelined unit that is simply busy.
+    pub fn fits(&self, this: OpId, desc: &OpDesc, instance: u32, time: i64) -> bool {
+        self.conflicts(this, desc, instance, time).is_empty()
+    }
+
+    /// Records `this` at `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any needed slot is held by a different operation; call
+    /// [`fits`](Self::fits) or eject conflicting operations first.
+    pub fn place(&mut self, this: OpId, desc: &OpDesc, instance: u32, time: i64) {
+        for (c, u, cyc) in self.cells(desc, instance, time) {
+            let slot = &mut self.slots[c][u][cyc];
+            assert!(
+                slot.is_none() || *slot == Some(this),
+                "MRT slot ({c},{u},{cyc}) already held by {:?}",
+                slot.unwrap()
+            );
+            *slot = Some(this);
+        }
+    }
+
+    /// The distinct cells the pattern touches; offsets of a pattern longer
+    /// than II can coincide modulo II and must be visited once.
+    fn cells(&self, desc: &OpDesc, instance: u32, time: i64) -> Vec<(usize, usize, usize)> {
+        let mut cells: Vec<_> = desc
+            .reservation
+            .iter()
+            .map(|&r| self.cell(desc, instance, time, r))
+            .collect();
+        cells.sort_unstable();
+        cells.dedup();
+        cells
+    }
+
+    /// Releases the slots `this` held at `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a slot is not actually held by `this` — a sign the caller's
+    /// bookkeeping of placement times has drifted from the table.
+    pub fn remove(&mut self, this: OpId, desc: &OpDesc, instance: u32, time: i64) {
+        for (c, u, cyc) in self.cells(desc, instance, time) {
+            let slot = &mut self.slots[c][u][cyc];
+            assert_eq!(*slot, Some(this), "MRT slot ({c},{u},{cyc}) not held by {this}");
+            *slot = None;
+        }
+    }
+
+    /// Total number of occupied slots (distinct (class, instance, cycle)
+    /// cells), for diagnostics.
+    pub fn occupancy(&self) -> usize {
+        self.slots
+            .iter()
+            .flatten()
+            .flatten()
+            .filter(|s| s.is_some())
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::huff_machine;
+    use lsms_ir::OpKind;
+
+    #[test]
+    fn same_slot_modulo_ii_conflicts() {
+        let m = huff_machine();
+        let mut mrt = Mrt::new(&m, 4);
+        let desc = m.desc(OpKind::FAdd).clone();
+        let a = OpId::new(0);
+        let b = OpId::new(1);
+        mrt.place(a, &desc, 0, 2);
+        assert!(!mrt.fits(b, &desc, 0, 6), "2 and 6 coincide mod 4");
+        assert!(mrt.fits(b, &desc, 0, 3));
+        assert_eq!(mrt.conflicts(b, &desc, 0, 6), vec![a]);
+    }
+
+    #[test]
+    fn distinct_instances_do_not_conflict() {
+        let m = huff_machine();
+        let mut mrt = Mrt::new(&m, 2);
+        let desc = m.desc(OpKind::Load).clone();
+        mrt.place(OpId::new(0), &desc, 0, 0);
+        assert!(mrt.fits(OpId::new(1), &desc, 1, 0));
+        assert!(!mrt.fits(OpId::new(1), &desc, 0, 0));
+    }
+
+    #[test]
+    fn unpipelined_pattern_blocks_whole_window() {
+        let m = huff_machine();
+        let mut mrt = Mrt::new(&m, 40);
+        let div = m.desc(OpKind::FDiv).clone();
+        let add_like_div = m.desc(OpKind::IntDiv).clone();
+        mrt.place(OpId::new(0), &div, 0, 0);
+        // Any divider issue in cycles 0..17 collides.
+        for t in 0..17 {
+            assert!(!mrt.fits(OpId::new(1), &add_like_div, 0, t), "cycle {t}");
+        }
+        // At cycle 17 the second divide occupies 17..34 — disjoint mod 40.
+        assert!(mrt.fits(OpId::new(1), &add_like_div, 0, 17));
+        // A second divide can never coexist below II = 34: at II = 20 every
+        // issue cycle wraps into the first divide's window.
+        let tight = Mrt::new(&m, 20);
+        let mut tight2 = tight.clone();
+        tight2.place(OpId::new(0), &div, 0, 0);
+        assert!((0..20).all(|t| !tight2.fits(OpId::new(1), &add_like_div, 0, t)));
+    }
+
+    #[test]
+    fn self_collision_of_long_pattern_is_allowed() {
+        let m = huff_machine();
+        let mut mrt = Mrt::new(&m, 17);
+        let sqrt = m.desc(OpKind::FSqrt).clone(); // 21 offsets > II = 17
+        let op = OpId::new(0);
+        assert!(mrt.fits(op, &sqrt, 0, 0));
+        mrt.place(op, &sqrt, 0, 0);
+        // All 17 cycles of the divider are busy; occupancy counts cells.
+        assert_eq!(mrt.occupancy(), 17);
+        mrt.remove(op, &sqrt, 0, 0);
+        assert_eq!(mrt.occupancy(), 0);
+    }
+
+    #[test]
+    fn place_then_remove_round_trips() {
+        let m = huff_machine();
+        let mut mrt = Mrt::new(&m, 3);
+        let desc = m.desc(OpKind::FMul).clone();
+        let op = OpId::new(5);
+        mrt.place(op, &desc, 0, 7);
+        assert_eq!(mrt.occupancy(), 1);
+        mrt.remove(op, &desc, 0, 7);
+        assert!(mrt.fits(OpId::new(6), &desc, 0, 7));
+    }
+
+    #[test]
+    #[should_panic(expected = "already held")]
+    fn double_place_panics() {
+        let m = huff_machine();
+        let mut mrt = Mrt::new(&m, 2);
+        let desc = m.desc(OpKind::FAdd).clone();
+        mrt.place(OpId::new(0), &desc, 0, 0);
+        mrt.place(OpId::new(1), &desc, 0, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "II must be positive")]
+    fn zero_ii_panics() {
+        let _ = Mrt::new(&huff_machine(), 0);
+    }
+}

@@ -1,0 +1,212 @@
+//! Functional-unit classes, reservation patterns, and resource bounds.
+
+use std::fmt;
+
+use lsms_ir::{Dep, DepKind, LoopBody};
+
+use crate::Machine;
+
+/// Index of a functional-unit class within a [`Machine`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ClassId(pub(crate) u16);
+
+impl ClassId {
+    /// Raw index into [`Machine::classes`].
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ClassId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fu{}", self.0)
+    }
+}
+
+/// A class of identical functional units (a row of Table 1).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ResourceClass {
+    /// Display name, e.g. `"Memory Port"`.
+    pub name: String,
+    /// Number of identical units in the class.
+    pub count: u32,
+}
+
+/// How an opcode uses the machine: which unit class, its result latency,
+/// and the cycles (relative to issue) during which it occupies the unit.
+///
+/// Fully pipelined operations reserve their unit only at the issue cycle
+/// (`reservation == [0]`); the non-pipelined divider reserves its unit for
+/// its whole latency.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OpDesc {
+    /// The functional-unit class that executes the opcode.
+    pub class: ClassId,
+    /// Cycles from issue until the result may be consumed.
+    pub latency: u32,
+    /// Offsets from the issue cycle at which the unit is busy.
+    pub reservation: Vec<u32>,
+}
+
+impl OpDesc {
+    /// A fully pipelined operation: busy only at issue.
+    pub fn pipelined(class: ClassId, latency: u32) -> Self {
+        Self { class, latency, reservation: vec![0] }
+    }
+
+    /// A non-pipelined operation: busy for `latency` consecutive cycles.
+    pub fn unpipelined(class: ClassId, latency: u32) -> Self {
+        Self { class, latency, reservation: (0..latency).collect() }
+    }
+}
+
+/// The latency a dependence arc imposes: the sink may issue no earlier than
+/// `source issue + dep_latency` (shifted by `ω · II`).
+///
+/// * **Flow** arcs carry the producing operation's result latency.
+/// * **Anti** arcs have latency 0 — registers and memory are read at issue,
+///   so the overwriting operation may issue in the same cycle.
+/// * **Output** arcs have latency 1, keeping same-location writes ordered.
+///
+/// Control arcs (scheduling-only) behave like anti arcs.
+pub fn dep_latency(machine: &Machine, body: &LoopBody, dep: &Dep) -> i64 {
+    match dep.kind {
+        DepKind::Flow => i64::from(machine.desc(body.op(dep.from).kind).latency),
+        DepKind::Anti => 0,
+        DepKind::Output => 1,
+    }
+}
+
+/// The resource-contention lower bound on II (§3.1).
+///
+/// For each unit class, one iteration requires `N` busy-cycles (summing
+/// every assigned operation's reservation-pattern length) while the machine
+/// supplies `R` units per cycle, so `II ≥ ⌈N / R⌉`; `res_mii` is the maximum
+/// over classes, and at least 1.
+pub fn res_mii(machine: &Machine, body: &LoopBody) -> u32 {
+    let mut busy = vec![0u64; machine.classes().len()];
+    for op in body.ops() {
+        let desc = machine.desc(op.kind);
+        busy[desc.class.index()] += desc.reservation.len() as u64;
+    }
+    machine
+        .classes()
+        .iter()
+        .zip(&busy)
+        .map(|(class, &n)| n.div_ceil(u64::from(class.count)) as u32)
+        .max()
+        .unwrap_or(1)
+        .max(1)
+}
+
+/// Marks the *critical* unit classes at a candidate II (§4.3): a class is
+/// critical when one iteration keeps each of its units busy for at least
+/// `0.90 · II` cycles. Operations assigned to critical classes have their
+/// slack halved by the dynamic-priority scheme.
+pub fn critical_classes(machine: &Machine, body: &LoopBody, ii: u32) -> Vec<bool> {
+    let mut busy = vec![0u64; machine.classes().len()];
+    for op in body.ops() {
+        let desc = machine.desc(op.kind);
+        busy[desc.class.index()] += desc.reservation.len() as u64;
+    }
+    machine
+        .classes()
+        .iter()
+        .zip(&busy)
+        // busy / count >= 0.90 * II  <=>  10 * busy >= 9 * II * count
+        .map(|(class, &n)| 10 * n >= 9 * u64::from(ii) * u64::from(class.count))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::huff_machine;
+    use lsms_ir::{DepVia, LoopBuilder, OpId, OpKind, ValueType};
+
+    fn body_with(kinds: &[OpKind]) -> LoopBody {
+        let mut b = LoopBuilder::new("t");
+        let a = b.invariant(ValueType::Addr, "a");
+        let f = b.invariant(ValueType::Float, "f");
+        for &k in kinds {
+            match k {
+                OpKind::Load => {
+                    let r = b.new_value(ValueType::Float);
+                    b.op(k, &[a], Some(r));
+                }
+                OpKind::Store => {
+                    b.op(k, &[a, f], None);
+                }
+                OpKind::FSqrt => {
+                    let r = b.new_value(ValueType::Float);
+                    b.op(k, &[f], Some(r));
+                }
+                _ => {
+                    let r = b.new_value(ValueType::Float);
+                    b.op(k, &[f, f], Some(r));
+                }
+            }
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn res_mii_of_empty_body_is_one() {
+        let m = huff_machine();
+        assert_eq!(res_mii(&m, &body_with(&[])), 1);
+    }
+
+    #[test]
+    fn res_mii_counts_memory_ports() {
+        let m = huff_machine();
+        // Five memory operations over two ports: ceil(5/2) = 3.
+        let body = body_with(&[OpKind::Load, OpKind::Load, OpKind::Load, OpKind::Store, OpKind::Store]);
+        assert_eq!(res_mii(&m, &body), 3);
+    }
+
+    #[test]
+    fn res_mii_reflects_unpipelined_divider() {
+        let m = huff_machine();
+        // One divide occupies the divider for 17 cycles.
+        let body = body_with(&[OpKind::FDiv]);
+        assert_eq!(res_mii(&m, &body), 17);
+        let body = body_with(&[OpKind::FSqrt, OpKind::FDiv]);
+        assert_eq!(res_mii(&m, &body), 38);
+    }
+
+    #[test]
+    fn dep_latency_follows_kind() {
+        let m = huff_machine();
+        let mut b = LoopBuilder::new("t");
+        let a = b.invariant(ValueType::Addr, "a");
+        let x = b.new_value(ValueType::Float);
+        let ld = b.op(OpKind::Load, &[a], Some(x));
+        let st = b.op(OpKind::Store, &[a, x], None);
+        let flow = b.flow_dep(ld, st, 0);
+        let anti = b.dep(st, ld, DepKind::Anti, DepVia::Memory, 1);
+        let out = b.dep(st, st, DepKind::Output, DepVia::Memory, 1);
+        let body = b.finish();
+        assert_eq!(dep_latency(&m, &body, body.dep(flow)), 13);
+        assert_eq!(dep_latency(&m, &body, body.dep(anti)), 0);
+        assert_eq!(dep_latency(&m, &body, body.dep(out)), 1);
+        let _ = OpId::new(0);
+    }
+
+    #[test]
+    fn critical_marking_uses_ninety_percent_rule() {
+        let m = huff_machine();
+        // 9 adds on the single adder: critical at II = 10 (9 >= 0.9*10),
+        // not at II = 11.
+        let body = body_with(&[OpKind::FAdd; 9]);
+        let adder = m.desc(OpKind::FAdd).class;
+        assert!(critical_classes(&m, &body, 10)[adder.index()]);
+        assert!(!critical_classes(&m, &body, 11)[adder.index()]);
+    }
+
+    #[test]
+    fn op_desc_constructors() {
+        let c = ClassId(0);
+        assert_eq!(OpDesc::pipelined(c, 13).reservation, vec![0]);
+        assert_eq!(OpDesc::unpipelined(c, 3).reservation, vec![0, 1, 2]);
+    }
+}

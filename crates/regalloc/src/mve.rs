@@ -1,0 +1,123 @@
+//! Modulo variable expansion (MVE): the no-rotating-hardware alternative.
+//!
+//! When a value lives longer than II, adjacent iterations cannot target
+//! the same register. Without a rotating file, the kernel is unrolled and
+//! the duplicate register specifiers renamed (§2.3, citing Lam \[9\]); the
+//! price is code expansion, which Rau et al. \[18\] found can be large —
+//! the trade-off this module quantifies.
+
+use lsms_ir::RegClass;
+use lsms_sched::pressure::lifetimes;
+use lsms_sched::{SchedProblem, Schedule};
+
+/// The unroll-and-rename plan for one scheduled loop.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MvePlan {
+    /// Copies of the kernel needed so each value's `q_v = ⌈LT(v)/II⌉`
+    /// names divide the unroll evenly: `lcm(q_v)` (capped; the cap is
+    /// never hit in the corpus).
+    pub unroll: u32,
+    /// The cheaper variant: `max(q_v)` copies, at the cost of some values
+    /// wasting register names.
+    pub unroll_max: u32,
+    /// Static registers consumed: `Σ q_v` (each value needs `q_v` names).
+    pub registers: u32,
+    /// Kernel operations after expansion: `unroll × ops`.
+    pub expanded_ops: u64,
+}
+
+impl MvePlan {
+    /// Code-expansion factor relative to the rotating-file kernel.
+    pub fn expansion(&self) -> u32 {
+        self.unroll
+    }
+}
+
+/// Computes the MVE plan for the RR-class values of a schedule.
+pub fn mve_plan(problem: &SchedProblem<'_>, schedule: &Schedule) -> MvePlan {
+    let lt = lifetimes(problem, schedule);
+    let ii = i64::from(schedule.ii);
+    let mut unroll: u64 = 1;
+    let mut unroll_max: u64 = 1;
+    let mut registers: u64 = 0;
+    for v in problem.body().values() {
+        if v.reg_class() != RegClass::Rr || v.def.is_none() {
+            continue;
+        }
+        let Some(len) = lt[v.id.index()] else { continue };
+        if len <= 0 {
+            continue;
+        }
+        let q = ((len + ii - 1) / ii) as u64;
+        registers += q;
+        unroll_max = unroll_max.max(q);
+        unroll = lcm(unroll, q).min(1 << 20); // defensive cap
+    }
+    MvePlan {
+        unroll: unroll as u32,
+        unroll_max: unroll_max as u32,
+        registers: registers as u32,
+        expanded_ops: unroll * problem.num_real_ops() as u64,
+    }
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+fn lcm(a: u64, b: u64) -> u64 {
+    a / gcd(a, b) * b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsms_front::compile;
+    use lsms_machine::huff_machine;
+    use lsms_sched::SlackScheduler;
+
+    #[test]
+    fn lcm_and_gcd() {
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(lcm(4, 6), 12);
+        assert_eq!(lcm(1, 7), 7);
+    }
+
+    #[test]
+    fn long_load_lifetimes_force_unrolling() {
+        // The load's 13-cycle latency at a small II keeps x live across
+        // several iterations, so MVE must unroll.
+        let unit = compile(
+            "loop axpy(i = 1..n) {
+                 real x[], y[];
+                 param real a;
+                 y[i] = y[i] + a * x[i];
+             }",
+        )
+        .unwrap();
+        let machine = huff_machine();
+        let problem = SchedProblem::new(&unit.loops[0].body, &machine).unwrap();
+        let schedule = SlackScheduler::new().run(&problem).unwrap();
+        let plan = mve_plan(&problem, &schedule);
+        assert!(plan.unroll >= 2, "unroll = {}", plan.unroll);
+        assert!(plan.unroll >= plan.unroll_max);
+        assert_eq!(plan.expanded_ops, u64::from(plan.unroll) * problem.num_real_ops() as u64);
+        assert!(plan.registers >= plan.unroll_max);
+    }
+
+    #[test]
+    fn short_lifetimes_need_no_unrolling() {
+        // A pure store loop: the only variant lifetimes are within one II.
+        let unit = compile("loop s(i = 1..n) { real x[]; x[i] = 1.5; }").unwrap();
+        let machine = huff_machine();
+        let problem = SchedProblem::new(&unit.loops[0].body, &machine).unwrap();
+        let schedule = SlackScheduler::new().run(&problem).unwrap();
+        let plan = mve_plan(&problem, &schedule);
+        // iv8 and the address stream still live about one iteration each.
+        assert!(plan.unroll <= 2, "unroll = {}", plan.unroll);
+    }
+}

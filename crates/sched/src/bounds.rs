@@ -1,0 +1,403 @@
+//! Absolute lower bounds on II (§3.1): `ResMII`, `RecMII`, and `MII`.
+//!
+//! `RecMII` is computed two independent ways, cross-checked by tests:
+//!
+//! 1. **Circuit enumeration** — scan every elementary recurrence circuit
+//!    (Johnson's algorithm; the paper cites Tiernan) and take
+//!    `max ⌈L / Ω⌉` over circuits with total latency `L` and total
+//!    iteration distance `Ω`. "Although a graph can contain exponentially
+//!    many elementary circuits, most loop bodies have very few" — so a
+//!    circuit-count cap guards against the exponential case.
+//! 2. **Minimum cost-to-time ratio** (Lawler) — the smallest `II` for which
+//!    no circuit has positive weight under arc weights `latency − ω·II`,
+//!    found by binary search with a Bellman–Ford positive-cycle test; valid
+//!    because circuit weights are non-increasing in `II`.
+
+use lsms_ir::{tarjan_scc, LoopBody};
+use lsms_machine::{critical_classes, Machine};
+
+use crate::SchedProblem;
+
+/// Re-export of the resource-contention bound (computed in `lsms-machine`).
+pub use lsms_machine::res_mii;
+
+/// `MII = max(ResMII, RecMII)`: the absolute lower bound on the initiation
+/// interval. In practice almost all loops achieve it (§3.1).
+pub fn mii(problem: &SchedProblem<'_>) -> u32 {
+    problem.mii()
+}
+
+/// The recurrence-circuit bound on II, by elementary-circuit enumeration
+/// with a fallback to the min-ratio method if the circuit count explodes.
+///
+/// Returns `None` when some circuit has `Ω = 0` but positive latency: no
+/// initiation interval can satisfy it (the loop body is malformed).
+pub fn rec_mii(problem: &SchedProblem<'_>) -> Option<u32> {
+    const CIRCUIT_CAP: usize = 200_000;
+    match rec_mii_by_enumeration(problem, CIRCUIT_CAP) {
+        Ok(result) => result,
+        Err(CircuitCapExceeded) => rec_mii_min_ratio(problem),
+    }
+}
+
+/// Error from [`rec_mii_by_enumeration`]: the graph had more elementary
+/// circuits than the requested cap.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CircuitCapExceeded;
+
+/// `RecMII` by scanning every elementary circuit (§3.1). Inner `None`
+/// signals an unsatisfiable zero-ω circuit.
+///
+/// # Errors
+///
+/// Returns [`CircuitCapExceeded`] if more than `cap` circuits exist.
+pub fn rec_mii_by_enumeration(
+    problem: &SchedProblem<'_>,
+    cap: usize,
+) -> Result<Option<u32>, CircuitCapExceeded> {
+    let mut best: u32 = 1;
+    let mut infeasible = false;
+    let mut count = 0usize;
+    enumerate_circuits(problem, &mut |latency, omega| {
+        count += 1;
+        if omega == 0 {
+            if latency > 0 {
+                infeasible = true;
+            }
+        } else {
+            let bound = (latency.max(0) as u64).div_ceil(u64::from(omega));
+            best = best.max(bound as u32);
+        }
+        count <= cap
+    });
+    if count > cap {
+        return Err(CircuitCapExceeded);
+    }
+    Ok(if infeasible { None } else { Some(best) })
+}
+
+/// `RecMII` by the minimum cost-to-time-ratio method (§3.1, citing
+/// Lawler): binary search for the smallest II at which Bellman–Ford finds
+/// no positive cycle under weights `latency − ω·II`. Returns `None` for a
+/// positive-latency zero-ω circuit, which stays positive at every II.
+pub fn rec_mii_min_ratio(problem: &SchedProblem<'_>) -> Option<u32> {
+    let n = problem.num_real_ops();
+    if n == 0 {
+        return Some(1);
+    }
+    // Only real arcs can be on circuits (Start has no in-arcs, Stop no
+    // out-arcs).
+    let arcs: Vec<_> = problem.arcs().iter().filter(|a| a.from < n && a.to < n).collect();
+    let has_positive_cycle = |ii: i64| -> bool {
+        // Longest-path Bellman–Ford from a virtual source connected to all
+        // nodes with weight 0: dist starts at 0 everywhere.
+        let mut dist = vec![0i64; n];
+        for round in 0..=n {
+            let mut changed = false;
+            for arc in &arcs {
+                let w = arc.latency - i64::from(arc.omega) * ii;
+                if dist[arc.from] + w > dist[arc.to] {
+                    dist[arc.to] = dist[arc.from] + w;
+                    changed = true;
+                }
+            }
+            if !changed {
+                return false;
+            }
+            if round == n {
+                return true;
+            }
+        }
+        false
+    };
+    let max_latency: i64 = arcs.iter().map(|a| a.latency.max(0)).sum::<i64>().max(1);
+    if has_positive_cycle(max_latency) {
+        return None; // a zero-ω circuit keeps its positive weight forever
+    }
+    let (mut lo, mut hi) = (1i64, max_latency); // hi is feasible
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if has_positive_cycle(mid) {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    Some(lo as u32)
+}
+
+/// Number of operations lying on non-trivial recurrence circuits (Table 2's
+/// "# Ops on Recurrences"): members of dependence-graph SCCs of size ≥ 2.
+pub fn ops_on_recurrences(body: &LoopBody) -> usize {
+    tarjan_scc(body)
+        .into_iter()
+        .filter(|scc| scc.len() >= 2)
+        .map(|scc| scc.len())
+        .sum()
+}
+
+/// Number of operations using a critical resource at the given II
+/// (Table 2's "# Critical Ops at MII"); see
+/// [`critical_classes`] for the 0.90·II
+/// rule.
+pub fn critical_ops(machine: &Machine, body: &LoopBody, ii: u32) -> usize {
+    let critical = critical_classes(machine, body, ii);
+    body.ops()
+        .iter()
+        .filter(|op| critical[machine.desc(op.kind).class.index()])
+        .count()
+}
+
+/// Enumerates elementary circuits of the real-operation multigraph with
+/// Johnson's algorithm, invoking `emit(total_latency, total_omega)` per
+/// circuit. `emit` returns `false` to abort early. Parallel arcs are kept
+/// distinct, so two arcs between the same pair yield two circuits.
+fn enumerate_circuits(problem: &SchedProblem<'_>, emit: &mut dyn FnMut(i64, u32) -> bool) {
+    let n = problem.num_real_ops();
+    // Self-arcs are elementary circuits of length one; Johnson's main loop
+    // handles only length >= 2.
+    for arc in problem.arcs() {
+        if arc.from == arc.to && arc.from < n
+            && !emit(arc.latency, arc.omega) {
+                return;
+            }
+    }
+    // adj[v] = (w, latency, omega) for each non-self arc v -> w.
+    let adj: Vec<Vec<(usize, i64, u32)>> = (0..n)
+        .map(|v| {
+            problem
+                .arcs_from(v)
+                .filter(|a| a.to < n && a.to != v)
+                .map(|a| (a.to, a.latency, a.omega))
+                .collect()
+        })
+        .collect();
+
+    struct J<'e> {
+        adj: Vec<Vec<(usize, i64, u32)>>,
+        blocked: Vec<bool>,
+        blist: Vec<Vec<usize>>,
+        root: usize,
+        emit: &'e mut dyn FnMut(i64, u32) -> bool,
+        aborted: bool,
+    }
+    impl J<'_> {
+        fn unblock(&mut self, v: usize) {
+            self.blocked[v] = false;
+            let list = std::mem::take(&mut self.blist[v]);
+            for w in list {
+                if self.blocked[w] {
+                    self.unblock(w);
+                }
+            }
+        }
+        /// DFS from `v` with accumulated (latency, omega); returns true if
+        /// any circuit was closed below `v`.
+        fn circuit(&mut self, v: usize, lat: i64, omega: u32) -> bool {
+            if self.aborted {
+                return false;
+            }
+            let mut found = false;
+            self.blocked[v] = true;
+            for i in 0..self.adj[v].len() {
+                let (w, l, o) = self.adj[v][i];
+                if w < self.root {
+                    continue; // Johnson: only nodes >= current root
+                }
+                if w == self.root {
+                    if !(self.emit)(lat + l, omega + o) {
+                        self.aborted = true;
+                        return found;
+                    }
+                    found = true;
+                } else if !self.blocked[w] && self.circuit(w, lat + l, omega + o) {
+                    found = true;
+                }
+                if self.aborted {
+                    return found;
+                }
+            }
+            if found {
+                self.unblock(v);
+            } else {
+                for i in 0..self.adj[v].len() {
+                    let (w, _, _) = self.adj[v][i];
+                    if w >= self.root && !self.blist[w].contains(&v) {
+                        self.blist[w].push(v);
+                    }
+                }
+            }
+            found
+        }
+    }
+
+    let mut j = J {
+        adj,
+        blocked: vec![false; n],
+        blist: vec![Vec::new(); n],
+        root: 0,
+        emit,
+        aborted: false,
+    };
+    for root in 0..n {
+        j.root = root;
+        j.blocked.iter_mut().for_each(|b| *b = false);
+        j.blist.iter_mut().for_each(|l| l.clear());
+        j.circuit(root, 0, 0);
+        if j.aborted {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsms_ir::{LoopBuilder, OpKind, ValueType};
+    use lsms_machine::huff_machine;
+
+    fn ring(k: usize, omega_back: u32) -> lsms_ir::LoopBody {
+        let mut b = LoopBuilder::new("ring");
+        let mut vals = Vec::new();
+        let mut ops = Vec::new();
+        let seed = b.invariant(ValueType::Float, "seed");
+        for i in 0..k {
+            let v = b.new_value(ValueType::Float);
+            let prev = *vals.last().unwrap_or(&seed);
+            let o = b.op(OpKind::FAdd, &[prev, seed], Some(v));
+            vals.push(v);
+            if i > 0 {
+                b.flow_dep(ops[i - 1], o, 0);
+            }
+            ops.push(o);
+        }
+        b.flow_dep(ops[k - 1], ops[0], omega_back);
+        b.finish()
+    }
+
+    #[test]
+    fn ring_rec_mii_is_ceiling_of_latency_over_omega() {
+        let m = huff_machine();
+        // 5 fadds, latency 1 each: L = 5, omega 2 -> ceil(5/2) = 3.
+        let body = ring(5, 2);
+        let p = SchedProblem::new(&body, &m).unwrap();
+        assert_eq!(p.rec_mii(), 3);
+        assert_eq!(rec_mii_min_ratio(&p), Some(3));
+        // omega 1 -> 5.
+        let body = ring(5, 1);
+        let p = SchedProblem::new(&body, &m).unwrap();
+        assert_eq!(p.rec_mii(), 5);
+        assert_eq!(rec_mii_min_ratio(&p), Some(5));
+    }
+
+    #[test]
+    fn self_arc_bounds_rec_mii() {
+        let m = huff_machine();
+        let mut b = LoopBuilder::new("acc");
+        let f = b.invariant(ValueType::Float, "f");
+        let s = b.new_value(ValueType::Float);
+        let o = b.op(OpKind::FMul, &[s, f], Some(s)); // latency 2
+        b.flow_dep(o, o, 1);
+        let body = b.finish();
+        let p = SchedProblem::new(&body, &m).unwrap();
+        assert_eq!(p.rec_mii(), 2);
+        assert_eq!(rec_mii_min_ratio(&p), Some(2));
+    }
+
+    #[test]
+    fn acyclic_rec_mii_is_one() {
+        let m = huff_machine();
+        let mut b = LoopBuilder::new("line");
+        let f = b.invariant(ValueType::Float, "f");
+        let x = b.new_value(ValueType::Float);
+        let y = b.new_value(ValueType::Float);
+        let o1 = b.op(OpKind::FMul, &[f, f], Some(x));
+        let o2 = b.op(OpKind::FAdd, &[x, f], Some(y));
+        b.flow_dep(o1, o2, 0);
+        let body = b.finish();
+        let p = SchedProblem::new(&body, &m).unwrap();
+        assert_eq!(p.rec_mii(), 1);
+        assert_eq!(rec_mii_min_ratio(&p), Some(1));
+    }
+
+    #[test]
+    fn overlapping_circuits_take_the_max() {
+        let m = huff_machine();
+        // Two circuits sharing op0: (0,1) omega 1 lat 2+2=4 -> 4, and
+        // (0,1,2) omega 3, lat 6 -> 2.
+        let mut b = LoopBuilder::new("two");
+        let v0 = b.new_value(ValueType::Float);
+        let v1 = b.new_value(ValueType::Float);
+        let v2 = b.new_value(ValueType::Float);
+        let o0 = b.op(OpKind::FMul, &[v1, v1], Some(v0));
+        let o1 = b.op(OpKind::FMul, &[v0, v2], Some(v1));
+        let o2 = b.op(OpKind::FMul, &[v1, v1], Some(v2));
+        b.flow_dep(o0, o1, 0);
+        b.flow_dep(o1, o0, 1);
+        b.flow_dep(o1, o2, 0);
+        b.flow_dep(o2, o1, 3); // hmm: circuit 0->1->0 and 1->2->1
+        let body = b.finish();
+        let p = SchedProblem::new(&body, &m).unwrap();
+        // Circuit A: o0->o1 (lat 2, w 0) + o1->o0 (lat 2, w 1): 4/1 = 4.
+        // Circuit B: o1->o2 (lat 2, w 0) + o2->o1 (lat 2, w 3): ceil(4/3)=2.
+        assert_eq!(p.rec_mii(), 4);
+        assert_eq!(rec_mii_min_ratio(&p), Some(4));
+    }
+
+    #[test]
+    fn parallel_arcs_yield_distinct_circuits() {
+        let m = huff_machine();
+        let mut b = LoopBuilder::new("par");
+        let v0 = b.new_value(ValueType::Float);
+        let v1 = b.new_value(ValueType::Float);
+        let o0 = b.op(OpKind::FMul, &[v1, v1], Some(v0));
+        let o1 = b.op(OpKind::FMul, &[v0, v0], Some(v1));
+        b.flow_dep(o0, o1, 0);
+        b.flow_dep(o1, o0, 4); // ratio (2+2)/4 = 1
+        b.flow_dep(o1, o0, 1); // ratio (2+2)/1 = 4  <- tighter
+        let body = b.finish();
+        let p = SchedProblem::new(&body, &m).unwrap();
+        assert_eq!(p.rec_mii(), 4);
+        assert_eq!(rec_mii_min_ratio(&p), Some(4));
+    }
+
+    #[test]
+    fn circuit_cap_falls_back_cleanly() {
+        let m = huff_machine();
+        let body = ring(6, 2);
+        let p = SchedProblem::new(&body, &m).unwrap();
+        assert_eq!(rec_mii_by_enumeration(&p, 0), Err(CircuitCapExceeded));
+        assert_eq!(rec_mii(&p), rec_mii_min_ratio(&p));
+    }
+
+    #[test]
+    fn ops_on_recurrences_counts_scc_members() {
+        let body = ring(5, 2);
+        assert_eq!(ops_on_recurrences(&body), 5);
+        let mut b = LoopBuilder::new("none");
+        let f = b.invariant(ValueType::Float, "f");
+        let x = b.new_value(ValueType::Float);
+        b.op(OpKind::FAdd, &[f, f], Some(x));
+        assert_eq!(ops_on_recurrences(&b.finish()), 0);
+    }
+
+    #[test]
+    fn critical_ops_at_mii() {
+        let m = huff_machine();
+        // Four loads on two ports: ResMII = 2, loads are critical
+        // (4/2 = 2 >= 0.9*2); the lone fadd is not.
+        let mut b = LoopBuilder::new("c");
+        let a = b.invariant(ValueType::Addr, "a");
+        for _ in 0..4 {
+            let x = b.new_value(ValueType::Float);
+            b.op(OpKind::Load, &[a], Some(x));
+        }
+        let f = b.new_value(ValueType::Float);
+        let g = b.new_value(ValueType::Float);
+        b.op(OpKind::FAdd, &[f, f], Some(g));
+        let body = b.finish();
+        let p = SchedProblem::new(&body, &m).unwrap();
+        assert_eq!(p.mii(), 2);
+        assert_eq!(critical_ops(&m, &body, 2), 4);
+    }
+}

@@ -1,0 +1,665 @@
+//! The operation-driven scheduling framework with limited backtracking
+//! (§4.2–§4.4), shared by the slack scheduler and the Cydrome baseline.
+//!
+//! The framework owns the six-step central loop:
+//!
+//! 1. choose an operation (delegated to a [`Heuristic`]);
+//! 2. search for an issue cycle within its Estart/Lstart bounds, scanning
+//!    in the direction the heuristic picks;
+//! 3. if no conflict-free cycle exists, force the operation in and eject
+//!    whatever conflicts (never `brtop`);
+//! 4. place it and update the modulo resource table;
+//! 5. update the Estart/Lstart bounds of the unplaced operations;
+//! 6. if the iteration budget is exhausted, restart at a larger II.
+
+use lsms_ir::OpId;
+use lsms_machine::{critical_classes, Mrt, UnitAssignment};
+
+use crate::mindist::NO_PATH;
+use crate::{DecisionStats, MinDist, SchedProblem, SchedStats, Schedule};
+
+/// Which end of the `[Estart, Lstart]` window to scan from (§5.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Scan from Estart upward: place as early as possible.
+    Early,
+    /// Scan from Lstart downward: place as late as possible.
+    Late,
+}
+
+/// A scheduler personality plugged into the framework: how to pick the
+/// next operation and which direction to scan.
+pub(crate) trait Heuristic {
+    /// Called at the start of each II attempt, before any placement.
+    fn begin_attempt(&mut self, st: &EngineState<'_, '_>);
+
+    /// Picks an unplaced node (a real operation or `Stop`).
+    fn choose(&mut self, st: &EngineState<'_, '_>, decisions: &mut DecisionStats) -> usize;
+
+    /// Picks the scan direction for the chosen node.
+    fn direction(
+        &mut self,
+        st: &EngineState<'_, '_>,
+        node: usize,
+        decisions: &mut DecisionStats,
+    ) -> Direction;
+}
+
+/// Mutable scheduling state for one II attempt, visible to heuristics.
+pub(crate) struct EngineState<'p, 'a> {
+    pub problem: &'p SchedProblem<'a>,
+    pub ii: u32,
+    pub md: MinDist,
+    /// Issue time per node (`None` = unplaced). `Start` is fixed at 0.
+    pub time: Vec<Option<i64>>,
+    /// Earliest start bound per node; meaningful only while unplaced.
+    pub estart: Vec<i64>,
+    /// Latest start bound per node; meaningful only while unplaced.
+    pub lstart: Vec<i64>,
+    /// The controlled `Lstart(Stop)` (§4.2).
+    pub lstart_stop: i64,
+    /// Last cycle each node was placed at, for the §4.4 forcing rule.
+    pub last_place: Vec<Option<i64>>,
+    /// Per-node: assigned to a critical resource class at this II (§4.3)?
+    pub critical: Vec<bool>,
+    /// `MinLT(v)` per value id at this II (§5.1); `None` when the value
+    /// has no register flow uses.
+    pub minlt: Vec<Option<i64>>,
+    /// True when `ResMII > 1` — enables the extra-slack provision and the
+    /// critical-op slack halving.
+    pub contended: bool,
+    /// Scheduling a basic block rather than a pipelined loop (§8).
+    straight_line: bool,
+    /// Per-attempt functional-unit instance binding: round-robin within
+    /// each class in (Estart mod II, Estart) order, so operations likely
+    /// to contend for the same kernel cycle land on different instances.
+    assignments: Vec<UnitAssignment>,
+    mrt: Mrt,
+    unplaced: Vec<bool>,
+    unplaced_count: usize,
+}
+
+impl<'p, 'a> EngineState<'p, 'a> {
+    fn new(problem: &'p SchedProblem<'a>, ii: u32, straight_line: bool) -> Option<Self> {
+        let md = MinDist::compute(problem, ii);
+        if !md.is_feasible() {
+            return None;
+        }
+        let n = problem.num_nodes();
+        let start = problem.start();
+        let stop = problem.stop();
+        let body = problem.body();
+        let machine = problem.machine();
+        let contended = problem.res_mii() > 1;
+
+        let mut time = vec![None; n];
+        time[start] = Some(0);
+
+        let estart: Vec<i64> = (0..n).map(|x| md.get(start, x).max(0)).collect();
+        // §4.2: with no resource contention the loop can always meet its
+        // critical path; otherwise provide extra slack by rounding
+        // Lstart(Stop) up to a multiple of II. In straight-line mode the
+        // "II" is a never-wrapping horizon, so the deadline is instead the
+        // larger of the critical path and the resource bound on makespan,
+        // plus a little slack.
+        let lstart_stop = if straight_line {
+            let floor = estart[stop].max(i64::from(problem.res_mii()));
+            floor + floor / 8 + 2
+        } else if contended {
+            round_up(estart[stop], i64::from(ii))
+        } else {
+            estart[stop]
+        };
+        let lstart: Vec<i64> = (0..n).map(|x| lstart_stop - md.get(x, stop)).collect();
+
+        let class_critical = critical_classes(machine, body, ii);
+        let critical: Vec<bool> = (0..n)
+            .map(|x| {
+                x < problem.num_real_ops()
+                    && class_critical[machine.desc(body.ops()[x].kind).class.index()]
+            })
+            .collect();
+
+        // MinLT(v) = max over flow deps (d -> u, omega) of omega*II +
+        // MinDist(d, u) (§5.1).
+        let minlt = crate::pressure::min_lifetimes(problem, &md);
+
+        // Bind operations to unit instances for this attempt. Estart mod
+        // II approximates the kernel cycle an operation will want, so
+        // spreading congruent operations across instances avoids
+        // avoidable modulo collisions on tight recurrence circuits.
+        let n_real = problem.num_real_ops();
+        let mut order: Vec<usize> = (0..n_real).collect();
+        order.sort_by_key(|&x| (estart[x].rem_euclid(i64::from(ii)), estart[x], x));
+        let mut next = vec![0u32; machine.classes().len()];
+        let mut assignments = vec![UnitAssignment::default(); n_real];
+        for x in order {
+            let class = machine.desc(body.ops()[x].kind).class;
+            let count = machine.classes()[class.index()].count;
+            assignments[x] = UnitAssignment { class, instance: next[class.index()] % count };
+            next[class.index()] += 1;
+        }
+
+        let mut unplaced = vec![true; n];
+        unplaced[start] = false;
+        let unplaced_count = n - 1;
+        Some(Self {
+            problem,
+            ii,
+            md,
+            time,
+            estart,
+            lstart,
+            lstart_stop,
+            last_place: vec![None; n],
+            critical,
+            minlt,
+            contended,
+            straight_line,
+            assignments,
+            mrt: Mrt::new(machine, ii),
+            unplaced,
+            unplaced_count,
+        })
+    }
+
+    /// Iterates over the indices of unplaced nodes.
+    pub fn unplaced(&self) -> impl Iterator<Item = usize> + '_ {
+        self.unplaced.iter().enumerate().filter(|(_, &u)| u).map(|(i, _)| i)
+    }
+
+    /// True if the node is currently placed (Start always is).
+    pub fn is_placed(&self, node: usize) -> bool {
+        self.time[node].is_some()
+    }
+
+    /// The current slack of an unplaced node: `Lstart − Estart`, possibly
+    /// negative when constraints have crossed.
+    pub fn slack(&self, node: usize) -> i64 {
+        self.lstart[node] - self.estart[node]
+    }
+
+    /// The §4.3 dynamic priority: slack, halved for critical operations
+    /// (only under resource contention), halved again for divider users.
+    pub fn dynamic_priority(&self, node: usize) -> i64 {
+        let slack = self.slack(node);
+        if slack <= 0 {
+            return slack;
+        }
+        let mut priority = slack;
+        if self.contended && self.critical[node] {
+            priority /= 2;
+        }
+        if node < self.problem.num_real_ops()
+            && self.problem.body().ops()[node].kind.uses_divider()
+        {
+            priority /= 2;
+        }
+        priority
+    }
+
+    /// Effective earliest start: placement time if placed, else the bound.
+    pub fn effective_estart(&self, node: usize) -> i64 {
+        self.time[node].unwrap_or(self.estart[node])
+    }
+
+    fn fits(&self, node: usize, t: i64) -> bool {
+        if self.problem.is_pseudo(node) {
+            return true;
+        }
+        self.mrt.fits(
+            OpId::new(node),
+            self.problem.desc(node),
+            self.assignments[node].instance,
+            t,
+        )
+    }
+
+    fn place(&mut self, node: usize, t: i64) {
+        debug_assert!(self.unplaced[node]);
+        if !self.problem.is_pseudo(node) {
+            self.mrt.place(
+                OpId::new(node),
+                self.problem.desc(node),
+                self.assignments[node].instance,
+                t,
+            );
+        }
+        self.time[node] = Some(t);
+        self.last_place[node] = Some(t);
+        self.unplaced[node] = false;
+        self.unplaced_count -= 1;
+    }
+
+    fn eject(&mut self, node: usize) {
+        let t = self.time[node].expect("ejecting an unplaced node");
+        if !self.problem.is_pseudo(node) {
+            self.mrt.remove(
+                OpId::new(node),
+                self.problem.desc(node),
+                self.assignments[node].instance,
+                t,
+            );
+        }
+        self.time[node] = None;
+        self.unplaced[node] = true;
+        self.unplaced_count += 1;
+    }
+
+    /// §4.1 incremental update after placing `node` at `t`: tighten the
+    /// bounds of every unplaced node.
+    fn tighten_bounds_after(&mut self, node: usize, t: i64) {
+        let n = self.problem.num_nodes();
+        for u in 0..n {
+            if !self.unplaced[u] {
+                continue;
+            }
+            let fwd = self.md.get(node, u);
+            if fwd != NO_PATH {
+                self.estart[u] = self.estart[u].max(t + fwd);
+            }
+            let back = self.md.get(u, node);
+            if back != NO_PATH {
+                self.lstart[u] = self.lstart[u].min(t - back);
+            }
+        }
+        self.maybe_grow_lstart_stop();
+    }
+
+    /// Full O(p·u) recomputation of the bounds of all unplaced nodes from
+    /// the placed set, used after ejections (§4.4).
+    fn recompute_bounds(&mut self) {
+        let n = self.problem.num_nodes();
+        let start = self.problem.start();
+        let stop = self.problem.stop();
+        for u in 0..n {
+            if !self.unplaced[u] {
+                continue;
+            }
+            let mut e = self.md.get(start, u).max(0);
+            let mut l = self.lstart_stop - self.md.get(u, stop);
+            for z in 0..n {
+                let Some(t) = self.time[z] else { continue };
+                let fwd = self.md.get(z, u);
+                if fwd != NO_PATH {
+                    e = e.max(t + fwd);
+                }
+                let back = self.md.get(u, z);
+                if back != NO_PATH {
+                    l = l.min(t - back);
+                }
+            }
+            self.estart[u] = e;
+            self.lstart[u] = l;
+        }
+        self.maybe_grow_lstart_stop();
+    }
+
+    /// §4.2: `Lstart(Stop)` is reset only when `Estart(Stop)` is pushed out
+    /// beyond it (being pushed beyond Stop's *placement* is handled by
+    /// ejecting Stop during forcing).
+    fn maybe_grow_lstart_stop(&mut self) {
+        let stop = self.problem.stop();
+        if self.unplaced[stop] && self.estart[stop] > self.lstart_stop {
+            self.lstart_stop = if self.straight_line {
+                // Keep the same proportional slack the attempt started
+                // with; a bare critical-path deadline leaves zero slack
+                // after every ejection and the attempt thrashes.
+                let floor = self.estart[stop].max(i64::from(self.problem.res_mii()));
+                floor + floor / 8 + 2
+            } else if !self.contended {
+                self.estart[stop]
+            } else {
+                round_up(self.estart[stop], i64::from(self.ii))
+            };
+            // Loosening Lstart(Stop) can only loosen other Lstarts; refresh
+            // them all.
+            let n = self.problem.num_nodes();
+            for u in 0..n {
+                if !self.unplaced[u] {
+                    continue;
+                }
+                let mut l = self.lstart_stop - self.md.get(u, stop);
+                for z in 0..n {
+                    let Some(t) = self.time[z] else { continue };
+                    let back = self.md.get(u, z);
+                    if back != NO_PATH {
+                        l = l.min(t - back);
+                    }
+                }
+                self.lstart[u] = l;
+            }
+        }
+    }
+}
+
+fn round_up(x: i64, m: i64) -> i64 {
+    x.div_euclid(m) * m + if x.rem_euclid(m) == 0 { 0 } else { m }
+}
+
+/// Outcome of one II attempt.
+enum Attempt {
+    Success(Vec<i64>, Vec<UnitAssignment>),
+    BudgetExhausted,
+    InfeasibleIi,
+}
+
+/// Runs one II attempt: the §4.2 central loop under an iteration budget.
+fn attempt(
+    problem: &SchedProblem<'_>,
+    ii: u32,
+    heuristic: &mut dyn Heuristic,
+    budget: u64,
+    straight_line: bool,
+    stats: &mut SchedStats,
+    decisions: &mut DecisionStats,
+) -> Attempt {
+    let Some(mut st) = EngineState::new(problem, ii, straight_line) else {
+        return Attempt::InfeasibleIi;
+    };
+    heuristic.begin_attempt(&st);
+    let brtop = problem.brtop();
+    let start = problem.start();
+    let mut iterations = 0u64;
+
+    while st.unplaced_count > 0 {
+        iterations += 1;
+        stats.central_iterations += 1;
+        if iterations > budget {
+            return Attempt::BudgetExhausted;
+        }
+        // Step 1: choose an operation.
+        let x = heuristic.choose(&st, decisions);
+        debug_assert!(st.unplaced[x]);
+        // Step 2: search for an issue cycle within the bounds.
+        let direction = heuristic.direction(&st, x, decisions);
+        let e = st.estart[x];
+        let l = st.lstart[x];
+        let mut found = None;
+        if l >= e {
+            // At most II consecutive cycles need scanning (§5.2).
+            let window = i64::from(ii) - 1;
+            match direction {
+                Direction::Early => {
+                    let hi = l.min(e + window);
+                    for t in e..=hi {
+                        if st.fits(x, t) {
+                            found = Some(t);
+                            break;
+                        }
+                    }
+                }
+                Direction::Late => {
+                    let lo = e.max(l - window);
+                    for t in (lo..=l).rev() {
+                        if st.fits(x, t) {
+                            found = Some(t);
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        match found {
+            Some(t) => {
+                // Step 4 & 5: place and tighten bounds.
+                st.place(x, t);
+                st.tighten_bounds_after(x, t);
+            }
+            None => {
+                // Step 3: force the operation in, ejecting conflicts.
+                stats.step3_invocations += 1;
+                let mut t = st.last_place[x].map_or(e, |last| e.max(last + 1));
+                // brtop cannot be ejected; search successive cycles to
+                // avoid resource conflicts with it (§4.4 footnote).
+                if !st.problem.is_pseudo(x) {
+                    if let Some(br) = brtop {
+                        while st
+                            .mrt
+                            .conflicts(
+                                OpId::new(x),
+                                st.problem.desc(x),
+                                st.assignments[x].instance,
+                                t,
+                            )
+                            .contains(&OpId::new(br))
+                        {
+                            t += 1;
+                        }
+                    }
+                    // Eject the resource conflicts.
+                    let conflicts = st.mrt.conflicts(
+                        OpId::new(x),
+                        st.problem.desc(x),
+                        st.assignments[x].instance,
+                        t,
+                    );
+                    for z in conflicts {
+                        st.eject(z.index());
+                        stats.ejected_ops += 1;
+                    }
+                }
+                st.place(x, t);
+                // Eject every placed operation whose dependence constraints
+                // the forced placement violates. `MinDist` reflects the
+                // transitive closure, so this reaches beyond immediate
+                // successors, which "tends to reduce the overall amount of
+                // backtracking and improve the final schedule" (§4.4).
+                let n = st.problem.num_nodes();
+                for z in 0..n {
+                    if z == x || z == start {
+                        continue;
+                    }
+                    let Some(tz) = st.time[z] else { continue };
+                    let fwd = st.md.get(x, z);
+                    let back = st.md.get(z, x);
+                    let violated = (fwd != NO_PATH && t + fwd > tz)
+                        || (back != NO_PATH && tz + back > t);
+                    if violated {
+                        debug_assert!(
+                            Some(z) != brtop,
+                            "dependence conflict with brtop cannot be repaired"
+                        );
+                        st.eject(z);
+                        stats.ejected_ops += 1;
+                    }
+                }
+                st.recompute_bounds();
+            }
+        }
+    }
+    let times: Vec<i64> = (0..problem.num_real_ops())
+        .map(|op| st.time[op].expect("all real ops placed"))
+        .collect();
+    Attempt::Success(times, st.assignments)
+}
+
+/// The II escalation loop shared by both schedulers: start at `MII` and on
+/// failure increment per the policy (§4.2 and its footnote 6) up to
+/// `max_ii`.
+pub(crate) fn run_framework(
+    problem: &SchedProblem<'_>,
+    heuristic: &mut dyn Heuristic,
+    budget_factor: u64,
+    max_ii: u32,
+    increment: crate::IiIncrement,
+    decisions: &mut DecisionStats,
+) -> Result<Schedule, crate::SchedFailure> {
+    run_framework_from(
+        problem,
+        heuristic,
+        budget_factor,
+        problem.mii().max(1),
+        max_ii,
+        increment,
+        false,
+        decisions,
+    )
+}
+
+/// As [`run_framework`], but starting the II search at `start_ii` — used
+/// by the straight-line mode, whose "II" is just a horizon too large to
+/// wrap.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_framework_from(
+    problem: &SchedProblem<'_>,
+    heuristic: &mut dyn Heuristic,
+    budget_factor: u64,
+    start_ii: u32,
+    max_ii: u32,
+    increment: crate::IiIncrement,
+    straight_line: bool,
+    decisions: &mut DecisionStats,
+) -> Result<Schedule, crate::SchedFailure> {
+    let started = std::time::Instant::now();
+    let mut stats = SchedStats::default();
+    let budget = budget_factor * (problem.num_real_ops() as u64 + 1);
+    let mut ii = start_ii.max(1);
+    loop {
+        stats.attempts += 1;
+        match attempt(problem, ii, heuristic, budget, straight_line, &mut stats, decisions) {
+            Attempt::Success(times, assignments) => {
+                stats.elapsed = started.elapsed();
+                let schedule = Schedule { ii, times, assignments, stats };
+                debug_assert_eq!(crate::validate(problem, &schedule), Ok(()));
+                return Ok(schedule);
+            }
+            Attempt::BudgetExhausted | Attempt::InfeasibleIi => {
+                stats.step6_restarts += 1;
+                if ii >= max_ii {
+                    stats.elapsed = started.elapsed();
+                    return Err(crate::SchedFailure { last_ii: ii, stats });
+                }
+                let step = match increment {
+                    crate::IiIncrement::FourPercent => (ii * 4 / 100).max(1),
+                    crate::IiIncrement::ByOne => 1,
+                };
+                ii = (ii + step).min(max_ii);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsms_ir::{LoopBuilder, OpKind, ValueType};
+    use lsms_machine::huff_machine;
+
+    #[test]
+    fn round_up_to_multiples() {
+        assert_eq!(round_up(0, 4), 0);
+        assert_eq!(round_up(1, 4), 4);
+        assert_eq!(round_up(4, 4), 4);
+        assert_eq!(round_up(5, 4), 8);
+        assert_eq!(round_up(17, 5), 20);
+    }
+
+    /// load -> fadd -> store with a spare independent fadd.
+    fn chain_body() -> lsms_ir::LoopBody {
+        let mut b = LoopBuilder::new("chain");
+        let a = b.invariant(ValueType::Addr, "a");
+        let f = b.invariant(ValueType::Float, "f");
+        let x = b.new_value(ValueType::Float);
+        let y = b.new_value(ValueType::Float);
+        let spare = b.new_value(ValueType::Float);
+        let ld = b.op(OpKind::Load, &[a], Some(x));
+        let add = b.op(OpKind::FAdd, &[x, x], Some(y));
+        let st = b.op(OpKind::Store, &[a, y], None);
+        b.op(OpKind::FAdd, &[f, f], Some(spare));
+        b.flow_dep(ld, add, 0);
+        b.flow_dep(add, st, 0);
+        b.finish()
+    }
+
+    #[test]
+    fn initial_bounds_follow_the_critical_path() {
+        let body = chain_body();
+        let machine = huff_machine();
+        let problem = SchedProblem::new(&body, &machine).unwrap();
+        let st = EngineState::new(&problem, problem.mii(), false).unwrap();
+        // Estart: load 0, fadd 13, store 14; Stop at 15.
+        assert_eq!(st.estart[0], 0);
+        assert_eq!(st.estart[1], 13);
+        assert_eq!(st.estart[2], 14);
+        assert_eq!(st.estart[problem.stop()], 15);
+        // ResMII = 2 > 1: Lstart(Stop) rounds 15 up to a multiple of II.
+        assert_eq!(st.lstart_stop, round_up(15, i64::from(problem.mii())));
+        // The chain ops have slack equal to the rounding provision; the
+        // spare fadd has nearly the whole window.
+        assert!(st.slack(0) >= 0 && st.slack(0) <= i64::from(problem.mii()));
+        assert!(st.slack(3) >= st.slack(1));
+    }
+
+    #[test]
+    fn dynamic_priority_halves_for_divider_ops() {
+        let mut b = LoopBuilder::new("div");
+        let f = b.invariant(ValueType::Float, "f");
+        let q = b.new_value(ValueType::Float);
+        let r = b.new_value(ValueType::Float);
+        b.op(OpKind::FDiv, &[f, f], Some(q));
+        b.op(OpKind::FAdd, &[f, f], Some(r));
+        let body = b.finish();
+        let machine = huff_machine();
+        let problem = SchedProblem::new(&body, &machine).unwrap();
+        let st = EngineState::new(&problem, problem.mii(), false).unwrap();
+        // Same slack shape, but the divider op's priority is at most half
+        // the raw slack (possibly quartered if the divider is critical).
+        let slack_div = st.slack(0);
+        if slack_div > 0 {
+            assert!(st.dynamic_priority(0) <= slack_div / 2);
+        }
+        assert!(st.dynamic_priority(1) <= st.slack(1));
+    }
+
+    #[test]
+    fn per_attempt_assignment_spreads_congruent_ops() {
+        // Four independent loads, II = 2: the two ops wanting cycle 0
+        // (estart 0 mod 2) must land on different ports.
+        let mut b = LoopBuilder::new("mem");
+        let a = b.invariant(ValueType::Addr, "a");
+        for _ in 0..4 {
+            let x = b.new_value(ValueType::Float);
+            b.op(OpKind::Load, &[a], Some(x));
+        }
+        let body = b.finish();
+        let machine = huff_machine();
+        let problem = SchedProblem::new(&body, &machine).unwrap();
+        let st = EngineState::new(&problem, 2, false).unwrap();
+        // All four are congruent (estart 0); round-robin alternates
+        // instances 0,1,0,1 in order.
+        let instances: Vec<u32> = (0..4).map(|i| st.assignments[i].instance).collect();
+        assert_eq!(instances.iter().filter(|&&i| i == 0).count(), 2);
+        assert_eq!(instances.iter().filter(|&&i| i == 1).count(), 2);
+    }
+
+    #[test]
+    fn infeasible_ii_yields_no_state() {
+        let mut b = LoopBuilder::new("rec");
+        let x = b.new_value(ValueType::Float);
+        let y = b.new_value(ValueType::Float);
+        let o1 = b.op(OpKind::FMul, &[y, y], Some(x));
+        let o2 = b.op(OpKind::FMul, &[x, x], Some(y));
+        b.flow_dep(o1, o2, 0);
+        b.flow_dep(o2, o1, 1);
+        let body = b.finish();
+        let machine = huff_machine();
+        let problem = SchedProblem::new(&body, &machine).unwrap();
+        assert_eq!(problem.rec_mii(), 4);
+        assert!(EngineState::new(&problem, 3, false).is_none());
+        assert!(EngineState::new(&problem, 4, false).is_some());
+    }
+
+    #[test]
+    fn straight_line_deadline_is_near_the_serial_floor() {
+        let body = chain_body();
+        let machine = huff_machine();
+        let problem = SchedProblem::new(&body, &machine).unwrap();
+        let st = EngineState::new(&problem, 1000, true).unwrap();
+        let floor = st.estart[problem.stop()].max(i64::from(problem.res_mii()));
+        assert_eq!(st.lstart_stop, floor + floor / 8 + 2);
+        // Far below the huge horizon: late placements cannot drift to the
+        // end of the window.
+        assert!(st.lstart_stop < 100);
+    }
+}

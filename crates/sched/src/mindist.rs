@@ -1,0 +1,205 @@
+//! The `MinDist` relation (§4.1): all-pairs longest paths at a given II.
+
+use crate::SchedProblem;
+
+/// Sentinel for "no path in the dependence graph" (the paper's −∞).
+///
+/// Chosen far from `i64::MIN` so sums of path weights cannot overflow.
+pub const NO_PATH: i64 = i64::MIN / 4;
+
+/// For each pair of operations `x` and `y`, `MinDist(x, y)` is the minimum
+/// number of cycles (possibly negative) by which `x` must precede `y` in
+/// any feasible schedule, or [`NO_PATH`] if the dependence graph has no
+/// path from `x` to `y`.
+///
+/// Computing MinDist is an all-pairs *longest*-paths problem over arcs of
+/// weight `latency − ω·II`; because `II ≥ RecMII` makes every cycle weight
+/// non-positive, the computation is well defined (§4.1). The matrix must be
+/// recomputed for each attempted II — reasonable overhead, since most loops
+/// achieve MII.
+#[derive(Clone, Debug)]
+pub struct MinDist {
+    n: usize,
+    ii: u32,
+    feasible: bool,
+    d: Vec<i64>,
+}
+
+impl MinDist {
+    /// Computes the relation for `problem` at candidate initiation interval
+    /// `ii` with Floyd–Warshall over all nodes including `Start`/`Stop`.
+    ///
+    /// `MinDist(x, x)` is fixed at 0 for every operation, as in the paper;
+    /// if `ii < RecMII` some diagonal entry would want to be positive, which
+    /// [`is_feasible`](Self::is_feasible) reports.
+    pub fn compute(problem: &SchedProblem<'_>, ii: u32) -> Self {
+        assert!(ii > 0, "II must be positive");
+        let n = problem.num_nodes();
+        let mut d = vec![NO_PATH; n * n];
+        for arc in problem.arcs() {
+            let idx = arc.from * n + arc.to;
+            d[idx] = d[idx].max(arc.weight(ii));
+        }
+        let mut feasible = true;
+        for i in 0..n {
+            // A positive self-arc weight means even II is too small for a
+            // trivial circuit; record infeasibility but pin the diagonal.
+            if d[i * n + i] > 0 {
+                feasible = false;
+            }
+            d[i * n + i] = d[i * n + i].max(0);
+        }
+        for k in 0..n {
+            for i in 0..n {
+                let dik = d[i * n + k];
+                if dik == NO_PATH {
+                    continue;
+                }
+                let (row_k, row_i) = if i < k {
+                    let (a, b) = d.split_at_mut(k * n);
+                    (&b[..n], &mut a[i * n..i * n + n])
+                } else if i > k {
+                    let (a, b) = d.split_at_mut(i * n);
+                    (&a[k * n..k * n + n], &mut b[..n])
+                } else {
+                    continue; // i == k: d[i][k] + d[k][j] = d[i][j] already
+                };
+                for j in 0..n {
+                    if row_k[j] != NO_PATH {
+                        let via = dik + row_k[j];
+                        if via > row_i[j] {
+                            row_i[j] = via;
+                        }
+                    }
+                }
+            }
+        }
+        for i in 0..n {
+            if d[i * n + i] > 0 {
+                feasible = false;
+                d[i * n + i] = 0;
+            }
+        }
+        Self { n, ii, feasible, d }
+    }
+
+    /// The II this matrix was computed for.
+    pub fn ii(&self) -> u32 {
+        self.ii
+    }
+
+    /// False when some recurrence circuit is longer than `ω·II` at this II —
+    /// i.e. `ii < RecMII` — so no feasible schedule exists.
+    pub fn is_feasible(&self) -> bool {
+        self.feasible
+    }
+
+    /// `MinDist(x, y)`, or [`NO_PATH`] when the graph has no `x → y` path.
+    #[inline]
+    pub fn get(&self, x: usize, y: usize) -> i64 {
+        debug_assert!(x < self.n && y < self.n);
+        self.d[x * self.n + y]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsms_ir::{LoopBuilder, OpKind, ValueType};
+    use lsms_machine::huff_machine;
+
+    /// load -> fadd -> store chain.
+    fn chain_body() -> lsms_ir::LoopBody {
+        let mut b = LoopBuilder::new("chain");
+        let a = b.invariant(ValueType::Addr, "a");
+        let x = b.new_value(ValueType::Float);
+        let y = b.new_value(ValueType::Float);
+        let ld = b.op(OpKind::Load, &[a], Some(x));
+        let add = b.op(OpKind::FAdd, &[x, x], Some(y));
+        let st = b.op(OpKind::Store, &[a, y], None);
+        b.flow_dep(ld, add, 0);
+        b.flow_dep(add, st, 0);
+        b.finish()
+    }
+
+    #[test]
+    fn chain_distances_accumulate_latencies() {
+        let body = chain_body();
+        let m = huff_machine();
+        let p = SchedProblem::new(&body, &m).unwrap();
+        let md = MinDist::compute(&p, 1);
+        assert!(md.is_feasible());
+        assert_eq!(md.get(0, 1), 13); // load latency
+        assert_eq!(md.get(0, 2), 14); // + fadd latency
+        assert_eq!(md.get(2, 0), NO_PATH);
+        // Start -> store via the chain beats the direct 0-arc.
+        assert_eq!(md.get(p.start(), 2), 14);
+        // store -> Stop carries the store latency.
+        assert_eq!(md.get(2, p.stop()), 1);
+        assert_eq!(md.get(p.start(), p.stop()), 15);
+    }
+
+    #[test]
+    fn omega_discounts_by_ii() {
+        // fadd feeding itself two iterations later via a partner op.
+        let mut b = LoopBuilder::new("rec");
+        let x = b.new_value(ValueType::Float);
+        let y = b.new_value(ValueType::Float);
+        let o1 = b.op(OpKind::FAdd, &[y, y], Some(x));
+        let o2 = b.op(OpKind::FMul, &[x, x], Some(y));
+        b.flow_dep(o1, o2, 0); // latency 1
+        b.flow_dep(o2, o1, 2); // latency 2, omega 2
+        let body = b.finish();
+        let m = huff_machine();
+        let p = SchedProblem::new(&body, &m).unwrap();
+        // Circuit length 3, omega 2: RecMII = ceil(3/2) = 2.
+        assert_eq!(p.rec_mii(), 2);
+        let md = MinDist::compute(&p, 2);
+        assert!(md.is_feasible());
+        assert_eq!(md.get(0, 1), 1);
+        assert_eq!(md.get(1, 0), 2 - 2 * 2); // latency 2 − ω·II
+        let md3 = MinDist::compute(&p, 3);
+        assert_eq!(md3.get(1, 0), 2 - 2 * 3);
+    }
+
+    #[test]
+    fn infeasible_ii_is_reported() {
+        let mut b = LoopBuilder::new("rec");
+        let x = b.new_value(ValueType::Float);
+        let y = b.new_value(ValueType::Float);
+        let o1 = b.op(OpKind::FMul, &[y, y], Some(x)); // latency 2
+        let o2 = b.op(OpKind::FMul, &[x, x], Some(y)); // latency 2
+        b.flow_dep(o1, o2, 0);
+        b.flow_dep(o2, o1, 1);
+        let body = b.finish();
+        let m = huff_machine();
+        let p = SchedProblem::new(&body, &m).unwrap();
+        assert_eq!(p.rec_mii(), 4);
+        assert!(!MinDist::compute(&p, 3).is_feasible());
+        assert!(MinDist::compute(&p, 4).is_feasible());
+    }
+
+    #[test]
+    fn diagonal_is_zero() {
+        let body = chain_body();
+        let m = huff_machine();
+        let p = SchedProblem::new(&body, &m).unwrap();
+        let md = MinDist::compute(&p, 5);
+        for i in 0..p.num_nodes() {
+            assert_eq!(md.get(i, i), 0);
+        }
+    }
+
+    #[test]
+    fn estart_lstart_shape_on_sample() {
+        // Estart(x) = MinDist(Start, x) is non-negative for every op.
+        let body = chain_body();
+        let m = huff_machine();
+        let p = SchedProblem::new(&body, &m).unwrap();
+        let md = MinDist::compute(&p, 3);
+        for i in 0..p.num_real_ops() {
+            assert!(md.get(p.start(), i) >= 0);
+            assert!(md.get(i, p.stop()) >= 0);
+        }
+    }
+}

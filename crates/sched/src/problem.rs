@@ -1,0 +1,307 @@
+//! The scheduling problem: a loop body bound to a machine.
+
+use std::fmt;
+
+use lsms_ir::{LoopBody, OpId};
+use lsms_machine::{assign_units, dep_latency, Machine, OpDesc, UnitAssignment};
+
+/// A dependence arc with its latency resolved against the target machine.
+///
+/// Node indices are *problem* indices: `0..n` are the body's operations (in
+/// [`OpId::index`] order), `n` is `Start`, and `n + 1` is `Stop` (§4.1).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Arc {
+    /// Source node.
+    pub from: usize,
+    /// Sink node.
+    pub to: usize,
+    /// Machine latency of the dependence.
+    pub latency: i64,
+    /// Iteration distance ω.
+    pub omega: u32,
+}
+
+impl Arc {
+    /// The arc's weight in the longest-paths formulation at a candidate II:
+    /// `latency − ω·II`.
+    pub fn weight(&self, ii: u32) -> i64 {
+        self.latency - i64::from(self.omega) * i64::from(ii)
+    }
+}
+
+/// Errors detected while building a [`SchedProblem`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProblemError {
+    /// The loop body failed structural validation.
+    Body(lsms_ir::BodyError),
+    /// The dependence graph has a circuit whose total ω is zero — no
+    /// initiation interval can satisfy it.
+    ZeroOmegaCycle,
+}
+
+impl fmt::Display for ProblemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProblemError::Body(e) => write!(f, "invalid loop body: {e}"),
+            ProblemError::ZeroOmegaCycle => {
+                f.write_str("dependence circuit with zero total omega (unschedulable)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProblemError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProblemError::Body(e) => Some(e),
+            ProblemError::ZeroOmegaCycle => None,
+        }
+    }
+}
+
+/// A loop body paired with a machine: arcs resolved to `(latency, ω)`,
+/// operations bound to unit instances, `Start`/`Stop` pseudo-operations
+/// added, and the §3.1 lower bounds precomputed.
+#[derive(Clone, Debug)]
+pub struct SchedProblem<'a> {
+    body: &'a LoopBody,
+    machine: &'a Machine,
+    assignments: Vec<UnitAssignment>,
+    arcs: Vec<Arc>,
+    out: Vec<Vec<usize>>,
+    inn: Vec<Vec<usize>>,
+    res_mii: u32,
+    rec_mii: u32,
+}
+
+impl<'a> SchedProblem<'a> {
+    /// Builds the problem: validates the body, resolves arc latencies,
+    /// assigns unit instances, adds `Start`/`Stop` arcs, and computes
+    /// `ResMII` and `RecMII`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProblemError::Body`] if the body is structurally invalid
+    /// and [`ProblemError::ZeroOmegaCycle`] if a dependence circuit has
+    /// zero total ω.
+    pub fn new(body: &'a LoopBody, machine: &'a Machine) -> Result<Self, ProblemError> {
+        body.validate().map_err(ProblemError::Body)?;
+        let n = body.num_ops();
+        let start = n;
+        let stop = n + 1;
+        let mut arcs = Vec::with_capacity(body.deps().len() + 2 * n);
+        for dep in body.deps() {
+            arcs.push(Arc {
+                from: dep.from.index(),
+                to: dep.to.index(),
+                latency: dep_latency(machine, body, dep),
+                omega: dep.omega,
+            });
+        }
+        for op in body.ops() {
+            // Start precedes everything at distance 0; Stop succeeds
+            // everything by the operation's own latency, so that
+            // Estart(Stop) is the schedule's makespan.
+            arcs.push(Arc { from: start, to: op.id.index(), latency: 0, omega: 0 });
+            arcs.push(Arc {
+                from: op.id.index(),
+                to: stop,
+                latency: i64::from(machine.latency(op.kind)),
+                omega: 0,
+            });
+        }
+        if n == 0 {
+            arcs.push(Arc { from: start, to: stop, latency: 0, omega: 0 });
+        }
+        let total = n + 2;
+        let mut out = vec![Vec::new(); total];
+        let mut inn = vec![Vec::new(); total];
+        for (i, arc) in arcs.iter().enumerate() {
+            out[arc.from].push(i);
+            inn[arc.to].push(i);
+        }
+        let mut problem = Self {
+            body,
+            machine,
+            assignments: assign_units(machine, body),
+            arcs,
+            out,
+            inn,
+            res_mii: lsms_machine::res_mii(machine, body),
+            rec_mii: 0,
+        };
+        problem.rec_mii =
+            crate::bounds::rec_mii(&problem).ok_or(ProblemError::ZeroOmegaCycle)?;
+        Ok(problem)
+    }
+
+    /// The underlying loop body.
+    pub fn body(&self) -> &'a LoopBody {
+        self.body
+    }
+
+    /// The target machine.
+    pub fn machine(&self) -> &'a Machine {
+        self.machine
+    }
+
+    /// Number of real (non-pseudo) operations.
+    pub fn num_real_ops(&self) -> usize {
+        self.body.num_ops()
+    }
+
+    /// Total node count including `Start` and `Stop`.
+    pub fn num_nodes(&self) -> usize {
+        self.body.num_ops() + 2
+    }
+
+    /// The `Start` pseudo-operation's node index (fixed at cycle 0).
+    pub fn start(&self) -> usize {
+        self.body.num_ops()
+    }
+
+    /// The `Stop` pseudo-operation's node index.
+    pub fn stop(&self) -> usize {
+        self.body.num_ops() + 1
+    }
+
+    /// True for the `Start`/`Stop` pseudo nodes, which consume no machine
+    /// resources.
+    pub fn is_pseudo(&self, node: usize) -> bool {
+        node >= self.body.num_ops()
+    }
+
+    /// All arcs, including the `Start`/`Stop` arcs.
+    pub fn arcs(&self) -> &[Arc] {
+        &self.arcs
+    }
+
+    /// Arc indices leaving `node`.
+    pub fn arcs_from(&self, node: usize) -> impl Iterator<Item = &Arc> + '_ {
+        self.out[node].iter().map(|&i| &self.arcs[i])
+    }
+
+    /// Arc indices entering `node`.
+    pub fn arcs_to(&self, node: usize) -> impl Iterator<Item = &Arc> + '_ {
+        self.inn[node].iter().map(|&i| &self.arcs[i])
+    }
+
+    /// The unit instance the operation at problem index `node` was bound
+    /// to before scheduling.
+    ///
+    /// # Panics
+    ///
+    /// Panics for pseudo nodes, which are never bound to units.
+    pub fn assignment(&self, node: usize) -> UnitAssignment {
+        assert!(!self.is_pseudo(node), "pseudo nodes use no units");
+        self.assignments[node]
+    }
+
+    /// The machine description of the operation at problem index `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for pseudo nodes.
+    pub fn desc(&self, node: usize) -> &OpDesc {
+        assert!(!self.is_pseudo(node), "pseudo nodes use no units");
+        self.machine.desc(self.body.ops()[node].kind)
+    }
+
+    /// The resource-contention bound ResMII (§3.1).
+    pub fn res_mii(&self) -> u32 {
+        self.res_mii
+    }
+
+    /// The recurrence-circuit bound RecMII (§3.1).
+    pub fn rec_mii(&self) -> u32 {
+        self.rec_mii
+    }
+
+    /// `MII = max(ResMII, RecMII)`: the absolute lower bound on II.
+    pub fn mii(&self) -> u32 {
+        self.res_mii.max(self.rec_mii)
+    }
+
+    /// The problem index of the loop's `brtop`, if the body has one. The
+    /// slack framework never ejects it (§4.4).
+    pub fn brtop(&self) -> Option<usize> {
+        self.body.brtop().map(OpId::index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsms_ir::{LoopBuilder, OpKind, ValueType};
+    use lsms_machine::huff_machine;
+
+    #[test]
+    fn start_stop_arcs_cover_every_op() {
+        let mut b = LoopBuilder::new("t");
+        let a = b.invariant(ValueType::Addr, "a");
+        let x = b.new_value(ValueType::Float);
+        b.op(OpKind::Load, &[a], Some(x));
+        b.op(OpKind::Store, &[a, x], None);
+        let body = b.finish();
+        let m = huff_machine();
+        let p = SchedProblem::new(&body, &m).unwrap();
+        assert_eq!(p.num_nodes(), 4);
+        // Start reaches both ops; both ops reach Stop.
+        assert_eq!(p.arcs_from(p.start()).count(), 2);
+        assert_eq!(p.arcs_to(p.stop()).count(), 2);
+        // Load -> Stop carries the load latency.
+        let load_to_stop = p
+            .arcs_to(p.stop())
+            .find(|arc| arc.from == 0)
+            .expect("missing load->stop arc");
+        assert_eq!(load_to_stop.latency, 13);
+    }
+
+    #[test]
+    fn zero_omega_cycle_is_rejected() {
+        let mut b = LoopBuilder::new("bad");
+        let x = b.new_value(ValueType::Float);
+        let y = b.new_value(ValueType::Float);
+        let o1 = b.op(OpKind::FAdd, &[y, y], Some(x));
+        let o2 = b.op(OpKind::FMul, &[x, x], Some(y));
+        b.flow_dep(o1, o2, 0);
+        b.flow_dep(o2, o1, 0);
+        let body = b.finish();
+        let m = huff_machine();
+        assert_eq!(
+            SchedProblem::new(&body, &m).unwrap_err(),
+            ProblemError::ZeroOmegaCycle
+        );
+    }
+
+    #[test]
+    fn arc_weight_subtracts_omega_times_ii() {
+        let arc = Arc { from: 0, to: 1, latency: 13, omega: 2 };
+        assert_eq!(arc.weight(5), 3);
+        assert_eq!(arc.weight(7), -1);
+    }
+
+    #[test]
+    fn empty_body_is_schedulable() {
+        let body = LoopBuilder::new("empty").finish();
+        let m = huff_machine();
+        let p = SchedProblem::new(&body, &m).unwrap();
+        assert_eq!(p.mii(), 1);
+        assert_eq!(p.num_real_ops(), 0);
+    }
+
+    #[test]
+    fn mii_is_max_of_both_bounds() {
+        // A single fdiv: ResMII = 17 dominates.
+        let mut b = LoopBuilder::new("d");
+        let f = b.invariant(ValueType::Float, "f");
+        let r = b.new_value(ValueType::Float);
+        b.op(OpKind::FDiv, &[f, f], Some(r));
+        let body = b.finish();
+        let m = huff_machine();
+        let p = SchedProblem::new(&body, &m).unwrap();
+        assert_eq!(p.res_mii(), 17);
+        assert_eq!(p.rec_mii(), 1);
+        assert_eq!(p.mii(), 17);
+    }
+}

@@ -1,0 +1,123 @@
+//! Algebraic properties of the MinDist relation and the II bounds, over
+//! random dependence graphs.
+
+use lsms_ir::{LoopBody, LoopBuilder, OpKind, ValueType};
+use lsms_machine::huff_machine;
+use lsms_sched::mindist::NO_PATH;
+use lsms_sched::{MinDist, SchedProblem};
+use proptest::prelude::*;
+
+/// A random DAG-with-back-arcs body (same construction idea as the main
+/// property suite, kept local and simple).
+fn body_from(arcs: &[(u8, u8, u8)], n: usize) -> LoopBody {
+    let mut b = LoopBuilder::new("g");
+    let fin = b.invariant(ValueType::Float, "fin");
+    let ops: Vec<_> = (0..n)
+        .map(|_| {
+            let v = b.new_value(ValueType::Float);
+            b.op(OpKind::FMul, &[fin, fin], Some(v))
+        })
+        .collect();
+    for &(from, to, omega) in arcs {
+        let (f, t) = (from as usize % n, to as usize % n);
+        // Keep zero-omega arcs forward so no zero-omega cycle forms.
+        let omega = if t <= f { u32::from(omega % 3) + 1 } else { u32::from(omega % 3) };
+        b.flow_dep(ops[f], ops[t], omega);
+    }
+    b.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn mindist_satisfies_the_longest_path_triangle_inequality(
+        arcs in prop::collection::vec((0u8..12, 0u8..12, 0u8..3), 1..24),
+        extra_ii in 0u32..4,
+    ) {
+        let body = body_from(&arcs, 12);
+        let machine = huff_machine();
+        let problem = SchedProblem::new(&body, &machine).expect("buildable");
+        let ii = problem.rec_mii() + extra_ii;
+        let md = MinDist::compute(&problem, ii);
+        prop_assert!(md.is_feasible());
+        let n = problem.num_nodes();
+        for a in 0..n {
+            // Diagonal pinned at zero.
+            prop_assert_eq!(md.get(a, a), 0);
+            for b in 0..n {
+                let dab = md.get(a, b);
+                if dab == NO_PATH {
+                    continue;
+                }
+                for c in 0..n {
+                    let dbc = md.get(b, c);
+                    if dbc == NO_PATH {
+                        continue;
+                    }
+                    // Longest path: d(a,c) >= d(a,b) + d(b,c).
+                    let dac = md.get(a, c);
+                    prop_assert!(dac != NO_PATH && dac >= dab + dbc,
+                        "d({a},{c}) = {dac} < {dab} + {dbc}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn feasibility_flips_exactly_at_rec_mii(
+        arcs in prop::collection::vec((0u8..10, 0u8..10, 0u8..3), 1..20),
+    ) {
+        let body = body_from(&arcs, 10);
+        let machine = huff_machine();
+        let problem = SchedProblem::new(&body, &machine).expect("buildable");
+        let rec = problem.rec_mii();
+        prop_assert!(MinDist::compute(&problem, rec).is_feasible());
+        prop_assert!(MinDist::compute(&problem, rec + 3).is_feasible());
+        if rec > 1 {
+            prop_assert!(!MinDist::compute(&problem, rec - 1).is_feasible());
+        }
+    }
+
+    #[test]
+    fn mindist_weakly_decreases_as_ii_grows(
+        arcs in prop::collection::vec((0u8..10, 0u8..10, 0u8..3), 1..20),
+    ) {
+        let body = body_from(&arcs, 10);
+        let machine = huff_machine();
+        let problem = SchedProblem::new(&body, &machine).expect("buildable");
+        let rec = problem.rec_mii();
+        let small = MinDist::compute(&problem, rec);
+        let large = MinDist::compute(&problem, rec + 2);
+        let n = problem.num_nodes();
+        for a in 0..n {
+            for b in 0..n {
+                let (ds, dl) = (small.get(a, b), large.get(a, b));
+                prop_assert_eq!(ds == NO_PATH, dl == NO_PATH);
+                if ds != NO_PATH {
+                    // Arc weights latency − ω·II are non-increasing in II.
+                    prop_assert!(dl <= ds, "d({a},{b}) grew: {ds} -> {dl}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn estart_bounds_hold_in_actual_schedules(
+        arcs in prop::collection::vec((0u8..10, 0u8..10, 0u8..3), 1..18),
+    ) {
+        use lsms_sched::SlackScheduler;
+        let body = body_from(&arcs, 10);
+        let machine = huff_machine();
+        let problem = SchedProblem::new(&body, &machine).expect("buildable");
+        let schedule = SlackScheduler::new().run(&problem).expect("schedules");
+        let md = MinDist::compute(&problem, schedule.ii);
+        // Every op starts no earlier than MinDist(Start, op): the initial
+        // Estart of §4.1 is a true lower bound.
+        for op in 0..problem.num_real_ops() {
+            let e0 = md.get(problem.start(), op);
+            prop_assert!(schedule.times[op] >= e0,
+                "op {op} at {} before its Estart {e0}", schedule.times[op]);
+        }
+    }
+}

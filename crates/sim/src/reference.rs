@@ -1,0 +1,374 @@
+//! The source-level reference interpreter: semantic ground truth.
+
+use std::collections::BTreeMap;
+
+use lsms_front::{BinOp, CompiledLoop, Cond, Expr, LValue, RelOp, Stmt, Ty};
+
+use crate::Workspace;
+
+/// Interprets the loop's AST over the workspace, returning the final
+/// array contents (same shape as `workspace.arrays`).
+///
+/// Semantics are chosen to match the lowered IR exactly:
+///
+/// * `-x` evaluates as `0.0 - x` (or `0 - x`), matching the `FSub`
+///   lowering (so `-0.0` artifacts agree);
+/// * integer arithmetic wraps; integer division or remainder by zero
+///   yields zero;
+/// * conditional branches evaluate only the taken side's *assignments*,
+///   but arithmetic is pure, so speculative evaluation in the pipeline
+///   cannot diverge.
+///
+/// # Panics
+///
+/// Panics if an array access falls outside the workspace's arrays — the
+/// harness sizes them to make that impossible.
+pub fn run_reference(compiled: &CompiledLoop, workspace: &Workspace) -> Vec<Vec<u64>> {
+    let mut arrays = workspace.arrays.clone();
+    let mut scalars: BTreeMap<String, u64> = workspace.scalar_inits.clone();
+    let def = &compiled.def;
+    'iterations: for i in workspace.lo..workspace.lo + workspace.trip as i64 {
+        for stmt in &def.body {
+            match stmt {
+                Stmt::BreakIf { cond } => {
+                    // Post-tested exit: the iteration completed; stop
+                    // starting new ones when the condition fires.
+                    if eval_cond(cond, compiled, ws_ref(workspace), &mut arrays, &mut scalars, i)
+                    {
+                        break 'iterations;
+                    }
+                }
+                _ => exec_stmt(stmt, compiled, workspace, &mut arrays, &mut scalars, i),
+            }
+        }
+    }
+    arrays
+}
+
+fn ws_ref(ws: &Workspace) -> &Workspace {
+    ws
+}
+
+fn exec_stmt(
+    stmt: &Stmt,
+    compiled: &CompiledLoop,
+    ws: &Workspace,
+    arrays: &mut [Vec<u64>],
+    scalars: &mut BTreeMap<String, u64>,
+    i: i64,
+) {
+    match stmt {
+        Stmt::Assign { target, value, .. } => {
+            let want = target_type(target, compiled);
+            let bits = eval(value, compiled, ws, arrays, scalars, i, want);
+            match target {
+                LValue::Elem { array, offset } => {
+                    let (idx, _) = compiled.info.array(array).expect("sema checked");
+                    let elem = usize::try_from(i + offset).expect("negative array index");
+                    arrays[idx][elem] = bits;
+                }
+                LValue::Scalar(name) => {
+                    scalars.insert(name.clone(), bits);
+                }
+            }
+        }
+        Stmt::If { cond, then_body, else_body } => {
+            let taken = eval_cond(cond, compiled, ws, arrays, scalars, i);
+            let body = if taken { then_body } else { else_body };
+            for s in body {
+                exec_stmt(s, compiled, ws, arrays, scalars, i);
+            }
+        }
+        Stmt::BreakIf { .. } => {
+            unreachable!("sema keeps `break if` at top level; handled by the driver loop")
+        }
+    }
+}
+
+fn target_type(target: &LValue, compiled: &CompiledLoop) -> Ty {
+    match target {
+        LValue::Elem { array, .. } => compiled.info.array(array).expect("sema checked").1,
+        LValue::Scalar(name) => compiled.info.carried(name).unwrap_or(Ty::Real),
+    }
+}
+
+/// The definite type of an expression, or `None` when it consists only of
+/// polymorphic integer literals. Mirrors `sema::type_of` exactly.
+fn definite_type(expr: &Expr, compiled: &CompiledLoop) -> Option<Ty> {
+    match expr {
+        Expr::Real(_) => Some(Ty::Real),
+        Expr::Int(_) => None,
+        Expr::Scalar(name, _) => {
+            compiled.info.param(name).or_else(|| compiled.info.carried(name))
+        }
+        Expr::Elem { array, .. } => compiled.info.array(array).map(|(_, t)| t),
+        Expr::Neg(x) => definite_type(x, compiled),
+        Expr::Bin(op, l, r) => {
+            if *op == BinOp::Rem {
+                return Some(Ty::Int);
+            }
+            definite_type(l, compiled).or_else(|| definite_type(r, compiled))
+        }
+        Expr::Sqrt(_) => Some(Ty::Real),
+        Expr::MinMax { lhs, rhs, .. } => {
+            definite_type(lhs, compiled).or_else(|| definite_type(rhs, compiled))
+        }
+        Expr::Abs(x) => definite_type(x, compiled),
+    }
+}
+
+/// The statically resolved type of an expression, defaulting literal-only
+/// subtrees to `want`.
+fn expr_type(expr: &Expr, compiled: &CompiledLoop, want: Ty) -> Ty {
+    definite_type(expr, compiled).unwrap_or(want)
+}
+
+fn eval_cond(
+    cond: &Cond,
+    compiled: &CompiledLoop,
+    ws: &Workspace,
+    arrays: &mut [Vec<u64>],
+    scalars: &mut BTreeMap<String, u64>,
+    i: i64,
+) -> bool {
+    // First operand's definite type, else the second's, else real — the
+    // same rule the lowering applies.
+    let ty = definite_type(&cond.lhs, compiled)
+        .or_else(|| definite_type(&cond.rhs, compiled))
+        .unwrap_or(Ty::Real);
+    let a = eval(&cond.lhs, compiled, ws, arrays, scalars, i, ty);
+    let b = eval(&cond.rhs, compiled, ws, arrays, scalars, i, ty);
+    compare(cond.op, ty, a, b)
+}
+
+/// Shared comparison semantics for both engines.
+pub(crate) fn compare(op: RelOp, ty: Ty, a: u64, b: u64) -> bool {
+    match ty {
+        Ty::Real => {
+            let (x, y) = (f64::from_bits(a), f64::from_bits(b));
+            match op {
+                RelOp::Eq => x == y,
+                RelOp::Ne => x != y,
+                RelOp::Lt => x < y,
+                RelOp::Le => x <= y,
+                RelOp::Gt => x > y,
+                RelOp::Ge => x >= y,
+            }
+        }
+        Ty::Int => {
+            let (x, y) = (a as i64, b as i64);
+            match op {
+                RelOp::Eq => x == y,
+                RelOp::Ne => x != y,
+                RelOp::Lt => x < y,
+                RelOp::Le => x <= y,
+                RelOp::Gt => x > y,
+                RelOp::Ge => x >= y,
+            }
+        }
+    }
+}
+
+/// Shared binary-arithmetic semantics for both engines.
+pub(crate) fn arith(op: BinOp, ty: Ty, a: u64, b: u64) -> u64 {
+    match ty {
+        Ty::Real => {
+            let (x, y) = (f64::from_bits(a), f64::from_bits(b));
+            let r = match op {
+                BinOp::Add => x + y,
+                BinOp::Sub => x - y,
+                BinOp::Mul => x * y,
+                BinOp::Div => x / y,
+                BinOp::Rem => unreachable!("sema rejects real %"),
+            };
+            r.to_bits()
+        }
+        Ty::Int => {
+            let (x, y) = (a as i64, b as i64);
+            let r = match op {
+                BinOp::Add => x.wrapping_add(y),
+                BinOp::Sub => x.wrapping_sub(y),
+                BinOp::Mul => x.wrapping_mul(y),
+                BinOp::Div => {
+                    if y == 0 {
+                        0
+                    } else {
+                        x.wrapping_div(y)
+                    }
+                }
+                BinOp::Rem => {
+                    if y == 0 {
+                        0
+                    } else {
+                        x.wrapping_rem(y)
+                    }
+                }
+            };
+            r as u64
+        }
+    }
+}
+
+fn eval(
+    expr: &Expr,
+    compiled: &CompiledLoop,
+    ws: &Workspace,
+    arrays: &mut [Vec<u64>],
+    scalars: &mut BTreeMap<String, u64>,
+    i: i64,
+    want: Ty,
+) -> u64 {
+    match expr {
+        Expr::Real(x) => x.to_bits(),
+        Expr::Int(x) => match want {
+            Ty::Real => (*x as f64).to_bits(),
+            Ty::Int => *x as u64,
+        },
+        Expr::Scalar(name, _) => {
+            if let Some(&bits) = scalars.get(name.as_str()) {
+                bits
+            } else {
+                *ws.params.get(name.as_str()).unwrap_or_else(|| {
+                    panic!("parameter `{name}` missing from workspace")
+                })
+            }
+        }
+        Expr::Elem { array, offset, .. } => {
+            let (idx, _) = compiled.info.array(array).expect("sema checked");
+            let elem = usize::try_from(i + offset).expect("negative array index");
+            arrays[idx][elem]
+        }
+        Expr::Neg(inner) => {
+            let ty = expr_type(inner, compiled, want);
+            let x = eval(inner, compiled, ws, arrays, scalars, i, ty);
+            let zero = match ty {
+                Ty::Real => 0f64.to_bits(),
+                Ty::Int => 0u64,
+            };
+            arith(BinOp::Sub, ty, zero, x)
+        }
+        Expr::Bin(op, lhs, rhs) => {
+            let ty = if *op == BinOp::Rem {
+                Ty::Int
+            } else {
+                expr_type(expr, compiled, want)
+            };
+            let a = eval(lhs, compiled, ws, arrays, scalars, i, ty);
+            let b = eval(rhs, compiled, ws, arrays, scalars, i, ty);
+            arith(*op, ty, a, b)
+        }
+        Expr::Sqrt(inner) => {
+            let x = eval(inner, compiled, ws, arrays, scalars, i, Ty::Real);
+            f64::from_bits(x).sqrt().to_bits()
+        }
+        Expr::MinMax { is_max, lhs, rhs } => {
+            // Matches the select lowering exactly: min = (a < b) ? a : b,
+            // max = (a > b) ? a : b — so NaN and -0.0 behaviour agree.
+            let ty = expr_type(expr, compiled, want);
+            let a = eval(lhs, compiled, ws, arrays, scalars, i, ty);
+            let b = eval(rhs, compiled, ws, arrays, scalars, i, ty);
+            let op = if *is_max { RelOp::Gt } else { RelOp::Lt };
+            if compare(op, ty, a, b) {
+                a
+            } else {
+                b
+            }
+        }
+        Expr::Abs(inner) => {
+            // abs(x) = (x < 0) ? 0 - x : x, matching the lowering.
+            let ty = expr_type(inner, compiled, want);
+            let x = eval(inner, compiled, ws, arrays, scalars, i, ty);
+            let zero = match ty {
+                Ty::Real => 0f64.to_bits(),
+                Ty::Int => 0u64,
+            };
+            if compare(RelOp::Lt, ty, x, zero) {
+                arith(BinOp::Sub, ty, zero, x)
+            } else {
+                x
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsms_front::compile;
+
+    fn ws(arrays: Vec<Vec<f64>>, trip: u64, lo: i64) -> Workspace {
+        Workspace {
+            arrays: arrays
+                .into_iter()
+                .map(|a| a.into_iter().map(f64::to_bits).collect())
+                .collect(),
+            params: BTreeMap::new(),
+            scalar_inits: BTreeMap::new(),
+            lo,
+            trip,
+        }
+    }
+
+    fn floats(bits: &[u64]) -> Vec<f64> {
+        bits.iter().map(|&b| f64::from_bits(b)).collect()
+    }
+
+    #[test]
+    fn interprets_the_sample_recurrence() {
+        let unit = compile(
+            "loop sample(i = 2..n) {
+                 real x[], y[];
+                 x[i] = x[i-1] + y[i-2];
+                 y[i] = y[i-1] + x[i-2];
+             }",
+        )
+        .unwrap();
+        let mut w = ws(vec![vec![1.0; 6], vec![2.0; 6]], 4, 2);
+        w.params.insert("n".into(), 5);
+        let out = run_reference(&unit.loops[0], &w);
+        let x = floats(&out[0]);
+        // x[2] = x[1] + y[0] = 1 + 2 = 3; y[2] = y[1] + x[0] = 3;
+        // x[3] = x[2] + y[1] = 5; y[3] = y[2]+x[1] = 4;
+        // x[4] = 5 + 3 = 8; y[4] = 4 + 3 = 7; x[5] = 8+4=12.
+        assert_eq!(x[2], 3.0);
+        assert_eq!(x[3], 5.0);
+        assert_eq!(x[4], 8.0);
+        assert_eq!(x[5], 12.0);
+    }
+
+    #[test]
+    fn interprets_conditionals_and_scalars() {
+        let unit = compile(
+            "loop m(i = 0..n) {
+                 real x[], y[];
+                 real s;
+                 if (x[i] > s) { s = x[i]; }
+                 y[i] = s;
+             }",
+        )
+        .unwrap();
+        let mut w = ws(vec![vec![1.0, 5.0, 3.0, 9.0], vec![0.0; 4]], 4, 0);
+        w.scalar_inits.insert("s".into(), 2f64.to_bits());
+        let out = run_reference(&unit.loops[0], &w);
+        assert_eq!(floats(&out[1]), vec![2.0, 5.0, 5.0, 9.0]);
+    }
+
+    #[test]
+    fn integer_semantics_wrap_and_guard_zero_division() {
+        assert_eq!(arith(BinOp::Div, Ty::Int, 7u64, 0u64), 0);
+        assert_eq!(arith(BinOp::Rem, Ty::Int, 7u64, 0u64), 0);
+        assert_eq!(
+            arith(BinOp::Add, Ty::Int, i64::MAX as u64, 1u64) as i64,
+            i64::MIN
+        );
+    }
+
+    #[test]
+    fn negation_matches_sub_from_zero() {
+        // -0.0 must come out as 0.0 - 0.0 == 0.0, not -0.0.
+        let unit = compile("loop n(i = 0..4) { real x[], y[]; y[i] = -x[i]; }").unwrap();
+        let w = ws(vec![vec![0.0; 4], vec![7.0; 4]], 4, 0);
+        let out = run_reference(&unit.loops[0], &w);
+        assert_eq!(out[1][0], 0f64.to_bits(), "0.0 - 0.0 is +0.0");
+    }
+}

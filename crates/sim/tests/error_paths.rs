@@ -1,0 +1,130 @@
+//! Simulator failure modes: every [`SimError`] variant the harness can
+//! surface, plus workspace construction edge cases.
+
+use lsms_front::compile;
+use lsms_ir::RegClass;
+use lsms_machine::huff_machine;
+use lsms_regalloc::{allocate_rotating, Strategy};
+use lsms_sched::{SchedProblem, SlackScheduler};
+use lsms_sim::{make_workspace, run_kernel, run_mve, run_reference, SimError};
+
+const AXPY: &str = "loop axpy(i = 1..n) {
+    real x[], y[];
+    param real a;
+    y[i] = y[i] + a * x[i];
+}";
+
+fn pipeline(
+    src: &str,
+) -> (
+    lsms_front::CompiledLoop,
+    lsms_machine::Machine,
+) {
+    let unit = compile(src).unwrap();
+    (unit.loops.into_iter().next().unwrap(), huff_machine())
+}
+
+#[test]
+fn missing_parameter_is_reported() {
+    let (compiled, machine) = pipeline(AXPY);
+    let problem = SchedProblem::new(&compiled.body, &machine).unwrap();
+    let schedule = SlackScheduler::new().run(&problem).unwrap();
+    let rr = allocate_rotating(&problem, &schedule, RegClass::Rr, Strategy::default()).unwrap();
+    let icr = allocate_rotating(&problem, &schedule, RegClass::Icr, Strategy::default()).unwrap();
+    let kernel = lsms_codegen::emit(&problem, &schedule, &rr, &icr).unwrap();
+    let mut ws = make_workspace(&compiled, 5, 1);
+    ws.params.clear(); // drop `a` and `n`
+    let err = run_kernel(&compiled, &problem, &schedule, &kernel, &rr, &icr, &ws).unwrap_err();
+    assert!(matches!(err, SimError::MissingParam(ref p) if p == "a" || p == "n"), "{err}");
+    let err = run_mve(
+        &compiled,
+        &problem,
+        &schedule,
+        &lsms_codegen::emit_mve(&problem, &schedule).unwrap(),
+        &ws,
+    )
+    .unwrap_err();
+    assert!(matches!(err, SimError::MissingParam(_)), "{err}");
+}
+
+#[test]
+fn missing_scalar_init_is_reported() {
+    let (compiled, machine) = pipeline(
+        "loop scan(i = 1..n) {
+             real x[], y[];
+             real s;
+             s = s + x[i];
+             y[i] = s;
+         }",
+    );
+    let problem = SchedProblem::new(&compiled.body, &machine).unwrap();
+    let schedule = SlackScheduler::new().run(&problem).unwrap();
+    let rr = allocate_rotating(&problem, &schedule, RegClass::Rr, Strategy::default()).unwrap();
+    let icr = allocate_rotating(&problem, &schedule, RegClass::Icr, Strategy::default()).unwrap();
+    let kernel = lsms_codegen::emit(&problem, &schedule, &rr, &icr).unwrap();
+    let mut ws = make_workspace(&compiled, 5, 1);
+    ws.scalar_inits.clear();
+    let err = run_kernel(&compiled, &problem, &schedule, &kernel, &rr, &icr, &ws).unwrap_err();
+    assert!(matches!(err, SimError::MissingScalarInit(ref s) if s == "s"), "{err}");
+}
+
+#[test]
+fn out_of_bounds_memory_is_reported() {
+    let (compiled, machine) = pipeline(AXPY);
+    let problem = SchedProblem::new(&compiled.body, &machine).unwrap();
+    let schedule = SlackScheduler::new().run(&problem).unwrap();
+    let rr = allocate_rotating(&problem, &schedule, RegClass::Rr, Strategy::default()).unwrap();
+    let icr = allocate_rotating(&problem, &schedule, RegClass::Icr, Strategy::default()).unwrap();
+    let kernel = lsms_codegen::emit(&problem, &schedule, &rr, &icr).unwrap();
+    let mut ws = make_workspace(&compiled, 50, 1);
+    // Shrink the arrays after layout sizing: late iterations run off the
+    // end.
+    for a in &mut ws.arrays {
+        a.truncate(4);
+    }
+    let err = run_kernel(&compiled, &problem, &schedule, &kernel, &rr, &icr, &ws).unwrap_err();
+    assert!(matches!(err, SimError::MemoryOutOfBounds { .. }), "{err}");
+}
+
+#[test]
+fn workspace_layout_covers_all_accesses() {
+    // Deep negative and positive offsets plus seeds: the workspace must be
+    // sized so the reference interpreter and both simulators never leave
+    // the arrays.
+    let (compiled, machine) = pipeline(
+        "loop wide(i = 1..n) {
+             real a[], b[];
+             a[i] = a[i-4] + b[i+10];
+             b[i+1] = a[i] * 0.5;
+         }",
+    );
+    let ws = make_workspace(&compiled, 30, 9);
+    assert!(ws.lo >= 4, "lo must clear the deepest negative reach");
+    let needed = (ws.lo + 30 + 10) as usize;
+    assert!(ws.arrays.iter().all(|a| a.len() > needed));
+    // And the pipeline actually runs clean.
+    let problem = SchedProblem::new(&compiled.body, &machine).unwrap();
+    let schedule = SlackScheduler::new().run(&problem).unwrap();
+    let rr = allocate_rotating(&problem, &schedule, RegClass::Rr, Strategy::default()).unwrap();
+    let icr = allocate_rotating(&problem, &schedule, RegClass::Icr, Strategy::default()).unwrap();
+    let kernel = lsms_codegen::emit(&problem, &schedule, &rr, &icr).unwrap();
+    let got = run_kernel(&compiled, &problem, &schedule, &kernel, &rr, &icr, &ws).unwrap();
+    assert_eq!(got.arrays, run_reference(&compiled, &ws));
+}
+
+#[test]
+fn zero_stage_edge_trips_execute() {
+    // trip == 1 with a deep pipeline: every stage beyond the first is
+    // ramp-down only.
+    let (compiled, machine) = pipeline(AXPY);
+    let problem = SchedProblem::new(&compiled.body, &machine).unwrap();
+    let schedule = SlackScheduler::new().run(&problem).unwrap();
+    let rr = allocate_rotating(&problem, &schedule, RegClass::Rr, Strategy::default()).unwrap();
+    let icr = allocate_rotating(&problem, &schedule, RegClass::Icr, Strategy::default()).unwrap();
+    let kernel = lsms_codegen::emit(&problem, &schedule, &rr, &icr).unwrap();
+    let ws = make_workspace(&compiled, 1, 3);
+    let got = run_kernel(&compiled, &problem, &schedule, &kernel, &rr, &icr, &ws).unwrap();
+    assert_eq!(got.arrays, run_reference(&compiled, &ws));
+    // Cycle count: (trip + stages - 1) * II.
+    assert_eq!(got.cycles, u64::from(schedule.stages()) * u64::from(schedule.ii));
+}

@@ -1,0 +1,73 @@
+//! Quickstart: compile a loop, pipeline it, and look at the result.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use lsms::codegen::{emit, to_asm};
+use lsms::front::compile;
+use lsms::ir::RegClass;
+use lsms::machine::huff_machine;
+use lsms::regalloc::{allocate_rotating, Strategy};
+use lsms::sched::pressure::measure;
+use lsms::sched::{SchedProblem, SlackScheduler};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A DAXPY loop in the DSL.
+    let unit = compile(
+        "loop daxpy(i = 1..n) {
+             real x[], y[];
+             param real a;
+             y[i] = y[i] + a * x[i];
+         }",
+    )?;
+    let compiled = &unit.loops[0];
+
+    // 2. Bind it to the paper's machine and look at the lower bounds.
+    let machine = huff_machine();
+    let problem = SchedProblem::new(&compiled.body, &machine)?;
+    println!(
+        "daxpy: {} ops, ResMII = {}, RecMII = {}, MII = {}",
+        problem.num_real_ops(),
+        problem.res_mii(),
+        problem.rec_mii(),
+        problem.mii()
+    );
+
+    // 3. Software-pipeline it with the bidirectional slack scheduler.
+    let schedule = SlackScheduler::new().run(&problem)?;
+    println!(
+        "scheduled at II = {} ({} stages, length {})",
+        schedule.ii,
+        schedule.stages(),
+        schedule.length()
+    );
+    for op in compiled.body.ops() {
+        println!(
+            "  cycle {:>3}  (kernel slot {}, stage {})  {}",
+            schedule.times[op.id.index()],
+            schedule.kernel_cycle(op.id.index()),
+            schedule.stage(op.id.index()),
+            op.kind,
+        );
+    }
+
+    // 4. Measure register pressure against the schedule-independent bound.
+    let pressure = measure(&problem, &schedule);
+    println!(
+        "RR pressure: MaxLive = {} (MinAvg lower bound = {}), GPRs = {}",
+        pressure.rr_max_live, pressure.rr_min_avg, pressure.gprs
+    );
+
+    // 5. Allocate rotating registers and print the kernel.
+    let rr = allocate_rotating(&problem, &schedule, RegClass::Rr, Strategy::default())?;
+    let icr = allocate_rotating(&problem, &schedule, RegClass::Icr, Strategy::default())?;
+    println!(
+        "rotating allocation: {} registers (MaxLive + {})",
+        rr.num_regs,
+        rr.excess()
+    );
+    let kernel = emit(&problem, &schedule, &rr, &icr)?;
+    println!("\n{}", to_asm(&kernel, &problem));
+    Ok(())
+}

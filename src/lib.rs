@@ -1,0 +1,56 @@
+//! # Lifetime-Sensitive Modulo Scheduling
+//!
+//! A from-scratch reproduction of Richard A. Huff, *Lifetime-Sensitive
+//! Modulo Scheduling* (PLDI 1993): software pipelining for minimal
+//! register pressure without sacrificing the loop's minimum execution
+//! time, together with every substrate the paper's evaluation rests on.
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! * [`ir`] — the ω-labelled dependence-graph IR;
+//! * [`machine`] — the Cydra-5-like VLIW model (Table 1) and the modulo
+//!   resource table;
+//! * [`front`] — a FORTRAN-flavoured loop DSL with if-conversion,
+//!   load/store elimination, and exact-distance dependence analysis;
+//! * [`sched`] — the bidirectional slack scheduler (§4–§5), a
+//!   Cydrome-style baseline (§8), the §3 lower bounds, and the register
+//!   pressure measures;
+//! * [`regalloc`] — rotating register allocation and modulo variable
+//!   expansion;
+//! * [`codegen`] — kernel-only code emission with rotating specifiers;
+//! * [`sim`] — a VLIW simulator plus a reference interpreter for
+//!   end-to-end equivalence checking;
+//! * [`loops`] — the synthesized 1,525-loop benchmark corpus.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use lsms::front::compile;
+//! use lsms::machine::huff_machine;
+//! use lsms::sched::{SchedProblem, SlackScheduler};
+//!
+//! let unit = compile(
+//!     "loop daxpy(i = 1..n) {
+//!          real x[], y[];
+//!          param real a;
+//!          y[i] = y[i] + a * x[i];
+//!      }",
+//! )?;
+//! let machine = huff_machine();
+//! let problem = SchedProblem::new(&unit.loops[0].body, &machine)?;
+//! let schedule = SlackScheduler::new().run(&problem)?;
+//! assert_eq!(schedule.ii, problem.mii());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use lsms_codegen as codegen;
+pub use lsms_front as front;
+pub use lsms_ir as ir;
+pub use lsms_loops as loops;
+pub use lsms_machine as machine;
+pub use lsms_regalloc as regalloc;
+pub use lsms_sched as sched;
+pub use lsms_sim as sim;

@@ -1,0 +1,43 @@
+//! The strongest whole-system property: any generated loop, pipelined by
+//! any direction policy, computes bit-for-bit what the source says.
+
+use lsms::machine::huff_machine;
+use lsms::sched::{DirectionPolicy, SlackConfig};
+use lsms::sim::{check_equivalence, RunConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_loops_compute_correctly_through_the_pipeline(
+        seed in 0u64..10_000,
+        trip in 1u64..40,
+        policy_sel in 0u8..3,
+    ) {
+        let loops = lsms::loops::generate(&lsms::loops::GeneratorConfig { seed, count: 1 });
+        let unit = lsms::front::compile(&loops[0].source).expect("generator emits valid DSL");
+        let machine = huff_machine();
+        let policy = match policy_sel {
+            0 => DirectionPolicy::Bidirectional,
+            1 => DirectionPolicy::AlwaysEarly,
+            _ => DirectionPolicy::AlwaysLate,
+        };
+        let config = RunConfig {
+            trip,
+            seed: seed ^ 0xdead_beef,
+            scheduler: SlackConfig { direction: policy, ..SlackConfig::default() },
+        };
+        // Scheduling failure is acceptable (counted elsewhere); incorrect
+        // computation never is.
+        match check_equivalence(&unit.loops[0], &machine, &config) {
+            Ok(report) => prop_assert!(report.elements > 0),
+            Err(e) => {
+                prop_assert!(
+                    e.starts_with("schedule:"),
+                    "non-scheduling failure on seed {seed}: {e}"
+                );
+            }
+        }
+    }
+}

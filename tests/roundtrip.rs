@@ -1,0 +1,37 @@
+//! Parser ↔ printer round trips over the whole corpus: printed source
+//! must re-parse to the same AST and compile to an identically shaped
+//! dependence graph.
+
+use lsms::front::{compile, lex, parse, print_loop};
+
+#[test]
+fn every_corpus_source_roundtrips() {
+    let mut sources: Vec<String> =
+        lsms::loops::kernels().into_iter().map(|k| k.source).collect();
+    sources.extend(
+        lsms::loops::generate(&lsms::loops::GeneratorConfig { seed: 77, count: 150 })
+            .into_iter()
+            .map(|l| l.source),
+    );
+    for source in sources {
+        let original = parse(&lex(&source).expect("lexes")).expect("parses");
+        let printed = print_loop(&original[0]);
+        let reparsed = parse(&lex(&printed).expect("printed output lexes"))
+            .unwrap_or_else(|e| panic!("printed output does not parse: {e}\n{printed}"));
+        assert_eq!(original[0].name, reparsed[0].name);
+        assert_eq!(original[0].decls, reparsed[0].decls);
+        assert_eq!(original[0].basic_blocks(), reparsed[0].basic_blocks());
+
+        // The compiled graphs must match shape for shape.
+        let a = compile(&source).expect("original compiles");
+        let b = compile(&printed).expect("printed output compiles");
+        let (a, b) = (&a.loops[0].body, &b.loops[0].body);
+        assert_eq!(a.num_ops(), b.num_ops(), "{printed}");
+        assert_eq!(a.deps().len(), b.deps().len(), "{printed}");
+        assert_eq!(a.class(), b.class(), "{printed}");
+        for (x, y) in a.ops().iter().zip(b.ops()) {
+            assert_eq!(x.kind, y.kind, "{printed}");
+            assert_eq!(x.input_omegas, y.input_omegas, "{printed}");
+        }
+    }
+}
