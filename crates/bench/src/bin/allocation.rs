@@ -19,10 +19,34 @@ fn main() {
     let machine = huff_machine();
     let corpus = lsms_loops::corpus(count, lsms_bench::CORPUS_SEED);
     let strategies = [
-        ("start/first", Strategy { ordering: Ordering::StartTime, fit: Fit::FirstFit }),
-        ("start/end", Strategy { ordering: Ordering::StartTime, fit: Fit::EndFit }),
-        ("long/first", Strategy { ordering: Ordering::LongestFirst, fit: Fit::FirstFit }),
-        ("long/end", Strategy { ordering: Ordering::LongestFirst, fit: Fit::EndFit }),
+        (
+            "start/first",
+            Strategy {
+                ordering: Ordering::StartTime,
+                fit: Fit::FirstFit,
+            },
+        ),
+        (
+            "start/end",
+            Strategy {
+                ordering: Ordering::StartTime,
+                fit: Fit::EndFit,
+            },
+        ),
+        (
+            "long/first",
+            Strategy {
+                ordering: Ordering::LongestFirst,
+                fit: Fit::FirstFit,
+            },
+        ),
+        (
+            "long/end",
+            Strategy {
+                ordering: Ordering::LongestFirst,
+                fit: Fit::EndFit,
+            },
+        ),
     ];
     let mut excess: Vec<Vec<u32>> = vec![Vec::new(); strategies.len() + 1];
     let mut scheduled = 0usize;
@@ -31,16 +55,16 @@ fn main() {
             Ok(p) => p,
             Err(_) => continue,
         };
-        let Ok(schedule) = SlackScheduler::new().run(&problem) else { continue };
+        let Ok(schedule) = SlackScheduler::new().run(&problem) else {
+            continue;
+        };
         scheduled += 1;
         let mut best = u32::MAX;
         for (s, (_, strategy)) in strategies.iter().enumerate() {
             let alloc = allocate_rotating(&problem, &schedule, RegClass::Rr, *strategy)
                 .unwrap_or_else(|e| panic!("{}: {e}", l.def.name));
             verify_allocation(&problem, &schedule, RegClass::Rr, &alloc, 16)
-                .unwrap_or_else(|(a, b, r)| {
-                    panic!("{}: {a} and {b} collide in r{r}", l.def.name)
-                });
+                .unwrap_or_else(|(a, b, r)| panic!("{}: {a} and {b} collide in r{r}", l.def.name));
             excess[s].push(alloc.excess());
             best = best.min(alloc.excess());
         }

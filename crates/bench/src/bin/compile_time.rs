@@ -8,13 +8,19 @@
 
 use std::time::Duration;
 
-use lsms_bench::{default_corpus_size, evaluate_corpus, CORPUS_SEED};
+use lsms_bench::{evaluate_corpus_jobs, BenchArgs, CORPUS_SEED};
 use lsms_machine::huff_machine;
 use lsms_sched::SchedStats;
 
 fn report(label: &str, per_loop: &[(&str, usize, SchedStats)]) {
-    let clean = per_loop.iter().filter(|(_, _, s)| s.backtrack_free()).count();
-    let dirty: Vec<_> = per_loop.iter().filter(|(_, _, s)| !s.backtrack_free()).collect();
+    let clean = per_loop
+        .iter()
+        .filter(|(_, _, s)| s.backtrack_free())
+        .count();
+    let dirty: Vec<_> = per_loop
+        .iter()
+        .filter(|(_, _, s)| !s.backtrack_free())
+        .collect();
     let dirty_ops: usize = dirty.iter().map(|(_, ops, _)| ops).sum();
     let mut total = SchedStats::default();
     for (_, _, s) in per_loop {
@@ -25,7 +31,10 @@ fn report(label: &str, per_loop: &[(&str, usize, SchedStats)]) {
         dirty_total += s;
     }
     println!("== {label} ==");
-    println!("loops needing no backtracking: {clean} of {}", per_loop.len());
+    println!(
+        "loops needing no backtracking: {clean} of {}",
+        per_loop.len()
+    );
     println!(
         "backtracking loops: {} loops, {} ops, {} central-loop iterations",
         dirty.len(),
@@ -45,7 +54,8 @@ fn report(label: &str, per_loop: &[(&str, usize, SchedStats)]) {
 
 fn main() {
     let machine = huff_machine();
-    let records = evaluate_corpus(default_corpus_size(), CORPUS_SEED, &machine);
+    let args = BenchArgs::parse();
+    let records = evaluate_corpus_jobs(args.corpus_size, CORPUS_SEED, &machine, args.jobs);
 
     let new: Vec<(&str, usize, SchedStats)> = records
         .iter()

@@ -12,9 +12,7 @@
 use lsms_loops::{generate_with_profile, GeneratorConfig, Profile};
 use lsms_machine::huff_machine;
 use lsms_sched::pressure::measure;
-use lsms_sched::{
-    CydromeScheduler, DirectionPolicy, SchedProblem, SlackConfig, SlackScheduler,
-};
+use lsms_sched::{CydromeScheduler, DirectionPolicy, SchedProblem, SlackConfig, SlackScheduler};
 
 fn main() {
     let count = std::env::var("LSMS_CORPUS")
@@ -34,19 +32,22 @@ fn main() {
         ("division-heavy", Profile::division_heavy()),
     ];
     for (name, profile) in profiles {
-        let sources =
-            generate_with_profile(&GeneratorConfig { seed: 2024, count }, &profile);
+        let sources = generate_with_profile(&GeneratorConfig { seed: 2024, count }, &profile);
         let mut optimal = 0usize;
         let mut total = 0usize;
         let mut sum_ii = 0u64;
         let mut sum_mii = 0u64;
         let mut rr = [0u64; 3];
         for source in &sources {
-            let Ok(unit) = lsms_front::compile(&source.source) else { continue };
+            let Ok(unit) = lsms_front::compile(&source.source) else {
+                continue;
+            };
             let Ok(problem) = SchedProblem::new(&unit.loops[0].body, &machine) else {
                 continue;
             };
-            let Ok(bidir) = SlackScheduler::new().run(&problem) else { continue };
+            let Ok(bidir) = SlackScheduler::new().run(&problem) else {
+                continue;
+            };
             let Ok(early) = SlackScheduler::with_config(SlackConfig {
                 direction: DirectionPolicy::AlwaysEarly,
                 ..SlackConfig::default()
@@ -54,7 +55,9 @@ fn main() {
             .run(&problem) else {
                 continue;
             };
-            let Ok(old) = CydromeScheduler::new().run(&problem) else { continue };
+            let Ok(old) = CydromeScheduler::new().run(&problem) else {
+                continue;
+            };
             total += 1;
             optimal += usize::from(bidir.ii == problem.mii());
             sum_ii += u64::from(bidir.ii);

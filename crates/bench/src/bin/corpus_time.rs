@@ -1,0 +1,102 @@
+//! Wall-clock benchmark of corpus evaluation, writing machine-readable
+//! `BENCH_corpus.json` at the repository root (or `LSMS_BENCH_OUT`).
+//!
+//! Reports total evaluation time for the configured corpus plus per-loop
+//! latency percentiles, for both the requested `--jobs` count and a forced
+//! single-threaded run, so the speedup is measured rather than assumed.
+
+use std::time::Instant;
+
+use lsms_bench::{evaluate_corpus_jobs, BenchArgs, LoopRecord, CORPUS_SEED};
+use lsms_machine::{huff_machine, Machine};
+
+struct Timing {
+    jobs: usize,
+    total_secs: f64,
+    p50_ms: f64,
+    p90_ms: f64,
+    p99_ms: f64,
+    records: Vec<LoopRecord>,
+}
+
+fn percentile_ms(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 * p).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx]
+}
+
+fn run(count: usize, machine: &Machine, jobs: usize) -> Timing {
+    // Per-loop latencies come from the scheduler's own elapsed counters
+    // (summed over the three runs), so they are meaningful even when the
+    // loops ran concurrently.
+    let started = Instant::now();
+    let records = evaluate_corpus_jobs(count, CORPUS_SEED, machine, jobs);
+    let total_secs = started.elapsed().as_secs_f64();
+    let mut per_loop: Vec<f64> = records
+        .iter()
+        .map(|r| {
+            (r.new.stats.elapsed + r.early.stats.elapsed + r.old.stats.elapsed).as_secs_f64() * 1e3
+        })
+        .collect();
+    per_loop.sort_by(|a, b| a.total_cmp(b));
+    Timing {
+        jobs,
+        total_secs,
+        p50_ms: percentile_ms(&per_loop, 0.50),
+        p90_ms: percentile_ms(&per_loop, 0.90),
+        p99_ms: percentile_ms(&per_loop, 0.99),
+        records,
+    }
+}
+
+fn json_entry(t: &Timing) -> String {
+    format!(
+        "{{\"jobs\": {}, \"total_secs\": {:.6}, \"per_loop_ms\": {{\"p50\": {:.4}, \"p90\": {:.4}, \"p99\": {:.4}}}}}",
+        t.jobs, t.total_secs, t.p50_ms, t.p90_ms, t.p99_ms
+    )
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let machine = huff_machine();
+
+    println!(
+        "corpus_time: {} loops, {} job(s)",
+        args.corpus_size, args.jobs
+    );
+    let single = run(args.corpus_size, &machine, 1);
+    println!(
+        "  jobs=1     {:>8.3}s  p50 {:.2}ms  p90 {:.2}ms  p99 {:.2}ms",
+        single.total_secs, single.p50_ms, single.p90_ms, single.p99_ms
+    );
+    let multi = run(args.corpus_size, &machine, args.jobs);
+    println!(
+        "  jobs={:<4}  {:>8.3}s  p50 {:.2}ms  p90 {:.2}ms  p99 {:.2}ms",
+        multi.jobs, multi.total_secs, multi.p50_ms, multi.p90_ms, multi.p99_ms
+    );
+    let speedup = single.total_secs / multi.total_secs.max(1e-9);
+    println!("  speedup {speedup:.2}x");
+
+    // Cross-check determinism while we have both runs in hand.
+    assert_eq!(single.records.len(), multi.records.len());
+    for (a, b) in single.records.iter().zip(&multi.records) {
+        assert_eq!(a.name, b.name, "corpus order must not depend on jobs");
+        assert_eq!(a.new.ii, b.new.ii, "{}: II must not depend on jobs", a.name);
+    }
+
+    let hardware = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let json = format!(
+        "{{\n  \"benchmark\": \"corpus_time\",\n  \"corpus_size\": {},\n  \"seed\": {},\n  \"hardware_threads\": {},\n  \"speedup\": {:.3},\n  \"runs\": [\n    {},\n    {}\n  ]\n}}\n",
+        args.corpus_size,
+        CORPUS_SEED,
+        hardware,
+        speedup,
+        json_entry(&single),
+        json_entry(&multi),
+    );
+    let out = std::env::var("LSMS_BENCH_OUT").unwrap_or_else(|_| "BENCH_corpus.json".into());
+    std::fs::write(&out, json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    println!("  wrote {out}");
+}

@@ -6,7 +6,9 @@
 //! ```
 
 fn main() -> std::io::Result<()> {
-    let dir = std::env::args().nth(1).unwrap_or_else(|| "corpus".to_owned());
+    let dir = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "corpus".to_owned());
     let count = std::env::var("LSMS_CORPUS")
         .ok()
         .and_then(|v| v.parse().ok())

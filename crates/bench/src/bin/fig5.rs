@@ -8,12 +8,13 @@
 //! "generates nearly the same register pressure as Cydrome's scheduler" —
 //! the `slack/early` series shows that ablation.
 
-use lsms_bench::{cumulative_histogram, default_corpus_size, evaluate_corpus, CORPUS_SEED};
+use lsms_bench::{cumulative_histogram, evaluate_corpus_jobs, BenchArgs, CORPUS_SEED};
 use lsms_machine::huff_machine;
 
 fn main() {
     let machine = huff_machine();
-    let records = evaluate_corpus(default_corpus_size(), CORPUS_SEED, &machine);
+    let args = BenchArgs::parse();
+    let records = evaluate_corpus_jobs(args.corpus_size, CORPUS_SEED, &machine, args.jobs);
     let series = |pick: &dyn Fn(&lsms_bench::LoopRecord) -> Option<i64>| -> Vec<i64> {
         records.iter().filter_map(pick).collect()
     };
@@ -24,7 +25,11 @@ fn main() {
         "{}",
         cumulative_histogram(
             "Figure 5: MaxLive - MinAvg (cumulative % of loops)",
-            &[("new (bidir)", new.clone()), ("slack/early", early), ("old (Cydrome)", old)],
+            &[
+                ("new (bidir)", new.clone()),
+                ("slack/early", early),
+                ("old (Cydrome)", old)
+            ],
         )
     );
     let optimal = new.iter().filter(|&&x| x <= 0).count();

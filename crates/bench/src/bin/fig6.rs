@@ -4,12 +4,13 @@
 //! many rotating registers — with the new scheduler 92% of loops use no
 //! more than 32 RRs and only 5 loops use more than 64.
 
-use lsms_bench::{cumulative_histogram, default_corpus_size, evaluate_corpus, CORPUS_SEED};
+use lsms_bench::{cumulative_histogram, evaluate_corpus_jobs, BenchArgs, CORPUS_SEED};
 use lsms_machine::huff_machine;
 
 fn main() {
     let machine = huff_machine();
-    let records = evaluate_corpus(default_corpus_size(), CORPUS_SEED, &machine);
+    let args = BenchArgs::parse();
+    let records = evaluate_corpus_jobs(args.corpus_size, CORPUS_SEED, &machine, args.jobs);
     let pick = |f: &dyn Fn(&lsms_bench::LoopRecord) -> Option<i64>| -> Vec<i64> {
         records.iter().filter_map(f).collect()
     };
@@ -20,7 +21,11 @@ fn main() {
         "{}",
         cumulative_histogram(
             "Figure 6: MaxLive (cumulative % of loops)",
-            &[("new (bidir)", new.clone()), ("slack/early", early), ("old (Cydrome)", old)],
+            &[
+                ("new (bidir)", new.clone()),
+                ("slack/early", early),
+                ("old (Cydrome)", old)
+            ],
         )
     );
     let within32 = new.iter().filter(|&&x| x <= 32).count();

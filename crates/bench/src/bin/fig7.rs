@@ -3,20 +3,29 @@
 //! Paper observations: 97% of loops use no more than 16 GPRs, only 3 use
 //! more than 32; 82% of loops keep RRs + GPRs ≤ 32 and only 16 exceed 64.
 
-use lsms_bench::{cumulative_histogram, default_corpus_size, evaluate_corpus, CORPUS_SEED};
+use lsms_bench::{cumulative_histogram, evaluate_corpus_jobs, BenchArgs, CORPUS_SEED};
 use lsms_machine::huff_machine;
 
 fn main() {
     let machine = huff_machine();
-    let records = evaluate_corpus(default_corpus_size(), CORPUS_SEED, &machine);
+    let args = BenchArgs::parse();
+    let records = evaluate_corpus_jobs(args.corpus_size, CORPUS_SEED, &machine, args.jobs);
     let gprs: Vec<i64> = records.iter().map(|r| i64::from(r.gprs)).collect();
     let combined = |pick: &dyn Fn(&lsms_bench::LoopRecord) -> Option<i64>| -> Vec<i64> {
         records.iter().filter_map(pick).collect()
     };
-    let new =
-        combined(&|r| r.new.pressure.as_ref().map(|p| i64::from(p.rr_max_live + r.gprs)));
-    let old =
-        combined(&|r| r.old.pressure.as_ref().map(|p| i64::from(p.rr_max_live + r.gprs)));
+    let new = combined(&|r| {
+        r.new
+            .pressure
+            .as_ref()
+            .map(|p| i64::from(p.rr_max_live + r.gprs))
+    });
+    let old = combined(&|r| {
+        r.old
+            .pressure
+            .as_ref()
+            .map(|p| i64::from(p.rr_max_live + r.gprs))
+    });
     println!(
         "{}",
         cumulative_histogram(

@@ -4,12 +4,13 @@
 //! used more than 32 predicates, and the two schedulers generate very
 //! similar ICR pressure.
 
-use lsms_bench::{cumulative_histogram, default_corpus_size, evaluate_corpus, CORPUS_SEED};
+use lsms_bench::{cumulative_histogram, evaluate_corpus_jobs, BenchArgs, CORPUS_SEED};
 use lsms_machine::huff_machine;
 
 fn main() {
     let machine = huff_machine();
-    let records = evaluate_corpus(default_corpus_size(), CORPUS_SEED, &machine);
+    let args = BenchArgs::parse();
+    let records = evaluate_corpus_jobs(args.corpus_size, CORPUS_SEED, &machine, args.jobs);
     let pick = |f: &dyn Fn(&lsms_bench::LoopRecord) -> Option<i64>| -> Vec<i64> {
         records.iter().filter_map(f).collect()
     };
@@ -24,7 +25,5 @@ fn main() {
     );
     let over32_new = new.iter().filter(|&&x| x > 32).count();
     let over32_old = old.iter().filter(|&&x| x > 32).count();
-    println!(
-        "loops using > 32 ICR predicates: new {over32_new}, old {over32_old} (paper: 1)"
-    );
+    println!("loops using > 32 ICR predicates: new {over32_new}, old {over32_old} (paper: 1)");
 }

@@ -6,24 +6,31 @@
 //! rest, more stretchable inputs than outputs 30%, fewer 4%, ties 20%;
 //! overall the heuristics favour early placement about 2:1.
 
-use lsms_bench::{default_corpus_size, evaluate_corpus, CORPUS_SEED};
+use lsms_bench::{evaluate_corpus_jobs, BenchArgs, CORPUS_SEED};
 use lsms_machine::huff_machine;
 use lsms_sched::DecisionStats;
 
 fn main() {
     let machine = huff_machine();
-    let records = evaluate_corpus(default_corpus_size(), CORPUS_SEED, &machine);
+    let args = BenchArgs::parse();
+    let records = evaluate_corpus_jobs(args.corpus_size, CORPUS_SEED, &machine, args.jobs);
     let mut total = DecisionStats::default();
     for r in &records {
         total += &r.decisions;
     }
     let pct = |x: u64| 100.0 * x as f64 / total.selections.max(1) as f64;
-    println!("Heuristic decision mix over {} candidate selections", total.selections);
+    println!(
+        "Heuristic decision mix over {} candidate selections",
+        total.selections
+    );
     println!(
         "unique minimum dynamic priority: {:>6.1}%   (paper: 48%)",
         pct(total.unique_min_priority)
     );
-    println!("zero slack (no direction choice): {:>6.1}%   (paper: 46%)", pct(total.zero_slack));
+    println!(
+        "zero slack (no direction choice): {:>6.1}%   (paper: 46%)",
+        pct(total.zero_slack)
+    );
     println!(
         "more stretchable inputs -> early: {:>6.1}%   (paper: 30%)",
         pct(total.early_more_inputs)

@@ -24,9 +24,10 @@ fn main() {
         "policy", "Sum II", "failures", "II attempts", "sched time"
     );
     let mut results: Vec<(u64, Duration)> = Vec::new();
-    for (name, increment) in
-        [("4% steps", IiIncrement::FourPercent), ("by one", IiIncrement::ByOne)]
-    {
+    for (name, increment) in [
+        ("4% steps", IiIncrement::FourPercent),
+        ("by one", IiIncrement::ByOne),
+    ] {
         let scheduler = SlackScheduler::with_config(SlackConfig {
             increment,
             ..SlackConfig::default()
@@ -36,7 +37,9 @@ fn main() {
         let mut attempts = 0u64;
         let mut elapsed = Duration::ZERO;
         for l in &corpus {
-            let Ok(problem) = SchedProblem::new(&l.body, &machine) else { continue };
+            let Ok(problem) = SchedProblem::new(&l.body, &machine) else {
+                continue;
+            };
             match scheduler.run(&problem) {
                 Ok(s) => {
                     sum_ii += u64::from(s.ii);

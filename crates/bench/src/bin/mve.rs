@@ -27,8 +27,12 @@ fn main() {
     let mut mve_regs = 0u64;
     let mut unrolls: Vec<u32> = Vec::new();
     for l in &corpus {
-        let Ok(problem) = SchedProblem::new(&l.body, &machine) else { continue };
-        let Ok(schedule) = SlackScheduler::new().run(&problem) else { continue };
+        let Ok(problem) = SchedProblem::new(&l.body, &machine) else {
+            continue;
+        };
+        let Ok(schedule) = SlackScheduler::new().run(&problem) else {
+            continue;
+        };
         let Ok(rr) = allocate_rotating(&problem, &schedule, RegClass::Rr, Strategy::default())
         else {
             continue;
@@ -37,8 +41,12 @@ fn main() {
         else {
             continue;
         };
-        let Ok(rot) = emit(&problem, &schedule, &rr, &icr) else { continue };
-        let Ok(mve) = emit_mve(&problem, &schedule) else { continue };
+        let Ok(rot) = emit(&problem, &schedule, &rr, &icr) else {
+            continue;
+        };
+        let Ok(mve) = emit_mve(&problem, &schedule) else {
+            continue;
+        };
         scheduled += 1;
         rot_insts += rot.num_insts() as u64 + 1; // + brtop
         mve_insts += mve.total_insts() as u64 + 1;
@@ -50,12 +58,15 @@ fn main() {
     let median_unroll = unrolls.get(unrolls.len() / 2).copied().unwrap_or(0);
     let max_unroll = unrolls.last().copied().unwrap_or(0);
     println!("Rotating files vs modulo variable expansion over {scheduled} loops:");
+    println!("{:<26} {:>14} {:>14}", "", "rotating", "MVE (no rotation)");
     println!(
-        "{:<26} {:>14} {:>14}",
-        "", "rotating", "MVE (no rotation)"
+        "{:<26} {rot_insts:>14} {mve_insts:>14}",
+        "static instructions"
     );
-    println!("{:<26} {rot_insts:>14} {mve_insts:>14}", "static instructions");
-    println!("{:<26} {rot_regs:>14} {mve_regs:>14}", "loop-variant registers");
+    println!(
+        "{:<26} {rot_regs:>14} {mve_regs:>14}",
+        "loop-variant registers"
+    );
     println!(
         "\ncode expansion: {:.2}x (median unroll x{median_unroll}, max x{max_unroll}); \
          register cost: {:.2}x",

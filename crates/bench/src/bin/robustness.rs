@@ -5,21 +5,25 @@
 //! Runs a corpus slice against the paper machine and two latency
 //! variants, reporting the headline metrics side by side.
 
-use lsms_bench::{evaluate_corpus, CORPUS_SEED};
+use lsms_bench::{evaluate_corpus_jobs, BenchArgs, CORPUS_SEED};
 use lsms_machine::alternate_machines;
 
 fn main() {
-    let count = std::env::var("LSMS_CORPUS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(400);
+    // Robustness sweeps three machines, so it defaults to a 400-loop slice
+    // rather than the full paper corpus; `--corpus-size` / `LSMS_CORPUS`
+    // still override.
+    let mut args = BenchArgs::parse();
+    if std::env::var("LSMS_CORPUS").is_err() && !std::env::args().any(|a| a == "--corpus-size") {
+        args.corpus_size = 400;
+    }
+    let count = args.corpus_size;
     println!("Robustness across machine variants ({count} loops each)");
     println!(
         "{:<16} {:>8} {:>10} {:>12} {:>14} {:>12}",
         "machine", "optimal", "II/MII", "mean excess", "median MaxLive", "failures"
     );
     for machine in alternate_machines() {
-        let records = evaluate_corpus(count, CORPUS_SEED, &machine);
+        let records = evaluate_corpus_jobs(count, CORPUS_SEED, &machine, args.jobs);
         let optimal = records.iter().filter(|r| r.new.ii == Some(r.mii)).count();
         let sum_ii: u64 = records.iter().map(|r| r.new.counted_ii()).sum();
         let sum_mii: u64 = records.iter().map(|r| u64::from(r.mii)).sum();

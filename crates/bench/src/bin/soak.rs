@@ -12,7 +12,10 @@ use lsms_sched::{DirectionPolicy, SlackConfig};
 use lsms_sim::{check_equivalence, check_equivalence_mve, RunConfig};
 
 fn env(name: &str, default: u64) -> u64 {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 fn main() {
@@ -40,11 +43,20 @@ fn main() {
             let config = RunConfig {
                 trip,
                 seed: seed ^ 0x1111,
-                scheduler: SlackConfig { direction: policy, ..Default::default() },
+                scheduler: SlackConfig {
+                    direction: policy,
+                    ..Default::default()
+                },
             };
             for (engine, result) in [
-                ("rotating", check_equivalence(&unit.loops[0], &machine, &config)),
-                ("mve", check_equivalence_mve(&unit.loops[0], &machine, &config)),
+                (
+                    "rotating",
+                    check_equivalence(&unit.loops[0], &machine, &config),
+                ),
+                (
+                    "mve",
+                    check_equivalence_mve(&unit.loops[0], &machine, &config),
+                ),
             ] {
                 match result {
                     Ok(_) => ok += 1,

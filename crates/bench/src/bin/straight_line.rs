@@ -25,11 +25,14 @@ fn main() {
     let mut wins = 0usize;
     let mut losses = 0usize;
     for l in &corpus {
-        let Ok(problem) = SchedProblem::new(&l.body, &machine) else { continue };
+        let Ok(problem) = SchedProblem::new(&l.body, &machine) else {
+            continue;
+        };
         let mut this = [0u64; 2];
         let mut ok = true;
-        for (slot, direction) in
-            [DirectionPolicy::Bidirectional, DirectionPolicy::AlwaysEarly].into_iter().enumerate()
+        for (slot, direction) in [DirectionPolicy::Bidirectional, DirectionPolicy::AlwaysEarly]
+            .into_iter()
+            .enumerate()
         {
             let scheduler = SlackScheduler::with_config(SlackConfig {
                 direction,
@@ -57,8 +60,14 @@ fn main() {
     }
     println!("Straight-line (basic-block) scheduling over {rows} bodies:");
     println!("{:<22} {:>14} {:>14}", "", "bidirectional", "always-early");
-    println!("{:<22} {:>14} {:>14}", "total schedule length", len[0], len[1]);
-    println!("{:<22} {:>14} {:>14}", "total peak pressure", pressure[0], pressure[1]);
+    println!(
+        "{:<22} {:>14} {:>14}",
+        "total schedule length", len[0], len[1]
+    );
+    println!(
+        "{:<22} {:>14} {:>14}",
+        "total peak pressure", pressure[0], pressure[1]
+    );
     println!(
         "\nbidirectional uses fewer registers on {wins} bodies, more on {losses} \
          ({:.1}% pressure saved overall, schedule length {:+.2}%)",

@@ -8,7 +8,10 @@ use lsms_machine::huff_machine;
 fn main() {
     let machine = huff_machine();
     println!("Table 1: Functional Unit Latencies ({})", machine.name());
-    println!("{:<14} {:>4}  {:<40} {:>8}", "Pipeline", "No.", "Operations", "Latency");
+    println!(
+        "{:<14} {:>4}  {:<40} {:>8}",
+        "Pipeline", "No.", "Operations", "Latency"
+    );
     // Group opcodes by (class, latency, pipelined?) like the paper's rows.
     let mut rows: Vec<(usize, u32, bool, Vec<String>)> = Vec::new();
     for (kind, desc) in machine.op_table() {
@@ -19,7 +22,12 @@ fn main() {
         {
             row.3.push(kind.to_string());
         } else {
-            rows.push((desc.class.index(), desc.latency, pipelined, vec![kind.to_string()]));
+            rows.push((
+                desc.class.index(),
+                desc.latency,
+                pipelined,
+                vec![kind.to_string()],
+            ));
         }
     }
     rows.sort();
@@ -35,6 +43,9 @@ fn main() {
             )
         };
         let note = if pipelined { "" } else { " (not pipelined)" };
-        println!("{name:<14} {count:>4}  {:<40} {latency:>8}{note}", ops.join(" / "));
+        println!(
+            "{name:<14} {count:>4}  {:<40} {latency:>8}{note}",
+            ops.join(" / ")
+        );
     }
 }

@@ -16,14 +16,18 @@
 //! # GPRs                      0     11     27     85
 //! ```
 
-use lsms_bench::{default_corpus_size, evaluate_corpus, stat_row, CORPUS_SEED};
+use lsms_bench::{evaluate_corpus_jobs, stat_row, BenchArgs, CORPUS_SEED};
 use lsms_machine::huff_machine;
 
 fn main() {
     let machine = huff_machine();
-    let records = evaluate_corpus(default_corpus_size(), CORPUS_SEED, &machine);
+    let args = BenchArgs::parse();
+    let records = evaluate_corpus_jobs(args.corpus_size, CORPUS_SEED, &machine, args.jobs);
     println!("Table 2: Measurements from all {} loops", records.len());
-    println!("{:<24} {:>6} {:>6} {:>6} {:>6}", "Metric", "Min", "50%", "90%", "Max");
+    println!(
+        "{:<24} {:>6} {:>6} {:>6} {:>6}",
+        "Metric", "Min", "50%", "90%", "Max"
+    );
     let col = |label: &str, f: &dyn Fn(&lsms_bench::LoopRecord) -> u64| {
         let mut values: Vec<u64> = records.iter().map(f).collect();
         println!("{}", stat_row(label, &mut values));

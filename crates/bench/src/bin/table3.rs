@@ -4,13 +4,14 @@
 //! ΣII/ΣMII = 1.01; for the 62 non-optimal loops, II − MII has
 //! min/50%/90%/max = 1/1/4/15 and II/MII = 1.005/1.08/1.5/3.0.
 
-use lsms_bench::{class_line, default_corpus_size, evaluate_corpus, percentiles, CORPUS_SEED};
+use lsms_bench::{class_line, evaluate_corpus_jobs, percentiles, BenchArgs, CORPUS_SEED};
 use lsms_ir::LoopClass;
 use lsms_machine::huff_machine;
 
 fn main() {
     let machine = huff_machine();
-    let records = evaluate_corpus(default_corpus_size(), CORPUS_SEED, &machine);
+    let args = BenchArgs::parse();
+    let records = evaluate_corpus_jobs(args.corpus_size, CORPUS_SEED, &machine, args.jobs);
     println!("Table 3: Slack Scheduling Performance (New Scheduler)");
     println!(
         "{:<18} {:>5} {:>5} {:>6} {:>8} {:>8} {:>6}",
@@ -37,9 +38,14 @@ fn main() {
         .collect();
     println!("\nFor the {} loops with II > MII:", behind.len());
     if !behind.is_empty() {
-        println!("{:<12} {:>8} {:>8} {:>8} {:>8}", "Metric", "Min", "50%", "90%", "Max");
-        let mut gaps: Vec<u64> =
-            behind.iter().map(|r| r.new.counted_ii() - u64::from(r.mii)).collect();
+        println!(
+            "{:<12} {:>8} {:>8} {:>8} {:>8}",
+            "Metric", "Min", "50%", "90%", "Max"
+        );
+        let mut gaps: Vec<u64> = behind
+            .iter()
+            .map(|r| r.new.counted_ii() - u64::from(r.mii))
+            .collect();
         let (a, b, c, d) = percentiles(&mut gaps);
         println!("{:<12} {a:>8} {b:>8} {c:>8} {d:>8}", "II - MII");
         let mut ratios: Vec<u64> = behind

@@ -25,15 +25,23 @@ fn main() {
     let mut best_total = 0f64;
     let mut examples = Vec::new();
     for l in &corpus {
-        let Ok(problem) = SchedProblem::new(&l.body, &machine) else { continue };
-        let Ok(base) = SlackScheduler::new().run(&problem) else { continue };
+        let Ok(problem) = SchedProblem::new(&l.body, &machine) else {
+            continue;
+        };
+        let Ok(base) = SlackScheduler::new().run(&problem) else {
+            continue;
+        };
         examined += 1;
         let mut best = f64::from(base.ii);
         let mut best_factor = 1u32;
         for factor in [2u32, 3] {
             let unrolled = unroll(&l.body, factor);
-            let Ok(p2) = SchedProblem::new(&unrolled, &machine) else { continue };
-            let Ok(s2) = SlackScheduler::new().run(&p2) else { continue };
+            let Ok(p2) = SchedProblem::new(&unrolled, &machine) else {
+                continue;
+            };
+            let Ok(s2) = SlackScheduler::new().run(&p2) else {
+                continue;
+            };
             let effective = f64::from(s2.ii) / f64::from(factor);
             if effective + 1e-9 < best {
                 best = effective;

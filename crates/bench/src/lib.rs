@@ -27,10 +27,10 @@
 use lsms_front::CompiledLoop;
 use lsms_ir::LoopClass;
 use lsms_machine::Machine;
-use lsms_sched::pressure::{gpr_count, measure, min_avg};
+use lsms_sched::pressure::{gpr_count, measure_cached, min_avg_cached};
 use lsms_sched::{
-    bounds, CydromeScheduler, DecisionStats, DirectionPolicy, PressureReport, SchedProblem,
-    SchedStats, SlackConfig, SlackScheduler,
+    bounds, CydromeScheduler, DecisionStats, DirectionPolicy, MinDistCache, PressureReport,
+    SchedProblem, SchedStats, SlackConfig, SlackScheduler,
 };
 
 /// One scheduler's result on one loop.
@@ -91,49 +91,85 @@ pub struct LoopRecord {
     pub decisions: DecisionStats,
 }
 
+fn outcome_of(
+    result: Result<lsms_sched::Schedule, lsms_sched::SchedFailure>,
+    problem: &SchedProblem<'_>,
+    cache: &MinDistCache,
+) -> SchedOutcome {
+    match result {
+        Ok(schedule) => SchedOutcome {
+            ii: Some(schedule.ii),
+            last_ii: schedule.ii,
+            pressure: Some(measure_cached(problem, &schedule, cache)),
+            stats: schedule.stats,
+        },
+        Err(failure) => SchedOutcome {
+            ii: None,
+            last_ii: failure.last_ii,
+            pressure: None,
+            stats: failure.stats,
+        },
+    }
+}
+
 impl LoopRecord {
     /// Evaluates one compiled loop on one machine.
+    ///
+    /// One [`MinDistCache`] spans the three scheduler runs, both pressure
+    /// measurements, and the MinAvg bound, so each distinct II this loop
+    /// visits costs exactly one Floyd–Warshall.
     pub fn evaluate(compiled: &CompiledLoop, machine: &Machine) -> Self {
+        Self::evaluate_impl(compiled, machine, false)
+    }
+
+    /// As [`evaluate`](Self::evaluate), but running the three scheduler
+    /// fan-out (bidirectional, always-early, baseline) on scoped threads.
+    /// Useful when evaluating few loops on many cores; the produced record
+    /// is identical to the sequential one.
+    pub fn evaluate_fanout(compiled: &CompiledLoop, machine: &Machine) -> Self {
+        Self::evaluate_impl(compiled, machine, true)
+    }
+
+    fn evaluate_impl(compiled: &CompiledLoop, machine: &Machine, fan_out: bool) -> Self {
         let body = &compiled.body;
         let problem = SchedProblem::new(body, machine)
             .unwrap_or_else(|e| panic!("{}: {e}", compiled.def.name));
         let mii = problem.mii();
+        let cache = MinDistCache::new();
 
         let run_slack = |direction: DirectionPolicy| -> (SchedOutcome, DecisionStats) {
-            let scheduler =
-                SlackScheduler::with_config(SlackConfig { direction, ..SlackConfig::default() });
-            let (result, decisions) = scheduler.run_with_decisions(&problem);
-            let outcome = match result {
-                Ok(schedule) => SchedOutcome {
-                    ii: Some(schedule.ii),
-                    last_ii: schedule.ii,
-                    pressure: Some(measure(&problem, &schedule)),
-                    stats: schedule.stats,
-                },
-                Err(failure) => SchedOutcome {
-                    ii: None,
-                    last_ii: failure.last_ii,
-                    pressure: None,
-                    stats: failure.stats,
-                },
-            };
-            (outcome, decisions)
+            let scheduler = SlackScheduler::with_config(SlackConfig {
+                direction,
+                ..SlackConfig::default()
+            });
+            let (result, decisions) = scheduler.run_with_decisions_cached(&problem, &cache);
+            (outcome_of(result, &problem, &cache), decisions)
         };
-        let (new, decisions) = run_slack(DirectionPolicy::Bidirectional);
-        let (early, _) = run_slack(DirectionPolicy::AlwaysEarly);
-        let old = match CydromeScheduler::new().run(&problem) {
-            Ok(schedule) => SchedOutcome {
-                ii: Some(schedule.ii),
-                last_ii: schedule.ii,
-                pressure: Some(measure(&problem, &schedule)),
-                stats: schedule.stats,
-            },
-            Err(failure) => SchedOutcome {
-                ii: None,
-                last_ii: failure.last_ii,
-                pressure: None,
-                stats: failure.stats,
-            },
+        let run_old = || {
+            outcome_of(
+                CydromeScheduler::new().run_cached(&problem, &cache),
+                &problem,
+                &cache,
+            )
+        };
+
+        let ((new, decisions), (early, _), old) = if fan_out {
+            std::thread::scope(|s| {
+                let new = s.spawn(|| run_slack(DirectionPolicy::Bidirectional));
+                let early = s.spawn(|| run_slack(DirectionPolicy::AlwaysEarly));
+                let old = s.spawn(run_old);
+                (
+                    new.join().expect("bidirectional run panicked"),
+                    early.join().expect("always-early run panicked"),
+                    old.join().expect("baseline run panicked"),
+                )
+            })
+        } else {
+            (
+                run_slack(DirectionPolicy::Bidirectional),
+                run_slack(DirectionPolicy::AlwaysEarly),
+                run_old(),
+            )
         };
 
         LoopRecord {
@@ -147,7 +183,7 @@ impl LoopRecord {
             rec_mii: problem.rec_mii(),
             res_mii: problem.res_mii(),
             mii,
-            min_avg_at_mii: min_avg(&problem, mii),
+            min_avg_at_mii: min_avg_cached(&problem, mii, &cache),
             gprs: gpr_count(&problem),
             new,
             early,
@@ -157,12 +193,65 @@ impl LoopRecord {
     }
 }
 
-/// Evaluates the standard corpus (kernels + generated) on a machine.
+/// Evaluates the standard corpus (kernels + generated) on a machine, using
+/// [`default_jobs`] worker threads. Records come back in corpus order
+/// regardless of thread count, so the output of every experiment binary is
+/// byte-identical to a single-threaded run.
 pub fn evaluate_corpus(count: usize, seed: u64, machine: &Machine) -> Vec<LoopRecord> {
-    lsms_loops::corpus(count, seed)
-        .iter()
-        .map(|l| LoopRecord::evaluate(l, machine))
-        .collect()
+    evaluate_corpus_jobs(count, seed, machine, default_jobs())
+}
+
+/// As [`evaluate_corpus`] with an explicit worker-thread count (1 forces
+/// the sequential path).
+pub fn evaluate_corpus_jobs(
+    count: usize,
+    seed: u64,
+    machine: &Machine,
+    jobs: usize,
+) -> Vec<LoopRecord> {
+    let loops = lsms_loops::corpus(count, seed);
+    evaluate_loops(&loops, machine, jobs)
+}
+
+/// Evaluates an already-built loop list on `jobs` worker threads,
+/// preserving input order in the output.
+pub fn evaluate_loops(loops: &[CompiledLoop], machine: &Machine, jobs: usize) -> Vec<LoopRecord> {
+    let jobs = jobs.max(1).min(loops.len().max(1));
+    if jobs == 1 {
+        return loops
+            .iter()
+            .map(|l| LoopRecord::evaluate(l, machine))
+            .collect();
+    }
+    // Work-stealing by atomic counter; results are reassembled by index so
+    // the order (and thus every downstream text report) is deterministic.
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, LoopRecord)>();
+    std::thread::scope(|s| {
+        for _ in 0..jobs {
+            let tx = tx.clone();
+            let next = &next;
+            s.spawn(move || loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= loops.len() {
+                    break;
+                }
+                let record = LoopRecord::evaluate(&loops[i], machine);
+                if tx.send((i, record)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        let mut slots: Vec<Option<LoopRecord>> = (0..loops.len()).map(|_| None).collect();
+        for (i, record) in rx {
+            slots[i] = Some(record);
+        }
+        slots
+            .into_iter()
+            .map(|r| r.expect("every corpus index evaluated"))
+            .collect()
+    })
 }
 
 /// The corpus size used by the experiment binaries: the paper's 1,525.
@@ -171,6 +260,60 @@ pub fn default_corpus_size() -> usize {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(lsms_loops::PAPER_CORPUS_SIZE)
+}
+
+/// Worker threads used by [`evaluate_corpus`]: the `LSMS_JOBS` environment
+/// variable when set, else the machine's available parallelism.
+pub fn default_jobs() -> usize {
+    std::env::var("LSMS_JOBS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&j| j >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        })
+}
+
+/// Common command-line options of the experiment binaries.
+///
+/// `--corpus-size N` (env `LSMS_CORPUS`) sets the number of loops;
+/// `--jobs N` (env `LSMS_JOBS`) sets the worker-thread count. Flags win
+/// over environment variables.
+#[derive(Clone, Copy, Debug)]
+pub struct BenchArgs {
+    /// Number of corpus loops to evaluate.
+    pub corpus_size: usize,
+    /// Worker threads for corpus evaluation.
+    pub jobs: usize,
+}
+
+impl BenchArgs {
+    /// Parses `std::env::args`, exiting with a message on malformed input.
+    pub fn parse() -> Self {
+        Self::from_args(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument list (for tests).
+    pub fn from_args(args: impl IntoIterator<Item = String>) -> Self {
+        let mut out = Self {
+            corpus_size: default_corpus_size(),
+            jobs: default_jobs(),
+        };
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            let mut value_for = |flag: &str| -> usize {
+                it.next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| panic!("{flag} needs a positive integer"))
+            };
+            match arg.as_str() {
+                "--corpus-size" => out.corpus_size = value_for("--corpus-size"),
+                "--jobs" => out.jobs = value_for("--jobs").max(1),
+                other => panic!("unknown option `{other}` (expected --corpus-size N / --jobs N)"),
+            }
+        }
+        out
+    }
 }
 
 /// The corpus seed used by the experiment binaries.
@@ -201,8 +344,17 @@ pub fn cumulative_histogram(title: &str, series: &[(&str, Vec<i64>)]) -> String 
     use std::fmt::Write as _;
     let mut out = String::new();
     let _ = writeln!(out, "{title}");
-    let lo = series.iter().flat_map(|(_, v)| v.iter().copied()).min().unwrap_or(0).min(0);
-    let hi = series.iter().flat_map(|(_, v)| v.iter().copied()).max().unwrap_or(0);
+    let lo = series
+        .iter()
+        .flat_map(|(_, v)| v.iter().copied())
+        .min()
+        .unwrap_or(0)
+        .min(0);
+    let hi = series
+        .iter()
+        .flat_map(|(_, v)| v.iter().copied())
+        .max()
+        .unwrap_or(0);
     let _ = write!(out, "{:>10} ", "registers");
     for (name, _) in series {
         let _ = write!(out, "{name:>18}");
@@ -213,7 +365,13 @@ pub fn cumulative_histogram(title: &str, series: &[(&str, Vec<i64>)]) -> String 
     let mut e = 10;
     while e <= hi.max(8) + 2 {
         edges.push(e);
-        e += if e < 32 { 2 } else if e < 64 { 8 } else { 32 };
+        e += if e < 32 {
+            2
+        } else if e < 64 {
+            8
+        } else {
+            32
+        };
     }
     for &edge in &edges {
         let _ = write!(out, "{edge:>10} ");
@@ -232,19 +390,18 @@ pub fn cumulative_histogram(title: &str, series: &[(&str, Vec<i64>)]) -> String 
 
 /// Sums II over records using achieved-or-last-attempted (Table 4's
 /// failure convention).
-pub fn class_line(label: &str, records: &[&LoopRecord], pick: impl Fn(&LoopRecord) -> &SchedOutcome) -> String {
+pub fn class_line(
+    label: &str,
+    records: &[&LoopRecord],
+    pick: impl Fn(&LoopRecord) -> &SchedOutcome,
+) -> String {
     let all = records.len();
-    let optimal = records
-        .iter()
-        .filter(|r| pick(r).ii == Some(r.mii))
-        .count();
+    let optimal = records.iter().filter(|r| pick(r).ii == Some(r.mii)).count();
     let sum_ii: u64 = records.iter().map(|r| pick(r).counted_ii()).sum();
     let sum_mii: u64 = records.iter().map(|r| u64::from(r.mii)).sum();
     let pct = 100.0 * optimal as f64 / all.max(1) as f64;
     let ratio = sum_ii as f64 / sum_mii.max(1) as f64;
-    format!(
-        "{label:<18} {optimal:>5} {all:>5} {pct:>5.1}% {sum_ii:>8} {sum_mii:>8} {ratio:>6.3}"
-    )
+    format!("{label:<18} {optimal:>5} {all:>5} {pct:>5.1}% {sum_ii:>8} {sum_mii:>8} {ratio:>6.3}")
 }
 
 #[cfg(test)]
@@ -280,15 +437,67 @@ mod tests {
         }
         // Most loops schedule optimally (the paper reports 96%).
         let optimal = records.iter().filter(|r| r.new.ii == Some(r.mii)).count();
-        assert!(optimal * 10 >= records.len() * 8, "{optimal}/{}", records.len());
+        assert!(
+            optimal * 10 >= records.len() * 8,
+            "{optimal}/{}",
+            records.len()
+        );
+    }
+
+    /// Everything observable about an outcome except wall-clock time.
+    fn outcome_key(o: &SchedOutcome) -> impl PartialEq + std::fmt::Debug {
+        (
+            o.ii,
+            o.last_ii,
+            o.pressure.clone(),
+            o.stats.central_iterations,
+            o.stats.ejected_ops,
+            o.stats.attempts,
+        )
+    }
+
+    fn assert_records_identical(a: &[LoopRecord], b: &[LoopRecord]) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.mii, y.mii, "{}", x.name);
+            assert_eq!(x.min_avg_at_mii, y.min_avg_at_mii, "{}", x.name);
+            assert_eq!(x.decisions, y.decisions, "{}", x.name);
+            for (xo, yo) in [(&x.new, &y.new), (&x.early, &y.early), (&x.old, &y.old)] {
+                assert_eq!(outcome_key(xo), outcome_key(yo), "{}", x.name);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_corpus_evaluation_matches_sequential() {
+        let machine = huff_machine();
+        let sequential = evaluate_corpus_jobs(24, CORPUS_SEED, &machine, 1);
+        let parallel = evaluate_corpus_jobs(24, CORPUS_SEED, &machine, 4);
+        assert_records_identical(&sequential, &parallel);
+    }
+
+    #[test]
+    fn fanout_evaluation_matches_sequential() {
+        let machine = huff_machine();
+        let loops = lsms_loops::corpus(6, CORPUS_SEED);
+        for l in &loops {
+            let a = LoopRecord::evaluate(l, &machine);
+            let b = LoopRecord::evaluate_fanout(l, &machine);
+            assert_records_identical(std::slice::from_ref(&a), std::slice::from_ref(&b));
+        }
+    }
+
+    #[test]
+    fn bench_args_parse_flags() {
+        let args = BenchArgs::from_args(["--corpus-size", "40", "--jobs", "3"].map(String::from));
+        assert_eq!(args.corpus_size, 40);
+        assert_eq!(args.jobs, 3);
     }
 
     #[test]
     fn histograms_render() {
-        let h = cumulative_histogram(
-            "test",
-            &[("a", vec![0, 1, 5, 9]), ("b", vec![2, 2, 3, 40])],
-        );
+        let h = cumulative_histogram("test", &[("a", vec![0, 1, 5, 9]), ("b", vec![2, 2, 3, 40])]);
         assert!(h.contains("registers"));
         assert!(h.contains("100.0%"));
     }

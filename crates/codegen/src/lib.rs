@@ -101,7 +101,10 @@ impl KernelCode {
 
     /// The GPR index bound to `value`, if any.
     pub fn gpr_index(&self, value: ValueId) -> Option<u32> {
-        self.gpr_bindings.iter().find(|(v, _)| *v == value).map(|&(_, i)| i)
+        self.gpr_bindings
+            .iter()
+            .find(|(v, _)| *v == value)
+            .map(|&(_, i)| i)
     }
 }
 
@@ -161,12 +164,15 @@ pub fn emit(
             } else {
                 (rr, RegRef::Rr)
             };
-        let offset = *alloc.offsets.get(&v).ok_or(CodegenError::MissingAllocation(v))?;
+        let offset = *alloc
+            .offsets
+            .get(&v)
+            .ok_or(CodegenError::MissingAllocation(v))?;
         // offset + omega + use_stage − def_stage rotations separate the
         // def's issue from this use's issue; a dependence-respecting
         // schedule never makes it negative.
-        let spec = i64::from(offset) + i64::from(omega) + i64::from(use_stage)
-            - i64::from(def_stage);
+        let spec =
+            i64::from(offset) + i64::from(omega) + i64::from(use_stage) - i64::from(def_stage);
         debug_assert!(spec >= 0, "negative rotating specifier for {v}");
         Ok(make(spec as u32))
     };
@@ -204,7 +210,14 @@ pub fn emit(
             }
             None => None,
         };
-        slots[cycle].push(MachineInst { op: op.id, kind: op.kind, stage, dest, srcs, guard });
+        slots[cycle].push(MachineInst {
+            op: op.id,
+            kind: op.kind,
+            stage,
+            dest,
+            srcs,
+            guard,
+        });
     }
     for slot in &mut slots {
         slot.sort_by_key(|inst| inst.op);
@@ -242,10 +255,7 @@ pub fn to_asm(kernel: &KernelCode, problem: &SchedProblem<'_>) -> String {
         for inst in slot {
             let dest = inst.dest.map(|d| format!("{d} = ")).unwrap_or_default();
             let srcs: Vec<String> = inst.srcs.iter().map(|r| r.to_string()).collect();
-            let guard = inst
-                .guard
-                .map(|g| format!(" if {g}"))
-                .unwrap_or_default();
+            let guard = inst.guard.map(|g| format!(" if {g}")).unwrap_or_default();
             let _ = writeln!(
                 s,
                 "    [s{}] {}{} {}{}    ; {}",
@@ -277,10 +287,9 @@ mod tests {
         let body = Box::leak(Box::new(unit.loops[0].body.clone()));
         let problem = SchedProblem::new(body, machine).unwrap();
         let schedule = SlackScheduler::new().run(&problem).unwrap();
-        let rr = allocate_rotating(&problem, &schedule, RegClass::Rr, Strategy::default())
-            .unwrap();
-        let icr = allocate_rotating(&problem, &schedule, RegClass::Icr, Strategy::default())
-            .unwrap();
+        let rr = allocate_rotating(&problem, &schedule, RegClass::Rr, Strategy::default()).unwrap();
+        let icr =
+            allocate_rotating(&problem, &schedule, RegClass::Icr, Strategy::default()).unwrap();
         let ops = problem.num_real_ops();
         let kernel = emit(&problem, &schedule, &rr, &icr).unwrap();
         let asm = to_asm(&kernel, &problem);
@@ -355,14 +364,14 @@ mod tests {
             .filter(|inst| inst.guard.is_some())
             .collect();
         assert_eq!(guarded.len(), 2);
-        assert!(guarded.iter().all(|i| matches!(i.guard, Some(RegRef::Icr(_)))));
+        assert!(guarded
+            .iter()
+            .all(|i| matches!(i.guard, Some(RegRef::Icr(_)))));
     }
 
     #[test]
     fn invariants_read_from_gprs() {
-        let (kernel, _) = emit_loop(
-            "loop c(i = 1..n) { real x[]; param real a; x[i] = a * 2.0; }",
-        );
+        let (kernel, _) = emit_loop("loop c(i = 1..n) { real x[]; param real a; x[i] = a * 2.0; }");
         let gpr_reads = kernel
             .slots
             .iter()

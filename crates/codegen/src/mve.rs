@@ -190,8 +190,7 @@ pub fn emit_mve(
         }
     };
 
-    let mut slots: Vec<Vec<Vec<MveInst>>> =
-        vec![vec![Vec::new(); ii as usize]; unroll as usize];
+    let mut slots: Vec<Vec<Vec<MveInst>>> = vec![vec![Vec::new(); ii as usize]; unroll as usize];
     for copy in 0..unroll {
         for op in body.ops() {
             if op.kind == OpKind::Brtop {
@@ -306,16 +305,19 @@ mod tests {
         );
         // The load's 13-cycle lifetime at a small II needs several names.
         assert!(kernel.unroll >= 4, "unroll = {}", kernel.unroll);
-        assert!(kernel.num_regs > kernel.blocks.len() as u32, "renaming happened");
+        assert!(
+            kernel.num_regs > kernel.blocks.len() as u32,
+            "renaming happened"
+        );
         // Every copy contains every non-brtop op exactly once.
-        let per_copy: Vec<usize> =
-            kernel.slots.iter().map(|c| c.iter().map(Vec::len).sum()).collect();
+        let per_copy: Vec<usize> = kernel
+            .slots
+            .iter()
+            .map(|c| c.iter().map(Vec::len).sum())
+            .collect();
         assert!(per_copy.windows(2).all(|w| w[0] == w[1]));
         // Code expansion: kernel alone is unroll x the rotating kernel.
-        assert_eq!(
-            kernel.kernel_insts(),
-            kernel.unroll as usize * per_copy[0]
-        );
+        assert_eq!(kernel.kernel_insts(), kernel.unroll as usize * per_copy[0]);
         assert!(kernel.total_insts() > kernel.kernel_insts());
     }
 
@@ -330,8 +332,11 @@ mod tests {
         );
         // Pick any renamed value with q >= 2 and check its destination
         // registers differ across adjacent copies.
-        let (&value, &(base, q)) =
-            kernel.blocks.iter().find(|(_, &(_, q))| q >= 2).expect("some renamed value");
+        let (&value, &(base, q)) = kernel
+            .blocks
+            .iter()
+            .find(|(_, &(_, q))| q >= 2)
+            .expect("some renamed value");
         let mut dests = Vec::new();
         for copy in &kernel.slots {
             for slot in copy {

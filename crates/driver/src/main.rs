@@ -10,6 +10,13 @@
 //!   --straight-line              schedule as a basic block (no overlap)
 //!   --run     TRIP               simulate TRIP iterations and verify
 //!                                against the reference interpreter
+//!
+//!   --eval-corpus                no FILE: schedule the synthetic corpus
+//!                                and print a summary instead
+//!   --corpus-size N              corpus loops for --eval-corpus
+//!                                (env LSMS_CORPUS)
+//!   --jobs N                     worker threads for --eval-corpus
+//!                                (env LSMS_JOBS)
 //! ```
 //!
 //! Example:
@@ -26,9 +33,7 @@ use lsms_front::compile;
 use lsms_ir::RegClass;
 use lsms_machine::{huff_machine, short_latency_machine, wide_machine, Machine};
 use lsms_regalloc::{allocate_rotating, Strategy};
-use lsms_sched::{
-    explain, DirectionPolicy, SchedProblem, Schedule, SlackConfig, SlackScheduler,
-};
+use lsms_sched::{explain, DirectionPolicy, SchedProblem, Schedule, SlackConfig, SlackScheduler};
 use lsms_sim::{check_equivalence, RunConfig};
 
 struct Options {
@@ -39,13 +44,17 @@ struct Options {
     unroll: u32,
     straight_line: bool,
     run: Option<u64>,
+    eval_corpus: bool,
+    corpus_size: usize,
+    jobs: usize,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: lsmsc FILE.loop [--machine huff|short|wide] [--policy bidir|early|late]\n\
          \x20             [--emit report|sched|list|asm|mve|dot|svg|all] [--unroll N]\n\
-         \x20             [--straight-line] [--run TRIP]"
+         \x20             [--straight-line] [--run TRIP]\n\
+         \x20      lsmsc --eval-corpus [--corpus-size N] [--jobs N] [--machine ...]"
     );
     std::process::exit(2);
 }
@@ -60,6 +69,9 @@ fn parse_args() -> Options {
         unroll: 1,
         straight_line: false,
         run: None,
+        eval_corpus: false,
+        corpus_size: lsms_bench::default_corpus_size(),
+        jobs: lsms_bench::default_jobs(),
     };
     let need = |args: &mut dyn Iterator<Item = String>, flag: &str| -> String {
         args.next().unwrap_or_else(|| {
@@ -112,12 +124,31 @@ fn parse_args() -> Options {
                 }
             }
             "--straight-line" => options.straight_line = true,
-            "--run" => {
-                options.run =
-                    Some(need(&mut args, "--run").parse().unwrap_or_else(|_| {
-                        eprintln!("--run needs an iteration count");
+            "--eval-corpus" => options.eval_corpus = true,
+            "--corpus-size" => {
+                options.corpus_size =
+                    need(&mut args, "--corpus-size")
+                        .parse()
+                        .unwrap_or_else(|_| {
+                            eprintln!("--corpus-size needs a positive integer");
+                            usage();
+                        })
+            }
+            "--jobs" => {
+                options.jobs = need(&mut args, "--jobs")
+                    .parse()
+                    .ok()
+                    .filter(|&j: &usize| j >= 1)
+                    .unwrap_or_else(|| {
+                        eprintln!("--jobs needs a positive integer");
                         usage();
-                    }))
+                    })
+            }
+            "--run" => {
+                options.run = Some(need(&mut args, "--run").parse().unwrap_or_else(|_| {
+                    eprintln!("--run needs an iteration count");
+                    usage();
+                }))
             }
             "--help" | "-h" => usage(),
             other if options.file.is_empty() && !other.starts_with('-') => {
@@ -129,10 +160,37 @@ fn parse_args() -> Options {
             }
         }
     }
-    if options.file.is_empty() {
+    if options.file.is_empty() && !options.eval_corpus {
         usage();
     }
     options
+}
+
+/// `--eval-corpus`: schedule the synthetic corpus with the three schedulers
+/// and print a headline summary (the quick health check the experiment
+/// binaries expand into full tables).
+fn eval_corpus(options: &Options) -> ExitCode {
+    let records = lsms_bench::evaluate_corpus_jobs(
+        options.corpus_size,
+        lsms_bench::CORPUS_SEED,
+        &options.machine,
+        options.jobs,
+    );
+    let scheduled = records.iter().filter(|r| r.new.ii.is_some()).count();
+    let optimal = records.iter().filter(|r| r.new.ii == Some(r.mii)).count();
+    let sum_ii: u64 = records.iter().map(|r| r.new.counted_ii()).sum();
+    let sum_mii: u64 = records.iter().map(|r| u64::from(r.mii)).sum();
+    println!(
+        "corpus: {} loops on {} ({} jobs): {} scheduled, {} at MII ({:.1}%), II/MII {:.3}",
+        records.len(),
+        options.machine.name(),
+        options.jobs,
+        scheduled,
+        optimal,
+        100.0 * optimal as f64 / records.len().max(1) as f64,
+        sum_ii as f64 / sum_mii.max(1) as f64,
+    );
+    ExitCode::SUCCESS
 }
 
 fn schedule_body(
@@ -152,6 +210,9 @@ fn schedule_body(
 
 fn main() -> ExitCode {
     let options = parse_args();
+    if options.eval_corpus {
+        return eval_corpus(&options);
+    }
     let source = match std::fs::read_to_string(&options.file) {
         Ok(s) => s,
         Err(e) => {
@@ -200,29 +261,17 @@ fn main() -> ExitCode {
                 "sched" => {
                     println!("loop {}: II = {}", compiled.def.name, schedule.ii);
                     for op in body.ops() {
-                        println!(
-                            "  {:>4}  {}",
-                            schedule.times[op.id.index()],
-                            op.kind
-                        );
+                        println!("  {:>4}  {}", schedule.times[op.id.index()], op.kind);
                     }
                 }
                 "dot" => print!("{}", lsms_ir::to_dot(body)),
                 "list" => print!("{}", lsms_ir::to_listing(body)),
                 "svg" => println!("{}", lsms_sched::svg::to_svg(&problem, &schedule)),
                 "asm" => {
-                    let rr = allocate_rotating(
-                        &problem,
-                        &schedule,
-                        RegClass::Rr,
-                        Strategy::default(),
-                    );
-                    let icr = allocate_rotating(
-                        &problem,
-                        &schedule,
-                        RegClass::Icr,
-                        Strategy::default(),
-                    );
+                    let rr =
+                        allocate_rotating(&problem, &schedule, RegClass::Rr, Strategy::default());
+                    let icr =
+                        allocate_rotating(&problem, &schedule, RegClass::Icr, Strategy::default());
                     match (rr, icr) {
                         (Ok(rr), Ok(icr)) => {
                             match lsms_codegen::emit(&problem, &schedule, &rr, &icr) {
@@ -254,7 +303,10 @@ fn main() -> ExitCode {
             let config = RunConfig {
                 trip,
                 seed: 0x5eed,
-                scheduler: SlackConfig { direction: options.policy, ..SlackConfig::default() },
+                scheduler: SlackConfig {
+                    direction: options.policy,
+                    ..SlackConfig::default()
+                },
             };
             match check_equivalence(compiled, &options.machine, &config) {
                 Ok(report) => println!(

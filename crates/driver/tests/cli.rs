@@ -22,7 +22,11 @@ const DAXPY: &str = "loop daxpy(i = 1..n) {
 fn report_prints_bounds_and_pressure() {
     let path = write_loop("lsmsc_daxpy.loop", DAXPY);
     let out = lsmsc().arg(&path).output().expect("runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("ResMII 2"), "{text}");
     assert!(text.contains("MaxLive"), "{text}");
@@ -32,10 +36,21 @@ fn report_prints_bounds_and_pressure() {
 #[test]
 fn run_verifies_against_the_reference() {
     let path = write_loop("lsmsc_daxpy_run.loop", DAXPY);
-    let out = lsmsc().arg(&path).args(["--run", "64", "--emit", "sched"]).output().expect("runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = lsmsc()
+        .arg(&path)
+        .args(["--run", "64", "--emit", "sched"])
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
-    assert!(text.contains("verified against the reference interpreter"), "{text}");
+    assert!(
+        text.contains("verified against the reference interpreter"),
+        "{text}"
+    );
     assert!(text.contains("II = 2"), "{text}");
 }
 
@@ -49,7 +64,11 @@ fn emit_variants_produce_their_formats() {
         ("svg", "<svg"),
         ("list", "loop daxpy ("),
     ] {
-        let out = lsmsc().arg(&path).args(["--emit", emit]).output().expect("runs");
+        let out = lsmsc()
+            .arg(&path)
+            .args(["--emit", emit])
+            .output()
+            .expect("runs");
         assert!(out.status.success(), "--emit {emit}");
         let text = String::from_utf8_lossy(&out.stdout);
         assert!(text.contains(marker), "--emit {emit}: {text}");
@@ -59,11 +78,17 @@ fn emit_variants_produce_their_formats() {
 #[test]
 fn unroll_halves_the_effective_ii() {
     let path = write_loop("lsmsc_daxpy_unroll.loop", DAXPY);
-    let out =
-        lsmsc().arg(&path).args(["--unroll", "2", "--emit", "sched"]).output().expect("runs");
+    let out = lsmsc()
+        .arg(&path)
+        .args(["--unroll", "2", "--emit", "sched"])
+        .output()
+        .expect("runs");
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
-    assert!(text.contains("II = 3"), "unrolled daxpy runs at 1.5 cycles/iter: {text}");
+    assert!(
+        text.contains("II = 3"),
+        "unrolled daxpy runs at 1.5 cycles/iter: {text}"
+    );
 }
 
 #[test]
@@ -75,7 +100,11 @@ fn machine_and_policy_flags_are_honoured() {
         .output()
         .expect("runs");
     assert!(out.status.success());
-    let out = lsmsc().arg(&path).args(["--machine", "bogus"]).output().expect("runs");
+    let out = lsmsc()
+        .arg(&path)
+        .args(["--machine", "bogus"])
+        .output()
+        .expect("runs");
     assert!(!out.status.success());
 }
 

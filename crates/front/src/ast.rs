@@ -206,11 +206,11 @@ impl LoopDef {
                 .map(|s| match s {
                     Stmt::Assign { .. } => 0,
                     Stmt::BreakIf { .. } => 1,
-                    Stmt::If { then_body, else_body, .. } => {
-                        2 + u32::from(!else_body.is_empty())
-                            + count(then_body)
-                            + count(else_body)
-                    }
+                    Stmt::If {
+                        then_body,
+                        else_body,
+                        ..
+                    } => 2 + u32::from(!else_body.is_empty()) + count(then_body) + count(else_body),
                 })
                 .sum()
         }
@@ -246,7 +246,11 @@ mod tests {
     #[test]
     fn ifs_add_blocks() {
         let iff = Stmt::If {
-            cond: Cond { op: RelOp::Lt, lhs: Expr::Int(0), rhs: Expr::Int(1) },
+            cond: Cond {
+                op: RelOp::Lt,
+                lhs: Expr::Int(0),
+                rhs: Expr::Int(1),
+            },
             then_body: vec![assign()],
             else_body: vec![assign()],
         };

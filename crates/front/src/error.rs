@@ -28,7 +28,10 @@ pub struct FrontError {
 
 impl FrontError {
     pub(crate) fn new(span: Span, message: impl Into<String>) -> Self {
-        Self { span, message: message.into() }
+        Self {
+            span,
+            message: message.into(),
+        }
     }
 }
 

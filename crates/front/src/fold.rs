@@ -99,9 +99,16 @@ mod tests {
 
     #[test]
     fn folds_real_arithmetic() {
-        assert_eq!(fold_expr(&bin(BinOp::Sub, real(2.62), real(0.88))), real(2.62 - 0.88));
         assert_eq!(
-            fold_expr(&bin(BinOp::Mul, real(2.0), bin(BinOp::Add, int(1), real(0.5)))),
+            fold_expr(&bin(BinOp::Sub, real(2.62), real(0.88))),
+            real(2.62 - 0.88)
+        );
+        assert_eq!(
+            fold_expr(&bin(
+                BinOp::Mul,
+                real(2.0),
+                bin(BinOp::Add, int(1), real(0.5))
+            )),
             real(2.0 * 1.5)
         );
         assert_eq!(fold_expr(&Expr::Sqrt(Box::new(real(4.0)))), real(2.0));

@@ -81,7 +81,10 @@ pub fn lex(source: &str) -> Result<Vec<Token>, FrontError> {
             continue;
         }
         if c == '%' {
-            tokens.push(Token { kind: TokenKind::Punct("%"), span });
+            tokens.push(Token {
+                kind: TokenKind::Punct("%"),
+                span,
+            });
             i += 1;
             col += 1;
             continue;
@@ -96,7 +99,10 @@ pub fn lex(source: &str) -> Result<Vec<Token>, FrontError> {
             }
             let text = &source[begin..i];
             col += (i - begin) as u32;
-            tokens.push(Token { kind: TokenKind::Ident(text.to_owned()), span });
+            tokens.push(Token {
+                kind: TokenKind::Ident(text.to_owned()),
+                span,
+            });
             continue;
         }
         // Numbers.
@@ -143,7 +149,10 @@ pub fn lex(source: &str) -> Result<Vec<Token>, FrontError> {
         // Punctuation, longest match first.
         for p in PUNCTS {
             if source[i..].starts_with(p) {
-                tokens.push(Token { kind: TokenKind::Punct(p), span });
+                tokens.push(Token {
+                    kind: TokenKind::Punct(p),
+                    span,
+                });
                 i += p.len();
                 col += p.len() as u32;
                 continue 'outer;
@@ -151,7 +160,10 @@ pub fn lex(source: &str) -> Result<Vec<Token>, FrontError> {
         }
         return Err(FrontError::new(span, format!("unexpected character `{c}`")));
     }
-    tokens.push(Token { kind: TokenKind::Eof, span: Span { line, col } });
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        span: Span { line, col },
+    });
     Ok(tokens)
 }
 
@@ -187,7 +199,12 @@ mod tests {
         assert_eq!(kinds("1.5"), vec![TokenKind::Real(1.5), TokenKind::Eof]);
         assert_eq!(
             kinds("1..5"),
-            vec![TokenKind::Int(1), TokenKind::Punct(".."), TokenKind::Int(5), TokenKind::Eof]
+            vec![
+                TokenKind::Int(1),
+                TokenKind::Punct(".."),
+                TokenKind::Int(5),
+                TokenKind::Eof
+            ]
         );
         assert_eq!(kinds("2e3"), vec![TokenKind::Real(2000.0), TokenKind::Eof]);
     }
@@ -210,7 +227,11 @@ mod tests {
     fn skips_comments() {
         assert_eq!(
             kinds("a // the rest is ignored\nb"),
-            vec![TokenKind::Ident("a".into()), TokenKind::Ident("b".into()), TokenKind::Eof]
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Eof
+            ]
         );
     }
 

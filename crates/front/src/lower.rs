@@ -23,9 +23,7 @@
 
 use std::collections::BTreeMap;
 
-use lsms_ir::{
-    DepKind, DepVia, LoopBody, LoopBuilder, LoopMeta, OpId, OpKind, ValueId, ValueType,
-};
+use lsms_ir::{DepKind, DepVia, LoopBody, LoopBuilder, LoopMeta, OpId, OpKind, ValueId, ValueType};
 
 use crate::ast::{BinOp, Bound, Expr, LValue, LoopDef, RelOp, Stmt, Ty};
 use crate::sema::LoopInfo;
@@ -233,7 +231,10 @@ pub fn lower(def: LoopDef, info: &LoopInfo) -> Result<CompiledLoop, FrontError> 
         (Bound::Const(a), Bound::Const(b)) => Some((b - a + 1).max(0) as u64),
         _ => None,
     };
-    lo.b.meta(LoopMeta { basic_blocks: def.basic_blocks(), min_trip_count: min_trip });
+    lo.b.meta(LoopMeta {
+        basic_blocks: def.basic_blocks(),
+        min_trip_count: min_trip,
+    });
     let body = lo.b.finish_with_auto_flow();
     debug_assert_eq!(body.validate(), Ok(()));
     Ok(CompiledLoop {
@@ -259,11 +260,18 @@ impl Lowerer<'_> {
         fn visit(stmts: &[Stmt], depth: u32, stores: &mut Vec<(String, i64, u32)>) {
             for stmt in stmts {
                 match stmt {
-                    Stmt::Assign { target: LValue::Elem { array, offset }, .. } => {
+                    Stmt::Assign {
+                        target: LValue::Elem { array, offset },
+                        ..
+                    } => {
                         stores.push((array.clone(), *offset, depth));
                     }
                     Stmt::Assign { .. } | Stmt::BreakIf { .. } => {}
-                    Stmt::If { then_body, else_body, .. } => {
+                    Stmt::If {
+                        then_body,
+                        else_body,
+                        ..
+                    } => {
                         visit(then_body, depth + 1, stores);
                         visit(else_body, depth + 1, stores);
                     }
@@ -314,7 +322,8 @@ impl Lowerer<'_> {
             Ty::Int => ValueType::Int,
         };
         let v = self.b.invariant(ty, name);
-        self.invariants.push((v, InvariantSource::Param(name.to_owned())));
+        self.invariants
+            .push((v, InvariantSource::Param(name.to_owned())));
         self.params.insert(name.to_owned(), v);
         v
     }
@@ -331,7 +340,8 @@ impl Lowerer<'_> {
             v
         };
         let iv = self.b.named_value(ValueType::Addr, "iv8");
-        self.b.op_with_omegas(OpKind::AddrAdd, &[(iv, 1), (stride, 0)], Some(iv), None);
+        self.b
+            .op_with_omegas(OpKind::AddrAdd, &[(iv, 1), (stride, 0)], Some(iv), None);
         self.initials.push((iv, InitialSource::Index8));
         self.iv8 = Some(iv);
         iv
@@ -344,12 +354,16 @@ impl Lowerer<'_> {
             return v;
         }
         let iv = self.iv8();
-        let base = self
-            .b
-            .invariant(ValueType::Addr, format!("&{}[{offset:+}]", self.info.arrays[array].0));
-        self.invariants.push((base, InvariantSource::RefBase { array, offset }));
-        let addr =
-            self.b.named_value(ValueType::Addr, format!("a.{}{offset:+}", self.info.arrays[array].0));
+        let base = self.b.invariant(
+            ValueType::Addr,
+            format!("&{}[{offset:+}]", self.info.arrays[array].0),
+        );
+        self.invariants
+            .push((base, InvariantSource::RefBase { array, offset }));
+        let addr = self.b.named_value(
+            ValueType::Addr,
+            format!("a.{}{offset:+}", self.info.arrays[array].0),
+        );
         self.b.op(OpKind::AddrAdd, &[iv, base], Some(addr));
         self.ref_addrs.insert((array, offset), addr);
         addr
@@ -361,8 +375,10 @@ impl Lowerer<'_> {
         if let Some(&store_off) = self.eligible.get(&array) {
             let d = store_off - offset;
             if d >= 1 {
-                let placeholder =
-                    *self.elim_placeholders.entry((array, offset)).or_insert_with(|| {
+                let placeholder = *self
+                    .elim_placeholders
+                    .entry((array, offset))
+                    .or_insert_with(|| {
                         let ty = match self.info.arrays[array].1 {
                             Ty::Real => ValueType::Float,
                             Ty::Int => ValueType::Int,
@@ -388,10 +404,18 @@ impl Lowerer<'_> {
             Ty::Real => ValueType::Float,
             Ty::Int => ValueType::Int,
         };
-        let v = self.b.named_value(ty, format!("{}[{offset:+}]", self.info.arrays[array].0));
+        let v = self
+            .b
+            .named_value(ty, format!("{}[{offset:+}]", self.info.arrays[array].0));
         let op = self.b.op(OpKind::Load, &[addr], Some(v));
         self.seq += 1;
-        self.mem_refs.push(MemRef { op, array, offset, is_store: false, seq: self.seq });
+        self.mem_refs.push(MemRef {
+            op,
+            array,
+            offset,
+            is_store: false,
+            seq: self.seq,
+        });
         self.load_cache.insert((array, offset), v);
         v.into_vref()
     }
@@ -417,10 +441,17 @@ impl Lowerer<'_> {
                 } else if let Some(&v) = self.env.get(name.as_str()) {
                     Ok(VRef::here(v))
                 } else {
-                    Err(FrontError::new(*span, format!("undeclared scalar `{name}`")))
+                    Err(FrontError::new(
+                        *span,
+                        format!("undeclared scalar `{name}`"),
+                    ))
                 }
             }
-            Expr::Elem { array, offset, span } => {
+            Expr::Elem {
+                array,
+                offset,
+                span,
+            } => {
                 let (idx, _) = self
                     .info
                     .array(array)
@@ -434,7 +465,11 @@ impl Lowerer<'_> {
                     Ty::Int => self.int_const(0),
                 };
                 let x = self.expr(inner, ty, pred)?;
-                let kind = if ty == Ty::Real { OpKind::FSub } else { OpKind::IntSub };
+                let kind = if ty == Ty::Real {
+                    OpKind::FSub
+                } else {
+                    OpKind::IntSub
+                };
                 Ok(self.emit(kind, &[VRef::here(zero), x], ty, pred))
             }
             Expr::Bin(op, lhs, rhs) => {
@@ -482,8 +517,13 @@ impl Lowerer<'_> {
                 let a = self.expr(lhs, ty, pred)?;
                 let c = self.expr(rhs, ty, pred)?;
                 let p = self.b.new_value(ValueType::Pred);
-                let cmp = if *is_max { OpKind::CmpGt } else { OpKind::CmpLt };
-                self.b.op_with_omegas(cmp, &[a.pair(), c.pair()], Some(p), pred);
+                let cmp = if *is_max {
+                    OpKind::CmpGt
+                } else {
+                    OpKind::CmpLt
+                };
+                self.b
+                    .op_with_omegas(cmp, &[a.pair(), c.pair()], Some(p), pred);
                 let v = self.emit_select(p, a, c, ty);
                 Ok(v)
             }
@@ -498,7 +538,11 @@ impl Lowerer<'_> {
                 let p = self.b.new_value(ValueType::Pred);
                 self.b
                     .op_with_omegas(OpKind::CmpLt, &[x.pair(), (zero, 0)], Some(p), pred);
-                let kind = if ty == Ty::Real { OpKind::FSub } else { OpKind::IntSub };
+                let kind = if ty == Ty::Real {
+                    OpKind::FSub
+                } else {
+                    OpKind::IntSub
+                };
                 let neg = self.emit(kind, &[VRef::here(zero), x], ty, pred);
                 let v = self.emit_select(p, neg, x, ty);
                 Ok(v)
@@ -546,8 +590,9 @@ impl Lowerer<'_> {
                         // eligibility, because pre-exit semantics are
                         // unchanged.
                         let store_pred = self.compose_live_guard(pred);
-                        let op =
-                            self.b.op_with_omegas(OpKind::Store, &inputs, None, store_pred);
+                        let op = self
+                            .b
+                            .op_with_omegas(OpKind::Store, &inputs, None, store_pred);
                         self.seq += 1;
                         self.mem_refs.push(MemRef {
                             op,
@@ -577,7 +622,8 @@ impl Lowerer<'_> {
                                 let old = *self.env.get(name.as_str()).expect("env has carry");
                                 let merged = self.b.new_value(self.scalar_type(name));
                                 let inputs = [(p, 0), (v.value, v.omega), (old, 0)];
-                                self.b.op_with_omegas(OpKind::Select, &inputs, Some(merged), None);
+                                self.b
+                                    .op_with_omegas(OpKind::Select, &inputs, Some(merged), None);
                                 self.env.insert(name.clone(), merged);
                             }
                         }
@@ -604,12 +650,17 @@ impl Lowerer<'_> {
                     RelOp::Ge => OpKind::CmpGe,
                 };
                 let p = self.b.new_value(ValueType::Pred);
-                self.b.op_with_omegas(kind, &[a.pair(), c.pair()], Some(p), None);
+                self.b
+                    .op_with_omegas(kind, &[a.pair(), c.pair()], Some(p), None);
                 let notp = self.b.named_value(ValueType::Pred, "noexit");
                 self.b.op(OpKind::PredNot, &[p], Some(notp));
                 self.exit_not_cond = Some(notp);
             }
-            Stmt::If { cond, then_body, else_body } => {
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
                 // If-conversion (§2.2): compute the branch predicate and
                 // guard both arms, composing with any enclosing context.
                 // The comparison type is the first operand's definite type,
@@ -668,10 +719,16 @@ impl Lowerer<'_> {
     /// Rewrites carried-scalar placeholders to the scalar's final value at
     /// distance +1 and records the initial-value binding.
     fn resolve_carries(&mut self) {
-        let carries: Vec<(String, ValueId)> =
-            self.carry_placeholders.iter().map(|(k, &v)| (k.clone(), v)).collect();
+        let carries: Vec<(String, ValueId)> = self
+            .carry_placeholders
+            .iter()
+            .map(|(k, &v)| (k.clone(), v))
+            .collect();
         for (name, placeholder) in carries {
-            let mut fin = *self.env.get(&name).expect("carried scalar has a final value");
+            let mut fin = *self
+                .env
+                .get(&name)
+                .expect("carried scalar has a final value");
             if fin == placeholder {
                 // Degenerate `s = s`: materialise the carry as a Copy so
                 // the value is re-defined (and re-written into the
@@ -697,8 +754,11 @@ impl Lowerer<'_> {
     /// value stored at iteration `j`", keeping the pre-loop seed indices
     /// aligned with initial memory.
     fn resolve_eliminated_loads(&mut self) {
-        let placeholders: Vec<((usize, i64), ValueId)> =
-            self.elim_placeholders.iter().map(|(&k, &v)| (k, v)).collect();
+        let placeholders: Vec<((usize, i64), ValueId)> = self
+            .elim_placeholders
+            .iter()
+            .map(|(&k, &v)| (k, v))
+            .collect();
         for ((array, load_off), placeholder) in placeholders {
             let store_off = self.eligible[&array];
             let d = (store_off - load_off) as u32;
@@ -707,12 +767,16 @@ impl Lowerer<'_> {
                 .get(&array)
                 .expect("eligible arrays have exactly one unconditional store");
             let (stored, extra) = self.b.op_input(store_op, 1);
-            let source = InitialSource::ArrayElem { array, offset: store_off };
+            let source = InitialSource::ArrayElem {
+                array,
+                offset: store_off,
+            };
             let carrier = if extra == 0 {
                 self.carrier_for(stored, source)
             } else {
                 let copy = self.b.new_value(self.b.value_type(stored));
-                self.b.op_with_omegas(OpKind::Copy, &[(stored, extra)], Some(copy), None);
+                self.b
+                    .op_with_omegas(OpKind::Copy, &[(stored, extra)], Some(copy), None);
                 self.initials.push((copy, source));
                 copy
             };
@@ -748,7 +812,9 @@ impl Lowerer<'_> {
     /// The store guard: `live ∧ ctx` when the loop has an early exit,
     /// else just `ctx`. Compositions are cached per context predicate.
     fn compose_live_guard(&mut self, ctx: Option<ValueId>) -> Option<ValueId> {
-        let Some(live) = self.live_now else { return ctx };
+        let Some(live) = self.live_now else {
+            return ctx;
+        };
         if let Some(&cached) = self.live_guard_cache.get(&ctx) {
             return Some(cached);
         }
@@ -767,7 +833,9 @@ impl Lowerer<'_> {
     /// Wires the early-exit chain: `live(i) = live(i−1) ∧ ¬exit(i−1)`,
     /// with both pre-loop instances seeded true.
     fn resolve_exit(&mut self) {
-        let Some((pl_live, pl_notc)) = self.live_placeholders else { return };
+        let Some((pl_live, pl_notc)) = self.live_placeholders else {
+            return;
+        };
         let live = self.live_now.expect("placeholders imply a live chain");
         let notc = self
             .exit_not_cond

@@ -96,7 +96,10 @@ impl Parser<'_> {
                 self.bump();
                 Ok(s)
             }
-            other => Err(FrontError::new(self.span(), format!("expected {what}, found {other}"))),
+            other => Err(FrontError::new(
+                self.span(),
+                format!("expected {what}, found {other}"),
+            )),
         }
     }
 
@@ -140,7 +143,14 @@ impl Parser<'_> {
             }
             body.push(self.stmt(&var)?);
         }
-        Ok(LoopDef { name, var, lo, hi, decls, body })
+        Ok(LoopDef {
+            name,
+            var,
+            lo,
+            hi,
+            decls,
+            body,
+        })
     }
 
     fn bound(&mut self) -> Result<Bound, FrontError> {
@@ -155,9 +165,10 @@ impl Parser<'_> {
                 self.bump();
                 Ok(Bound::Param(s))
             }
-            other => {
-                Err(FrontError::new(self.span(), format!("expected loop bound, found {other}")))
-            }
+            other => Err(FrontError::new(
+                self.span(),
+                format!("expected loop bound, found {other}"),
+            )),
         }
     }
 
@@ -228,7 +239,9 @@ impl Parser<'_> {
             let rhs = self.expr(var)?;
             self.expect_punct(")")?;
             self.expect_punct(";")?;
-            return Ok(Stmt::BreakIf { cond: Cond { op, lhs, rhs } });
+            return Ok(Stmt::BreakIf {
+                cond: Cond { op, lhs, rhs },
+            });
         }
         if self.eat_keyword("if") {
             self.expect_punct("(")?;
@@ -237,22 +250,37 @@ impl Parser<'_> {
             let rhs = self.expr(var)?;
             self.expect_punct(")")?;
             let then_body = self.block(var)?;
-            let else_body = if self.eat_keyword("else") { self.block(var)? } else { Vec::new() };
-            return Ok(Stmt::If { cond: Cond { op, lhs, rhs }, then_body, else_body });
+            let else_body = if self.eat_keyword("else") {
+                self.block(var)?
+            } else {
+                Vec::new()
+            };
+            return Ok(Stmt::If {
+                cond: Cond { op, lhs, rhs },
+                then_body,
+                else_body,
+            });
         }
         let span = self.span();
         let name = self.expect_ident("assignment target")?;
         let target = if self.eat_punct("[") {
             let offset = self.index(var)?;
             self.expect_punct("]")?;
-            LValue::Elem { array: name, offset }
+            LValue::Elem {
+                array: name,
+                offset,
+            }
         } else {
             LValue::Scalar(name)
         };
         self.expect_punct("=")?;
         let value = self.expr(var)?;
         self.expect_punct(";")?;
-        Ok(Stmt::Assign { target, value, span })
+        Ok(Stmt::Assign {
+            target,
+            value,
+            span,
+        })
     }
 
     fn block(&mut self, var: &str) -> Result<Vec<Stmt>, FrontError> {
@@ -305,7 +333,10 @@ impl Parser<'_> {
         };
         match self.bump().kind {
             TokenKind::Int(v) => Ok(sign * v),
-            other => Err(FrontError::new(span, format!("expected constant offset, found {other}"))),
+            other => Err(FrontError::new(
+                span,
+                format!("expected constant offset, found {other}"),
+            )),
         }
     }
 
@@ -380,7 +411,11 @@ impl Parser<'_> {
                 self.expect_punct(",")?;
                 let rhs = self.expr(var)?;
                 self.expect_punct(")")?;
-                Ok(Expr::MinMax { is_max, lhs: Box::new(lhs), rhs: Box::new(rhs) })
+                Ok(Expr::MinMax {
+                    is_max,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                })
             }
             TokenKind::Ident(name) if name == "abs" => {
                 self.bump();
@@ -394,12 +429,19 @@ impl Parser<'_> {
                 if self.eat_punct("[") {
                     let offset = self.index(var)?;
                     self.expect_punct("]")?;
-                    Ok(Expr::Elem { array: name, offset, span })
+                    Ok(Expr::Elem {
+                        array: name,
+                        offset,
+                        span,
+                    })
                 } else {
                     Ok(Expr::Scalar(name, span))
                 }
             }
-            other => Err(FrontError::new(span, format!("expected expression, found {other}"))),
+            other => Err(FrontError::new(
+                span,
+                format!("expected expression, found {other}"),
+            )),
         }
     }
 }
@@ -430,7 +472,11 @@ mod tests {
         assert_eq!(l.hi, Bound::Param("n".into()));
         assert_eq!(l.body.len(), 2);
         match &l.body[0] {
-            Stmt::Assign { target: LValue::Elem { array, offset }, value, .. } => {
+            Stmt::Assign {
+                target: LValue::Elem { array, offset },
+                value,
+                ..
+            } => {
                 assert_eq!(array, "x");
                 assert_eq!(*offset, 0);
                 assert!(matches!(value, Expr::Bin(BinOp::Add, _, _)));
@@ -450,7 +496,11 @@ mod tests {
         )
         .unwrap();
         match &loops[0].body[0] {
-            Stmt::If { cond, then_body, else_body } => {
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
                 assert_eq!(cond.op, RelOp::Gt);
                 assert_eq!(then_body.len(), 1);
                 assert_eq!(else_body.len(), 1);
@@ -463,7 +513,10 @@ mod tests {
     fn precedence_is_mul_over_add() {
         let loops = parse_src("loop f(i=1..9){ real x[]; x[i] = 1.0 + 2.0 * 3.0; }").unwrap();
         match &loops[0].body[0] {
-            Stmt::Assign { value: Expr::Bin(BinOp::Add, l, r), .. } => {
+            Stmt::Assign {
+                value: Expr::Bin(BinOp::Add, l, r),
+                ..
+            } => {
                 assert!(matches!(**l, Expr::Real(_)));
                 assert!(matches!(**r, Expr::Bin(BinOp::Mul, _, _)));
             }
@@ -495,10 +548,12 @@ mod tests {
 
     #[test]
     fn parses_negation_and_sqrt() {
-        let loops =
-            parse_src("loop f(i=1..9){ real x[]; x[i] = -sqrt(x[i-1] * 2.0); }").unwrap();
+        let loops = parse_src("loop f(i=1..9){ real x[]; x[i] = -sqrt(x[i-1] * 2.0); }").unwrap();
         match &loops[0].body[0] {
-            Stmt::Assign { value: Expr::Neg(inner), .. } => {
+            Stmt::Assign {
+                value: Expr::Neg(inner),
+                ..
+            } => {
                 assert!(matches!(**inner, Expr::Sqrt(_)));
             }
             other => panic!("unexpected stmt {other:?}"),

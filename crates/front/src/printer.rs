@@ -72,7 +72,11 @@ fn print_stmt(out: &mut String, stmt: &Stmt, indent: usize) {
             print_cond(out, cond);
             out.push_str(");\n");
         }
-        Stmt::If { cond, then_body, else_body } => {
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        } => {
             out.push_str(&pad);
             out.push_str("if (");
             print_cond(out, cond);
@@ -224,7 +228,11 @@ mod tests {
                         strip_expr(value);
                         *span = crate::Span::default();
                     }
-                    Stmt::If { cond, then_body, else_body } => {
+                    Stmt::If {
+                        cond,
+                        then_body,
+                        else_body,
+                    } => {
                         strip_expr(&mut cond.lhs);
                         strip_expr(&mut cond.rhs);
                         stmts(then_body);
@@ -247,7 +255,10 @@ mod tests {
             .unwrap_or_else(|e| panic!("printed source does not parse: {e}\n{printed}"));
         strip(&mut original[0]);
         strip(&mut reparsed[0]);
-        assert_eq!(original[0], reparsed[0], "round trip changed the AST:\n{printed}");
+        assert_eq!(
+            original[0], reparsed[0],
+            "round trip changed the AST:\n{printed}"
+        );
     }
 
     #[test]
@@ -299,4 +310,3 @@ mod tests {
         assert!(printed.contains("2.0"), "{printed}");
     }
 }
-

@@ -20,7 +20,10 @@ pub struct LoopInfo {
 impl LoopInfo {
     /// The index and element type of `name` among the arrays.
     pub fn array(&self, name: &str) -> Option<(usize, Ty)> {
-        self.arrays.iter().position(|(n, _)| n == name).map(|i| (i, self.arrays[i].1))
+        self.arrays
+            .iter()
+            .position(|(n, _)| n == name)
+            .map(|i| (i, self.arrays[i].1))
     }
 
     /// The type of `name` as a parameter.
@@ -30,7 +33,10 @@ impl LoopInfo {
 
     /// The type of `name` as a loop-carried scalar.
     pub fn carried(&self, name: &str) -> Option<Ty> {
-        self.carried.iter().find(|(n, _)| n == name).map(|&(_, t)| t)
+        self.carried
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, t)| t)
     }
 }
 
@@ -98,13 +104,22 @@ pub fn analyze(def: &LoopDef) -> Result<LoopInfo, FrontError> {
     let mut carried: Vec<(String, Ty)> = Vec::new();
     collect_assigned(&def.body, &mut |name: &str, span: Span| {
         if params.iter().any(|(p, _)| p == name) {
-            return Err(FrontError::new(span, format!("cannot assign to parameter `{name}`")));
+            return Err(FrontError::new(
+                span,
+                format!("cannot assign to parameter `{name}`"),
+            ));
         }
         if name == def.var {
-            return Err(FrontError::new(span, "cannot assign to the induction variable"));
+            return Err(FrontError::new(
+                span,
+                "cannot assign to the induction variable",
+            ));
         }
         if arrays.iter().any(|(a, _)| a == name) {
-            return Err(FrontError::new(span, format!("array `{name}` needs a subscript")));
+            return Err(FrontError::new(
+                span,
+                format!("array `{name}` needs a subscript"),
+            ));
         }
         if !carried.iter().any(|(c, _)| c == name) {
             let ty = declared_scalars.get(name).copied().unwrap_or(Ty::Real);
@@ -119,7 +134,11 @@ pub fn analyze(def: &LoopDef) -> Result<LoopInfo, FrontError> {
         }
     }
 
-    let info = LoopInfo { arrays, params, carried };
+    let info = LoopInfo {
+        arrays,
+        params,
+        carried,
+    };
     check_stmts(&def.body, def, &info)?;
     check_breaks(&def.body)?;
     Ok(info)
@@ -137,7 +156,11 @@ fn check_breaks(stmts: &[Stmt]) -> Result<(), FrontError> {
                         "`break if` must be the last top-level statement",
                     ))
                 }
-                Stmt::If { then_body, else_body, .. } => {
+                Stmt::If {
+                    then_body,
+                    else_body,
+                    ..
+                } => {
                     no_breaks(then_body)?;
                     no_breaks(else_body)?;
                 }
@@ -148,7 +171,12 @@ fn check_breaks(stmts: &[Stmt]) -> Result<(), FrontError> {
     }
     if let Some((last, rest)) = stmts.split_last() {
         no_breaks(rest)?;
-        if let Stmt::If { then_body, else_body, .. } = last {
+        if let Stmt::If {
+            then_body,
+            else_body,
+            ..
+        } = last
+        {
             no_breaks(then_body)?;
             no_breaks(else_body)?;
         }
@@ -162,10 +190,18 @@ fn collect_assigned(
 ) -> Result<(), FrontError> {
     for stmt in stmts {
         match stmt {
-            Stmt::Assign { target: LValue::Scalar(name), span, .. } => sink(name, *span)?,
+            Stmt::Assign {
+                target: LValue::Scalar(name),
+                span,
+                ..
+            } => sink(name, *span)?,
             Stmt::Assign { .. } => {}
             Stmt::BreakIf { .. } => {}
-            Stmt::If { then_body, else_body, .. } => {
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
                 collect_assigned(then_body, sink)?;
                 collect_assigned(else_body, sink)?;
             }
@@ -177,14 +213,16 @@ fn collect_assigned(
 fn check_stmts(stmts: &[Stmt], def: &LoopDef, info: &LoopInfo) -> Result<(), FrontError> {
     for stmt in stmts {
         match stmt {
-            Stmt::Assign { target, value, span } => {
+            Stmt::Assign {
+                target,
+                value,
+                span,
+            } => {
                 let want = match target {
                     LValue::Elem { array, .. } => {
-                        info.array(array)
-                            .map(|(_, ty)| ty)
-                            .ok_or_else(|| {
-                                FrontError::new(*span, format!("undeclared array `{array}`"))
-                            })?
+                        info.array(array).map(|(_, ty)| ty).ok_or_else(|| {
+                            FrontError::new(*span, format!("undeclared array `{array}`"))
+                        })?
                     }
                     LValue::Scalar(name) => info
                         .carried(name)
@@ -193,7 +231,11 @@ fn check_stmts(stmts: &[Stmt], def: &LoopDef, info: &LoopInfo) -> Result<(), Fro
                 let got = type_of(value, def, info)?;
                 coerce(got, want, *span)?;
             }
-            Stmt::If { cond, then_body, else_body } => {
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
                 let lt = type_of(&cond.lhs, def, info)?;
                 let rt = type_of(&cond.rhs, def, info)?;
                 unify(lt, rt, Span::default())?;
@@ -239,11 +281,7 @@ fn unify(a: ExprTy, b: ExprTy, span: Span) -> Result<ExprTy, FrontError> {
     }
 }
 
-pub(crate) fn type_of(
-    expr: &Expr,
-    def: &LoopDef,
-    info: &LoopInfo,
-) -> Result<ExprTy, FrontError> {
+pub(crate) fn type_of(expr: &Expr, def: &LoopDef, info: &LoopInfo) -> Result<ExprTy, FrontError> {
     match expr {
         Expr::Real(_) => Ok(ExprTy::Real),
         Expr::Int(_) => Ok(ExprTy::IntLit),
@@ -276,7 +314,10 @@ pub(crate) fn type_of(
             let ty = unify(lt, rt, Span::default())?;
             if *op == BinOp::Rem {
                 if ty == ExprTy::Real {
-                    return Err(FrontError::new(Span::default(), "`%` requires int operands"));
+                    return Err(FrontError::new(
+                        Span::default(),
+                        "`%` requires int operands",
+                    ));
                 }
                 // `%` pins polymorphic literals to int: `2 % 3` is an int
                 // value even in an otherwise-real context.
@@ -287,7 +328,10 @@ pub(crate) fn type_of(
         Expr::Sqrt(inner) => {
             let t = type_of(inner, def, info)?;
             if t == ExprTy::Int {
-                return Err(FrontError::new(Span::default(), "`sqrt` requires a real operand"));
+                return Err(FrontError::new(
+                    Span::default(),
+                    "`sqrt` requires a real operand",
+                ));
             }
             Ok(ExprTy::Real)
         }
@@ -351,17 +395,14 @@ mod tests {
 
     #[test]
     fn rejects_assignment_to_parameter() {
-        let err =
-            analyze_src("loop f(i=1..9){ param real a; real x[]; a = x[i]; }").unwrap_err();
+        let err = analyze_src("loop f(i=1..9){ param real a; real x[]; a = x[i]; }").unwrap_err();
         assert!(err.message.contains("cannot assign to parameter"), "{err}");
     }
 
     #[test]
     fn rejects_type_mixing() {
-        let err = analyze_src(
-            "loop f(i=1..9){ real x[]; int k[]; x[i] = x[i-1] + k[i]; }",
-        )
-        .unwrap_err();
+        let err =
+            analyze_src("loop f(i=1..9){ real x[]; int k[]; x[i] = x[i-1] + k[i]; }").unwrap_err();
         assert!(err.message.contains("mixed real/int"), "{err}");
     }
 

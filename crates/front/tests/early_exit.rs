@@ -20,7 +20,11 @@ fn break_lowers_to_a_carried_live_chain() {
     let body = &unit.loops[0].body;
     // live = pand(live@1, noexit@1): one PredAnd with both inputs at
     // omega 1 after resolution.
-    let pands: Vec<_> = body.ops().iter().filter(|o| o.kind == OpKind::PredAnd).collect();
+    let pands: Vec<_> = body
+        .ops()
+        .iter()
+        .filter(|o| o.kind == OpKind::PredAnd)
+        .collect();
     assert_eq!(pands.len(), 1, "{}", lsms_ir::to_listing(body));
     assert_eq!(pands[0].input_omegas, vec![1, 1]);
     // The store is guarded by live.
@@ -34,12 +38,12 @@ fn break_lowers_to_a_carried_live_chain() {
 
 #[test]
 fn break_must_be_last_and_unique() {
-    assert!(compile(
-        "loop b(i = 1..9) { real x[]; break if (x[i] > 0.0); x[i] = 1.0; }"
-    )
-    .unwrap_err()
-    .message
-    .contains("last top-level statement"));
+    assert!(
+        compile("loop b(i = 1..9) { real x[]; break if (x[i] > 0.0); x[i] = 1.0; }")
+            .unwrap_err()
+            .message
+            .contains("last top-level statement")
+    );
     assert!(compile(
         "loop b(i = 1..9) { real x[];
              if (x[i] > 0.0) { break if (x[i] > 1.0); } }"
@@ -85,12 +89,22 @@ fn exit_pipeline_matches_the_reference_bitwise() {
         let unit = compile(src).unwrap();
         for trip in [1, 2, 5, 19, 60] {
             for seed in [1u64, 9, 42] {
-                let config = RunConfig { trip, seed, ..RunConfig::default() };
+                let config = RunConfig {
+                    trip,
+                    seed,
+                    ..RunConfig::default()
+                };
                 check_equivalence(&unit.loops[0], &machine, &config).unwrap_or_else(|e| {
-                    panic!("rotating {} trip {trip} seed {seed}: {e}", unit.loops[0].def.name)
+                    panic!(
+                        "rotating {} trip {trip} seed {seed}: {e}",
+                        unit.loops[0].def.name
+                    )
                 });
                 check_equivalence_mve(&unit.loops[0], &machine, &config).unwrap_or_else(|e| {
-                    panic!("mve {} trip {trip} seed {seed}: {e}", unit.loops[0].def.name)
+                    panic!(
+                        "mve {} trip {trip} seed {seed}: {e}",
+                        unit.loops[0].def.name
+                    )
                 });
             }
         }
@@ -117,7 +131,11 @@ fn exit_squashes_only_post_exit_stores() {
         assert_ne!(out[1][lo + k], ws.arrays[1][lo + k], "iteration {k} stored");
     }
     for k in 6..15 {
-        assert_eq!(out[1][lo + k], ws.arrays[1][lo + k], "iteration {k} squashed");
+        assert_eq!(
+            out[1][lo + k],
+            ws.arrays[1][lo + k],
+            "iteration {k} squashed"
+        );
     }
     // And the full pipeline agrees (workspace-specific, so run manually).
     let machine = huff_machine();
@@ -138,8 +156,7 @@ fn exit_squashes_only_post_exit_stores() {
     )
     .unwrap();
     let kernel = lsms_codegen::emit(&problem, &schedule, &rr, &icr).unwrap();
-    let got =
-        lsms_sim::run_kernel(compiled, &problem, &schedule, &kernel, &rr, &icr, &ws).unwrap();
+    let got = lsms_sim::run_kernel(compiled, &problem, &schedule, &kernel, &rr, &icr, &ws).unwrap();
     assert_eq!(got.arrays, out);
 }
 

@@ -18,15 +18,25 @@ fn lexical_errors_carry_positions() {
 fn syntax_errors() {
     assert!(err("bogus").message.contains("expected `loop`"));
     assert!(err("loop f(i = 1..9) {").message.contains("unterminated"));
-    assert!(err("loop f(i = 1..9) { real x[]; x[i] 1.0; }").message.contains("expected `=`"));
-    assert!(err("loop f(i = 1..9) { real x[]; x[i] = ; }").message.contains("expected expression"));
-    assert!(err("loop f(i = ..9) { }").message.contains("expected loop bound"));
-    assert!(err("loop f(i = 1..9) { real x[]; if x[i] > 0.0 { x[i] = 0.0; } }")
+    assert!(err("loop f(i = 1..9) { real x[]; x[i] 1.0; }")
         .message
-        .contains("expected `(`"));
-    assert!(err("loop f(i = 1..9) { real x[]; if (x[i] ? 0.0) { x[i] = 0.0; } }")
+        .contains("expected `=`"));
+    assert!(err("loop f(i = 1..9) { real x[]; x[i] = ; }")
         .message
-        .contains("unexpected character"));
+        .contains("expected expression"));
+    assert!(err("loop f(i = ..9) { }")
+        .message
+        .contains("expected loop bound"));
+    assert!(
+        err("loop f(i = 1..9) { real x[]; if x[i] > 0.0 { x[i] = 0.0; } }")
+            .message
+            .contains("expected `(`")
+    );
+    assert!(
+        err("loop f(i = 1..9) { real x[]; if (x[i] ? 0.0) { x[i] = 0.0; } }")
+            .message
+            .contains("unexpected character")
+    );
 }
 
 #[test]
@@ -34,7 +44,9 @@ fn subscript_discipline_is_enforced() {
     assert!(err("loop f(i = 1..9) { real x[]; x[j] = 1.0; }")
         .message
         .contains("induction variable"));
-    assert!(err("loop f(i = 1..9) { real x[]; x[i*2] = 1.0; }").message.contains("expected"));
+    assert!(err("loop f(i = 1..9) { real x[]; x[i*2] = 1.0; }")
+        .message
+        .contains("expected"));
     assert!(err("loop f(i = 1..9) { real x[]; x[i+j] = 1.0; }")
         .message
         .contains("constant offset"));
@@ -43,16 +55,26 @@ fn subscript_discipline_is_enforced() {
 #[test]
 fn semantic_errors() {
     // Undeclared names.
-    assert!(err("loop f(i=1..9){ real x[]; x[i] = q; }").message.contains("undeclared scalar"));
-    assert!(err("loop f(i=1..9){ real x[]; x[i] = z[i]; }").message.contains("undeclared array"));
-    assert!(err("loop f(i=1..9){ real x[]; z[i] = 1.0; }").message.contains("undeclared array"));
+    assert!(err("loop f(i=1..9){ real x[]; x[i] = q; }")
+        .message
+        .contains("undeclared scalar"));
+    assert!(err("loop f(i=1..9){ real x[]; x[i] = z[i]; }")
+        .message
+        .contains("undeclared array"));
+    assert!(err("loop f(i=1..9){ real x[]; z[i] = 1.0; }")
+        .message
+        .contains("undeclared array"));
     // Parameter assignment.
     assert!(err("loop f(i=1..9){ param real a; real x[]; a = x[i]; }")
         .message
         .contains("cannot assign to parameter"));
     // Induction variable misuse.
-    assert!(err("loop f(i=1..9){ real x[]; x[i] = i; }").message.contains("induction variable"));
-    assert!(err("loop f(i=1..9){ real x[]; i = 1; }").message.contains("induction variable"));
+    assert!(err("loop f(i=1..9){ real x[]; x[i] = i; }")
+        .message
+        .contains("induction variable"));
+    assert!(err("loop f(i=1..9){ real x[]; i = 1; }")
+        .message
+        .contains("induction variable"));
     // Type errors.
     assert!(err("loop f(i=1..9){ real x[]; int k[]; x[i] = k[i]; }")
         .message
@@ -60,17 +82,25 @@ fn semantic_errors() {
     assert!(err("loop f(i=1..9){ real x[]; int k[]; k[i] = x[i]; }")
         .message
         .contains("real value in int context"));
-    assert!(err("loop f(i=1..9){ real x[]; int k[]; x[i] = x[i] + k[i]; }")
+    assert!(
+        err("loop f(i=1..9){ real x[]; int k[]; x[i] = x[i] + k[i]; }")
+            .message
+            .contains("mixed real/int")
+    );
+    assert!(err("loop f(i=1..9){ real x[]; x[i] = x[i] % 2.0; }")
         .message
-        .contains("mixed real/int"));
-    assert!(err("loop f(i=1..9){ real x[]; x[i] = x[i] % 2.0; }").message.contains('%'));
-    assert!(err("loop f(i=1..9){ int k[]; k[i] = sqrt(k[i]); }").message.contains("sqrt"));
+        .contains('%'));
+    assert!(err("loop f(i=1..9){ int k[]; k[i] = sqrt(k[i]); }")
+        .message
+        .contains("sqrt"));
     // Duplicates.
     assert!(err("loop f(i=1..9){ real x[]; param real x; x[i] = 0.0; }")
         .message
         .contains("declared twice"));
     // Arrays need subscripts.
-    assert!(err("loop f(i=1..9){ real x[], y[]; y = x[i]; }").message.contains("subscript"));
+    assert!(err("loop f(i=1..9){ real x[], y[]; y = x[i]; }")
+        .message
+        .contains("subscript"));
 }
 
 #[test]
@@ -78,15 +108,16 @@ fn rem_is_definitely_int_even_for_literals() {
     // `2 % 3` may not leak into a real context (its value is an integer
     // bit pattern).
     let e = err("loop f(i=1..9){ real x[]; x[i] = (2 % 3) * x[i-1]; }");
-    assert!(e.message.contains("mixed real/int") || e.message.contains("int value"), "{e}");
+    assert!(
+        e.message.contains("mixed real/int") || e.message.contains("int value"),
+        "{e}"
+    );
 }
 
 #[test]
 fn multiple_loops_report_errors_in_the_right_one() {
-    let e = err(
-        "loop ok(i = 1..9) { real x[]; x[i] = 1.0; }
-         loop bad(i = 1..9) { real y[]; y[i] = undeclared; }",
-    );
+    let e = err("loop ok(i = 1..9) { real x[]; x[i] = 1.0; }
+         loop bad(i = 1..9) { real y[]; y[i] = undeclared; }");
     assert!(e.message.contains("undeclared scalar"), "{e}");
     assert_eq!(e.span.line, 2);
 }

@@ -17,17 +17,44 @@ fn minmax_lowers_to_compare_plus_select() {
     )
     .unwrap();
     let body = &unit.loops[0].body;
-    assert_eq!(body.ops().iter().filter(|o| o.kind == OpKind::Select).count(), 2);
-    assert_eq!(body.ops().iter().filter(|o| o.kind == OpKind::CmpGt).count(), 1);
-    assert_eq!(body.ops().iter().filter(|o| o.kind == OpKind::CmpLt).count(), 1);
+    assert_eq!(
+        body.ops()
+            .iter()
+            .filter(|o| o.kind == OpKind::Select)
+            .count(),
+        2
+    );
+    assert_eq!(
+        body.ops()
+            .iter()
+            .filter(|o| o.kind == OpKind::CmpGt)
+            .count(),
+        1
+    );
+    assert_eq!(
+        body.ops()
+            .iter()
+            .filter(|o| o.kind == OpKind::CmpLt)
+            .count(),
+        1
+    );
 }
 
 #[test]
 fn abs_lowers_to_negate_plus_select() {
     let unit = compile("loop a(i = 1..n) { real x[], y[]; y[i] = abs(x[i]); }").unwrap();
     let body = &unit.loops[0].body;
-    assert_eq!(body.ops().iter().filter(|o| o.kind == OpKind::Select).count(), 1);
-    assert_eq!(body.ops().iter().filter(|o| o.kind == OpKind::FSub).count(), 1);
+    assert_eq!(
+        body.ops()
+            .iter()
+            .filter(|o| o.kind == OpKind::Select)
+            .count(),
+        1
+    );
+    assert_eq!(
+        body.ops().iter().filter(|o| o.kind == OpKind::FSub).count(),
+        1
+    );
 }
 
 #[test]
@@ -65,7 +92,11 @@ fn intrinsics_compute_correctly_in_both_engines() {
     for src in sources {
         let unit = compile(src).unwrap();
         for trip in [1, 3, 24] {
-            let config = RunConfig { trip, seed: trip * 3 + 1, ..RunConfig::default() };
+            let config = RunConfig {
+                trip,
+                seed: trip * 3 + 1,
+                ..RunConfig::default()
+            };
             check_equivalence(&unit.loops[0], &machine, &config)
                 .unwrap_or_else(|e| panic!("rotating {}: {e}", unit.loops[0].def.name));
             check_equivalence_mve(&unit.loops[0], &machine, &config)

@@ -25,7 +25,13 @@ fn sample_loop_eliminates_all_loads() {
         "all reads should be register flows:\n{}",
         lsms_ir::to_dot(body)
     );
-    assert_eq!(body.ops().iter().filter(|o| o.kind == OpKind::Store).count(), 2);
+    assert_eq!(
+        body.ops()
+            .iter()
+            .filter(|o| o.kind == OpKind::Store)
+            .count(),
+        2
+    );
     assert!(body.has_recurrence());
     assert!(!body.has_conditional());
 }
@@ -41,8 +47,14 @@ fn sample_loop_has_cross_iteration_flows() {
         .filter(|d| d.is_register_flow())
         .map(|d| d.omega)
         .collect();
-    assert!(omegas.contains(&1), "self recurrences at omega 1: {omegas:?}");
-    assert!(omegas.contains(&2), "cross recurrences at omega 2: {omegas:?}");
+    assert!(
+        omegas.contains(&1),
+        "self recurrences at omega 1: {omegas:?}"
+    );
+    assert!(
+        omegas.contains(&2),
+        "cross recurrences at omega 2: {omegas:?}"
+    );
 }
 
 #[test]
@@ -75,7 +87,11 @@ fn ineligible_arrays_keep_loads_and_memory_deps() {
     .unwrap();
     let body = &unit.loops[0].body;
     assert!(body.ops().iter().filter(|o| o.kind == OpKind::Load).count() >= 2);
-    let mem_arcs: Vec<_> = body.deps().iter().filter(|d| d.via == DepVia::Memory).collect();
+    let mem_arcs: Vec<_> = body
+        .deps()
+        .iter()
+        .filter(|d| d.via == DepVia::Memory)
+        .collect();
     assert!(!mem_arcs.is_empty(), "expected memory dependences");
     // store x[i+1] -> load x[i-1] at distance 2 must be present.
     assert!(
@@ -97,9 +113,25 @@ fn conditionals_are_if_converted() {
     let body = &unit.loops[0].body;
     assert!(body.has_conditional());
     // One compare, one pnot, two guarded stores.
-    assert_eq!(body.ops().iter().filter(|o| o.kind == OpKind::CmpGt).count(), 1);
-    assert_eq!(body.ops().iter().filter(|o| o.kind == OpKind::PredNot).count(), 1);
-    let guarded: Vec<_> = body.ops().iter().filter(|o| o.predicate.is_some()).collect();
+    assert_eq!(
+        body.ops()
+            .iter()
+            .filter(|o| o.kind == OpKind::CmpGt)
+            .count(),
+        1
+    );
+    assert_eq!(
+        body.ops()
+            .iter()
+            .filter(|o| o.kind == OpKind::PredNot)
+            .count(),
+        1
+    );
+    let guarded: Vec<_> = body
+        .ops()
+        .iter()
+        .filter(|o| o.predicate.is_some())
+        .collect();
     assert_eq!(guarded.len(), 2);
     assert!(guarded.iter().all(|o| o.kind == OpKind::Store));
     // Schedulable.
@@ -120,7 +152,11 @@ fn predicated_scalar_assignment_merges_with_select() {
     )
     .unwrap();
     let body = &unit.loops[0].body;
-    let selects: Vec<_> = body.ops().iter().filter(|o| o.kind == OpKind::Select).collect();
+    let selects: Vec<_> = body
+        .ops()
+        .iter()
+        .filter(|o| o.kind == OpKind::Select)
+        .collect();
     assert_eq!(selects.len(), 1);
     // The select's false-side input is the previous iteration's m: an
     // input with omega 1.
@@ -141,7 +177,11 @@ fn scalar_reduction_creates_self_recurrence() {
     .unwrap();
     let body = &unit.loops[0].body;
     // s's fadd must use its own result at omega 1.
-    let fadds: Vec<_> = body.ops().iter().filter(|o| o.kind == OpKind::FAdd).collect();
+    let fadds: Vec<_> = body
+        .ops()
+        .iter()
+        .filter(|o| o.kind == OpKind::FAdd)
+        .collect();
     assert_eq!(fadds.len(), 1);
     let fadd = fadds[0];
     assert!(fadd
@@ -170,11 +210,23 @@ fn addresses_use_one_shared_induction() {
     let body = &unit.loops[0].body;
     // iv8 + one AddrAdd per distinct reference (x[i], y[i] read+write
     // share one reference each... y[i] read and y[i] write share (y, 0)).
-    let addr_adds = body.ops().iter().filter(|o| o.kind == OpKind::AddrAdd).count();
-    assert_eq!(addr_adds, 3, "iv8 + x[i] + y[i]:\n{}", lsms_ir::to_dot(body));
+    let addr_adds = body
+        .ops()
+        .iter()
+        .filter(|o| o.kind == OpKind::AddrAdd)
+        .count();
+    assert_eq!(
+        addr_adds,
+        3,
+        "iv8 + x[i] + y[i]:\n{}",
+        lsms_ir::to_dot(body)
+    );
     // Invariants include the stride, two ref bases, and the parameter.
     let loop0 = &unit.loops[0];
-    assert!(loop0.invariants.iter().any(|(_, s)| matches!(s, InvariantSource::Stride)));
+    assert!(loop0
+        .invariants
+        .iter()
+        .any(|(_, s)| matches!(s, InvariantSource::Stride)));
     assert_eq!(
         loop0
             .invariants
@@ -202,7 +254,10 @@ fn same_iteration_store_forwards_to_later_load() {
     let body = &unit.loops[0].body;
     // x[i] is forwarded within the iteration and y[i] reads the value
     // stored (to y[i+1]) one iteration earlier — no loads remain at all.
-    assert_eq!(body.ops().iter().filter(|o| o.kind == OpKind::Load).count(), 0);
+    assert_eq!(
+        body.ops().iter().filter(|o| o.kind == OpKind::Load).count(),
+        0
+    );
     // The same-iteration forward shows up as an omega-0 use of the stored
     // value by the fadd.
     let fadd = body.ops().iter().find(|o| o.kind == OpKind::FAdd).unwrap();
@@ -247,13 +302,22 @@ fn eliminated_constant_store_is_wrapped_in_copy() {
     )
     .unwrap();
     let body = &unit.loops[0].body;
-    assert_eq!(body.ops().iter().filter(|o| o.kind == OpKind::Load).count(), 0);
-    assert_eq!(body.ops().iter().filter(|o| o.kind == OpKind::Copy).count(), 1);
+    assert_eq!(
+        body.ops().iter().filter(|o| o.kind == OpKind::Load).count(),
+        0
+    );
+    assert_eq!(
+        body.ops().iter().filter(|o| o.kind == OpKind::Copy).count(),
+        1
+    );
     let loop0 = &unit.loops[0];
-    assert!(loop0
-        .initials
-        .iter()
-        .any(|(_, s)| matches!(s, InitialSource::ArrayElem { array: 0, offset: 0 })));
+    assert!(loop0.initials.iter().any(|(_, s)| matches!(
+        s,
+        InitialSource::ArrayElem {
+            array: 0,
+            offset: 0
+        }
+    )));
 }
 
 #[test]
@@ -306,7 +370,13 @@ fn literal_real_subtrees_are_folded_at_compile_time() {
     let body = &unit.loops[0].body;
     // No fsub/fmul/sqrt for the literal subtrees: only the two real fadd/
     // fsub/fmul that touch loop data remain.
-    assert_eq!(body.ops().iter().filter(|o| o.kind == OpKind::FSqrt).count(), 0);
+    assert_eq!(
+        body.ops()
+            .iter()
+            .filter(|o| o.kind == OpKind::FSqrt)
+            .count(),
+        0
+    );
     let arith = body
         .ops()
         .iter()
@@ -327,5 +397,11 @@ fn folding_never_touches_polymorphic_int_literals() {
     let unit = compile("loop p(i = 1..9) { int k[]; k[i] = (2 + 3) * k[i-1]; }").unwrap();
     let body = &unit.loops[0].body;
     // 2 + 3 stays an IntAdd of constants (context-dependent type).
-    assert_eq!(body.ops().iter().filter(|o| o.kind == OpKind::IntAdd).count(), 1);
+    assert_eq!(
+        body.ops()
+            .iter()
+            .filter(|o| o.kind == OpKind::IntAdd)
+            .count(),
+        1
+    );
 }

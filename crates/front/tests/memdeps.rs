@@ -50,11 +50,10 @@ fn cross_iteration_store_load_distance_is_exact() {
     // delta 4; similarly 2 and 3 for x[i-2].
     for omega in [2, 3, 4] {
         assert!(
-            arcs.iter()
-                .any(|&(f, t, k, w)| f == OpKind::Store
-                    && t == OpKind::Load
-                    && k == DepKind::Flow
-                    && w == omega),
+            arcs.iter().any(|&(f, t, k, w)| f == OpKind::Store
+                && t == OpKind::Load
+                && k == DepKind::Flow
+                && w == omega),
             "missing flow omega {omega}: {arcs:?}"
         );
     }

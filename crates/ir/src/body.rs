@@ -73,7 +73,10 @@ impl fmt::Display for BodyError {
                 write!(f, "invariant value {v} is defined inside the loop")
             }
             BodyError::FlowValueMismatch(a, b) => {
-                write!(f, "flow arc {a} -> {b} names a value its source does not define")
+                write!(
+                    f,
+                    "flow arc {a} -> {b} names a value its source does not define"
+                )
             }
             BodyError::MultipleBrtop => write!(f, "loop body has more than one brtop"),
         }
@@ -146,17 +149,24 @@ impl LoopBody {
 
     /// Arcs whose source is `op`.
     pub fn deps_from(&self, op: OpId) -> impl Iterator<Item = &Dep> + '_ {
-        self.out_deps[op.index()].iter().map(|&d| &self.deps[d.index()])
+        self.out_deps[op.index()]
+            .iter()
+            .map(|&d| &self.deps[d.index()])
     }
 
     /// Arcs whose sink is `op`.
     pub fn deps_to(&self, op: OpId) -> impl Iterator<Item = &Dep> + '_ {
-        self.in_deps[op.index()].iter().map(|&d| &self.deps[d.index()])
+        self.in_deps[op.index()]
+            .iter()
+            .map(|&d| &self.deps[d.index()])
     }
 
     /// The loop-closing `brtop`, if the body carries one.
     pub fn brtop(&self) -> Option<OpId> {
-        self.ops.iter().find(|o| o.kind == OpKind::Brtop).map(|o| o.id)
+        self.ops
+            .iter()
+            .find(|o| o.kind == OpKind::Brtop)
+            .map(|o| o.id)
     }
 
     /// True if any operation is guarded by a predicate (the body was
@@ -229,7 +239,9 @@ impl LoopBody {
         }
         for dep in &self.deps {
             if dep.is_register_flow() {
-                let v = dep.value.ok_or(BodyError::FlowValueMismatch(dep.from, dep.to))?;
+                let v = dep
+                    .value
+                    .ok_or(BodyError::FlowValueMismatch(dep.from, dep.to))?;
                 if self.op(dep.from).result != Some(v) {
                     return Err(BodyError::FlowValueMismatch(dep.from, dep.to));
                 }

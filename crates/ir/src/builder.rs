@@ -45,7 +45,10 @@ impl LoopBuilder {
             ops: Vec::new(),
             values: Vec::new(),
             deps: Vec::new(),
-            meta: LoopMeta { basic_blocks: 1, min_trip_count: None },
+            meta: LoopMeta {
+                basic_blocks: 1,
+                min_trip_count: None,
+            },
         }
     }
 
@@ -138,7 +141,10 @@ impl LoopBuilder {
         if let Some(r) = result {
             let v = &mut self.values[r.index()];
             assert!(v.def.is_none(), "value {r} already defined");
-            assert!(!v.invariant, "invariant value {r} cannot be defined in the loop");
+            assert!(
+                !v.invariant,
+                "invariant value {r} cannot be defined in the loop"
+            );
             v.def = Some(id);
         }
         self.ops.push(Op {
@@ -162,12 +168,26 @@ impl LoopBuilder {
         let value = self.ops[from.index()]
             .result
             .expect("flow dependence source must define a value");
-        self.push_dep(Dep { from, to, kind: DepKind::Flow, via: DepVia::Register, omega, value: Some(value) })
+        self.push_dep(Dep {
+            from,
+            to,
+            kind: DepKind::Flow,
+            via: DepVia::Register,
+            omega,
+            value: Some(value),
+        })
     }
 
     /// Adds an arbitrary dependence arc.
     pub fn dep(&mut self, from: OpId, to: OpId, kind: DepKind, via: DepVia, omega: u32) -> DepId {
-        self.push_dep(Dep { from, to, kind, via, omega, value: None })
+        self.push_dep(Dep {
+            from,
+            to,
+            kind,
+            via,
+            omega,
+            value: None,
+        })
     }
 
     fn push_dep(&mut self, dep: Dep) -> DepId {
@@ -217,7 +237,11 @@ impl LoopBuilder {
     /// distance).
     pub fn replace_uses(&mut self, of: ValueId, with: ValueId, add_omega: u32) {
         for op in &mut self.ops {
-            assert_ne!(op.predicate, Some(of), "cannot rewrite a guard predicate use");
+            assert_ne!(
+                op.predicate,
+                Some(of),
+                "cannot rewrite a guard predicate use"
+            );
             for (input, omega) in op.inputs.iter_mut().zip(op.input_omegas.iter_mut()) {
                 if *input == of {
                     *input = with;
@@ -243,7 +267,9 @@ impl LoopBuilder {
                 .zip(op.input_omegas.iter().copied())
                 .chain(guard)
             {
-                let Some(def) = self.values[v.index()].def else { continue };
+                let Some(def) = self.values[v.index()].def else {
+                    continue;
+                };
                 let dep = Dep {
                     from: def,
                     to: op.id,

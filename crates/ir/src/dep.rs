@@ -108,7 +108,11 @@ mod tests {
         assert!(dep.is_register_flow());
         assert!(!dep.is_self_arc());
 
-        let mem = Dep { via: DepVia::Memory, value: None, ..dep };
+        let mem = Dep {
+            via: DepVia::Memory,
+            value: None,
+            ..dep
+        };
         assert!(!mem.is_register_flow());
     }
 

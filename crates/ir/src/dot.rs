@@ -34,7 +34,11 @@ pub fn to_dot(body: &LoopBody) -> String {
             .predicate
             .map(|p| format!(" if {}", body.value(p).name))
             .unwrap_or_default();
-        let args: Vec<&str> = op.inputs.iter().map(|&v| body.value(v).name.as_str()).collect();
+        let args: Vec<&str> = op
+            .inputs
+            .iter()
+            .map(|&v| body.value(v).name.as_str())
+            .collect();
         let _ = writeln!(
             s,
             "  {} [label=\"{}: {}{} {}{}\"];",
@@ -110,7 +114,15 @@ pub fn to_listing(body: &LoopBody) -> String {
             .predicate
             .map(|p| format!(" if {}", body.value(p).name))
             .unwrap_or_default();
-        let _ = writeln!(s, "  {}: {}{} {}{}", op.id, result, op.kind, args.join(", "), guard);
+        let _ = writeln!(
+            s,
+            "  {}: {}{} {}{}",
+            op.id,
+            result,
+            op.kind,
+            args.join(", "),
+            guard
+        );
     }
     s
 }

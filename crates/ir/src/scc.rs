@@ -31,11 +31,7 @@ pub fn tarjan_scc(body: &LoopBody) -> Vec<Vec<OpId>> {
     }
 
     let succs: Vec<Vec<usize>> = (0..n)
-        .map(|i| {
-            body.deps_from(OpId::new(i))
-                .map(|d| d.to.index())
-                .collect()
-        })
+        .map(|i| body.deps_from(OpId::new(i)).map(|d| d.to.index()).collect())
         .collect();
 
     for start in 0..n {

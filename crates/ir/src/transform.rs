@@ -161,7 +161,11 @@ mod tests {
         let unrolled = unroll(&body, 1);
         assert_eq!(unrolled.num_ops(), body.num_ops());
         assert_eq!(
-            unrolled.deps().iter().filter(|d| d.is_register_flow()).count(),
+            unrolled
+                .deps()
+                .iter()
+                .filter(|d| d.is_register_flow())
+                .count(),
             body.deps().iter().filter(|d| d.is_register_flow()).count()
         );
     }
@@ -216,7 +220,11 @@ mod tests {
         let body = b.finish_with_auto_flow();
         let unrolled = unroll(&body, 3);
         assert_eq!(
-            unrolled.ops().iter().filter(|o| o.kind == OpKind::Brtop).count(),
+            unrolled
+                .ops()
+                .iter()
+                .filter(|o| o.kind == OpKind::Brtop)
+                .count(),
             1
         );
         assert_eq!(unrolled.num_ops(), 4);

@@ -17,8 +17,7 @@
 //! only in integer loops and `sqrt` only in real ones, and at most six
 //! conditionals keep the §6 basic-block screen (≤ 30) satisfied.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use lsms_prng::SmallRng;
 
 use crate::NamedLoop;
 
@@ -57,18 +56,30 @@ impl Profile {
 
     /// Recurrence-heavy: every other leaf reaches back across iterations.
     pub fn recurrence_heavy() -> Self {
-        Self { negative_read_pct: 45, reduction_pct: 30, ..Self::calibrated() }
+        Self {
+            negative_read_pct: 45,
+            reduction_pct: 30,
+            ..Self::calibrated()
+        }
     }
 
     /// Straight-line-heavy: barely any cross-iteration flow.
     pub fn streaming() -> Self {
-        Self { negative_read_pct: 2, reduction_pct: 2, cond_style_pct: 10, ..Self::calibrated() }
+        Self {
+            negative_read_pct: 2,
+            reduction_pct: 2,
+            cond_style_pct: 10,
+            ..Self::calibrated()
+        }
     }
 
     /// Divider-heavy: stresses the non-pipelined unit and the §4.3
     /// priority halving.
     pub fn division_heavy() -> Self {
-        Self { division_permille: 120, ..Self::calibrated() }
+        Self {
+            division_permille: 120,
+            ..Self::calibrated()
+        }
     }
 }
 
@@ -98,7 +109,10 @@ pub fn generate_with_profile(config: &GeneratorConfig, profile: &Profile) -> Vec
     (0..config.count)
         .map(|index| {
             let mut rng = SmallRng::seed_from_u64(
-                config.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(index as u64),
+                config
+                    .seed
+                    .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                    .wrapping_add(index as u64),
             );
             gen_loop(&mut rng, index, profile)
         })
@@ -129,7 +143,7 @@ fn gen_loop(rng: &mut SmallRng, index: usize, profile: &Profile) -> NamedLoop {
     let n_arrays = 1 + weighted(rng, &[35, 30, 18, 10, 7]); // 1..=5
     let n_params = weighted(rng, &[30, 35, 22, 13]); // 0..=3
     let n_scalars = weighted(rng, &[70, 22, 8]); // 0..=2
-    // Statement-count size classes with a long tail (Table 2's op counts).
+                                                 // Statement-count size classes with a long tail (Table 2's op counts).
     let n_stmts = match weighted(rng, &[52, 30, 13, 5]) {
         0 => rng.gen_range(1..=2),
         1 => rng.gen_range(3..=6),
@@ -153,12 +167,15 @@ fn gen_loop(rng: &mut SmallRng, index: usize, profile: &Profile) -> NamedLoop {
     let ty = if int_loop { "int" } else { "real" };
     g.out.push_str(&format!("loop {name}(i = 4..n) {{\n"));
     let array_list: Vec<String> = g.arrays.iter().map(|a| format!("{a}[]")).collect();
-    g.out.push_str(&format!("    {ty} {};\n", array_list.join(", ")));
+    g.out
+        .push_str(&format!("    {ty} {};\n", array_list.join(", ")));
     if !g.params.is_empty() {
-        g.out.push_str(&format!("    param {ty} {};\n", g.params.join(", ")));
+        g.out
+            .push_str(&format!("    param {ty} {};\n", g.params.join(", ")));
     }
     if !g.scalars.is_empty() {
-        g.out.push_str(&format!("    {ty} {};\n", g.scalars.join(", ")));
+        g.out
+            .push_str(&format!("    {ty} {};\n", g.scalars.join(", ")));
     }
 
     // Guarantee at least one array store so the loop has an effect.
@@ -168,7 +185,10 @@ fn gen_loop(rng: &mut SmallRng, index: usize, profile: &Profile) -> NamedLoop {
         gen_stmt(&mut g, rng, force_array, &scalars);
     }
     g.out.push_str("}\n");
-    NamedLoop { name, source: g.out }
+    NamedLoop {
+        name,
+        source: g.out,
+    }
 }
 
 /// Picks an index with the given weights.
@@ -220,8 +240,7 @@ fn gen_assign(g: &mut Gen, rng: &mut SmallRng, force_array: bool, scalars: &[Str
     let pad = "    ".repeat(g.indent);
     // Reductions create the recurrences Table 3 classifies on;
     // conditional-style loops avoid them so the classes stay distinct.
-    let scalar_target =
-        !force_array
+    let scalar_target = !force_array
         && !g.cond_style
         && !scalars.is_empty()
         && g.profile.reduction_pct > 0
@@ -310,13 +329,19 @@ fn gen_leaf(g: &mut Gen, rng: &mut SmallRng) -> String {
             let off = if g.cond_style {
                 // Forward-only reads keep conditional loops free of
                 // memory recurrences.
-                *[0, 0, 0, 0, 0, 1, 1, 2].get(rng.gen_range(0..8)).expect("in range")
+                *[0, 0, 0, 0, 0, 1, 1, 2]
+                    .get(rng.gen_range(0..8usize))
+                    .expect("in range")
             } else if g.profile.negative_read_pct > 0
                 && rng.gen_ratio(g.profile.negative_read_pct, 100)
             {
-                *[-3, -2, -1, -1].get(rng.gen_range(0..4)).expect("in range")
+                *[-3, -2, -1, -1]
+                    .get(rng.gen_range(0..4usize))
+                    .expect("in range")
             } else {
-                *[0, 0, 0, 0, 0, 0, 1, 2].get(rng.gen_range(0..8)).expect("in range")
+                *[0, 0, 0, 0, 0, 0, 1, 2]
+                    .get(rng.gen_range(0..8usize))
+                    .expect("in range")
             };
             subscript(&g.arrays[a], off)
         }
@@ -339,11 +364,14 @@ mod tests {
 
     #[test]
     fn generated_loops_always_compile() {
-        let loops = generate(&GeneratorConfig { seed: 11, count: 200 });
+        let loops = generate(&GeneratorConfig {
+            seed: 11,
+            count: 200,
+        });
         assert_eq!(loops.len(), 200);
         for l in &loops {
-            let unit = compile(&l.source)
-                .unwrap_or_else(|e| panic!("{}: {e}\n{}", l.name, l.source));
+            let unit =
+                compile(&l.source).unwrap_or_else(|e| panic!("{}: {e}\n{}", l.name, l.source));
             unit.loops[0].body.validate().unwrap();
         }
     }
@@ -359,7 +387,10 @@ mod tests {
 
     #[test]
     fn size_distribution_has_median_and_tail() {
-        let loops = generate(&GeneratorConfig { seed: 9, count: 300 });
+        let loops = generate(&GeneratorConfig {
+            seed: 9,
+            count: 300,
+        });
         let mut ops: Vec<usize> = loops
             .iter()
             .map(|l| compile(&l.source).unwrap().loops[0].body.num_ops())
@@ -375,7 +406,10 @@ mod tests {
 
     #[test]
     fn some_loops_have_divisions_and_conditionals() {
-        let loops = generate(&GeneratorConfig { seed: 21, count: 200 });
+        let loops = generate(&GeneratorConfig {
+            seed: 21,
+            count: 200,
+        });
         let mut with_div = 0;
         let mut with_cond = 0;
         let mut with_rec = 0;

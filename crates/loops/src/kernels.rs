@@ -13,7 +13,10 @@ use crate::NamedLoop;
 pub fn kernels() -> Vec<NamedLoop> {
     SOURCES
         .iter()
-        .map(|&(name, source)| NamedLoop { name: name.to_owned(), source: source.to_owned() })
+        .map(|&(name, source)| NamedLoop {
+            name: name.to_owned(),
+            source: source.to_owned(),
+        })
         .collect()
 }
 
@@ -313,12 +316,21 @@ mod tests {
 
     #[test]
     fn recurrence_kernels_detect_their_circuits() {
-        for name in ["huff_sample", "ll5_tridiag", "ll6_recurrence", "ll3_inner_product",
-                     "ema_filter", "wave1d", "int_checksum"]
-        {
+        for name in [
+            "huff_sample",
+            "ll5_tridiag",
+            "ll6_recurrence",
+            "ll3_inner_product",
+            "ema_filter",
+            "wave1d",
+            "int_checksum",
+        ] {
             let k = kernels().into_iter().find(|k| k.name == name).unwrap();
             let unit = compile(&k.source).unwrap();
-            assert!(unit.loops[0].body.has_recurrence(), "{name} should have a recurrence");
+            assert!(
+                unit.loops[0].body.has_recurrence(),
+                "{name} should have a recurrence"
+            );
         }
     }
 

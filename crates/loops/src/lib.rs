@@ -54,15 +54,22 @@ pub struct NamedLoop {
 pub fn corpus(count: usize, seed: u64) -> Vec<CompiledLoop> {
     let mut sources = kernels();
     if sources.len() < count {
-        let config = GeneratorConfig { seed, count: count - sources.len() };
+        let config = GeneratorConfig {
+            seed,
+            count: count - sources.len(),
+        };
         sources.extend(generate(&config));
     }
     sources.truncate(count);
     sources
         .iter()
         .map(|l| {
-            let unit = compile(&l.source)
-                .unwrap_or_else(|e| panic!("corpus loop {} failed to compile: {e}\n{}", l.name, l.source));
+            let unit = compile(&l.source).unwrap_or_else(|e| {
+                panic!(
+                    "corpus loop {} failed to compile: {e}\n{}",
+                    l.name, l.source
+                )
+            });
             assert_eq!(unit.loops.len(), 1, "{}: one loop per source", l.name);
             unit.loops.into_iter().next().expect("checked length")
         })
@@ -77,15 +84,14 @@ pub fn corpus(count: usize, seed: u64) -> Vec<CompiledLoop> {
 /// # Errors
 ///
 /// Propagates filesystem errors.
-pub fn write_corpus(
-    dir: &std::path::Path,
-    count: usize,
-    seed: u64,
-) -> std::io::Result<usize> {
+pub fn write_corpus(dir: &std::path::Path, count: usize, seed: u64) -> std::io::Result<usize> {
     std::fs::create_dir_all(dir)?;
     let mut sources = kernels();
     if sources.len() < count {
-        let config = GeneratorConfig { seed, count: count - sources.len() };
+        let config = GeneratorConfig {
+            seed,
+            count: count - sources.len(),
+        };
         sources.extend(generate(&config));
     }
     sources.truncate(count);
@@ -144,7 +150,9 @@ mod tests {
         let corpus = corpus(300, 42);
         let mut seen = std::collections::BTreeMap::new();
         for l in &corpus {
-            *seen.entry(format!("{:?}", l.body.class())).or_insert(0usize) += 1;
+            *seen
+                .entry(format!("{:?}", l.body.class()))
+                .or_insert(0usize) += 1;
         }
         assert!(seen.len() == 4, "all four classes present: {seen:?}");
         // Roughly half the paper's loops are `Neither`.

@@ -54,7 +54,13 @@ pub fn assign_units(machine: &Machine, body: &LoopBody) -> Vec<UnitAssignment> {
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_by_key(|&i| (asap[i], i));
     let mut next = vec![0u32; machine.classes().len()];
-    let mut assignments = vec![UnitAssignment { class: ClassId::default(), instance: 0 }; n];
+    let mut assignments = vec![
+        UnitAssignment {
+            class: ClassId::default(),
+            instance: 0
+        };
+        n
+    ];
     for i in order {
         let class = machine.desc(body.ops()[i].kind).class;
         let count = machine.classes()[class.index()].count;

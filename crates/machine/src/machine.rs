@@ -78,7 +78,11 @@ pub struct MachineBuilder {
 impl MachineBuilder {
     /// Starts an empty machine description.
     pub fn new(name: impl Into<String>) -> Self {
-        Self { name: name.into(), classes: Vec::new(), table: BTreeMap::new() }
+        Self {
+            name: name.into(),
+            classes: Vec::new(),
+            table: BTreeMap::new(),
+        }
     }
 
     /// Adds a class of `count` identical units and returns its id.
@@ -89,7 +93,10 @@ impl MachineBuilder {
     pub fn class(&mut self, name: impl Into<String>, count: u32) -> ClassId {
         assert!(count > 0, "a unit class must contain at least one unit");
         let id = ClassId(u16::try_from(self.classes.len()).expect("too many unit classes"));
-        self.classes.push(ResourceClass { name: name.into(), count });
+        self.classes.push(ResourceClass {
+            name: name.into(),
+            count,
+        });
         id
     }
 
@@ -118,7 +125,11 @@ impl MachineBuilder {
 
     /// Finalises the description.
     pub fn finish(self) -> Machine {
-        Machine { name: self.name, classes: self.classes, table: self.table }
+        Machine {
+            name: self.name,
+            classes: self.classes,
+            table: self.table,
+        }
     }
 }
 

@@ -12,11 +12,26 @@ use crate::{Machine, OpDesc};
 /// cycle `t + r (mod II)` for each reservation offset `r` — equivalently at
 /// `t + r + k·II` for all `k`, which is why an operation that does not fit
 /// at one cycle might not fit at *any* later cycle (§4).
+///
+/// # Layout
+///
+/// Cells live in one flat row-major arena indexed
+/// `class_base[class] + instance·II + cycle`, with a parallel one-bit-per-
+/// cell occupancy bitset. [`fits`](Self::fits) — the scheduler's hottest
+/// query — ORs the occupancy bits of the reservation pattern and only
+/// consults the occupant arena when some bit is set (to permit
+/// self-collisions), and neither it nor [`conflicts_into`](Self::conflicts_into)
+/// allocates.
 #[derive(Clone, Debug)]
 pub struct Mrt {
     ii: u32,
-    /// `slots[class][instance][cycle % ii]` = occupying op, if any.
-    slots: Vec<Vec<Vec<Option<OpId>>>>,
+    /// Arena offset of each class's first cell; classes with `count`
+    /// instances span `count · II` consecutive cells.
+    class_base: Vec<usize>,
+    /// Occupying op per cell, if any.
+    occupant: Vec<Option<OpId>>,
+    /// One bit per cell, mirroring `occupant[i].is_some()`.
+    occupied: Vec<u64>,
 }
 
 impl Mrt {
@@ -27,12 +42,18 @@ impl Mrt {
     /// Panics if `ii` is zero.
     pub fn new(machine: &Machine, ii: u32) -> Self {
         assert!(ii > 0, "II must be positive");
-        let slots = machine
-            .classes()
-            .iter()
-            .map(|c| vec![vec![None; ii as usize]; c.count as usize])
-            .collect();
-        Self { ii, slots }
+        let mut class_base = Vec::with_capacity(machine.classes().len());
+        let mut total = 0usize;
+        for c in machine.classes() {
+            class_base.push(total);
+            total += c.count as usize * ii as usize;
+        }
+        Self {
+            ii,
+            class_base,
+            occupant: vec![None; total],
+            occupied: vec![0; total.div_ceil(64)],
+        }
     }
 
     /// The initiation interval this table enforces.
@@ -40,25 +61,82 @@ impl Mrt {
         self.ii
     }
 
-    fn cell(&self, desc: &OpDesc, instance: u32, time: i64, offset: u32) -> (usize, usize, usize) {
+    #[inline]
+    fn idx(&self, desc: &OpDesc, instance: u32, time: i64, offset: u32) -> usize {
         debug_assert!(time >= 0, "operations issue at non-negative cycles");
         let cycle = (time + i64::from(offset)).rem_euclid(i64::from(self.ii)) as usize;
-        (desc.class.index(), instance as usize, cycle)
+        self.class_base[desc.class.index()] + instance as usize * self.ii as usize + cycle
+    }
+
+    /// The kernel cycle an arena index denotes, for panic messages.
+    fn describe(&self, desc: &OpDesc, instance: u32, i: usize) -> (usize, usize, usize) {
+        (
+            desc.class.index(),
+            instance as usize,
+            i - self.class_base[desc.class.index()] - instance as usize * self.ii as usize,
+        )
+    }
+
+    #[inline]
+    fn bit(&self, i: usize) -> u64 {
+        (self.occupied[i >> 6] >> (i & 63)) & 1
+    }
+
+    #[inline]
+    fn set_bit(&mut self, i: usize, on: bool) {
+        if on {
+            self.occupied[i >> 6] |= 1 << (i & 63);
+        } else {
+            self.occupied[i >> 6] &= !(1 << (i & 63));
+        }
     }
 
     /// The distinct operations (other than `this`) whose reservations
     /// collide with placing `this` at `time` on `instance`.
+    ///
+    /// Allocating wrapper around [`conflicts_into`](Self::conflicts_into).
     pub fn conflicts(&self, this: OpId, desc: &OpDesc, instance: u32, time: i64) -> Vec<OpId> {
         let mut out = Vec::new();
+        self.conflicts_into(this, desc, instance, time, &mut out);
+        out
+    }
+
+    /// As [`conflicts`](Self::conflicts), but appends into a caller-owned
+    /// list (cleared first) so hot paths can reuse one buffer.
+    pub fn conflicts_into(
+        &self,
+        this: OpId,
+        desc: &OpDesc,
+        instance: u32,
+        time: i64,
+        out: &mut Vec<OpId>,
+    ) {
+        out.clear();
         for &r in &desc.reservation {
-            let (c, u, cyc) = self.cell(desc, instance, time, r);
-            if let Some(occ) = self.slots[c][u][cyc] {
+            let i = self.idx(desc, instance, time, r);
+            if let Some(occ) = self.occupant[i] {
                 if occ != this && !out.contains(&occ) {
                     out.push(occ);
                 }
             }
         }
-        out
+    }
+
+    /// True when some reservation cell is held by `needle` — equivalent to
+    /// `conflicts(..).contains(&needle)` without building the list.
+    pub fn conflicts_contain(
+        &self,
+        this: OpId,
+        desc: &OpDesc,
+        instance: u32,
+        time: i64,
+        needle: OpId,
+    ) -> bool {
+        needle != this
+            && desc
+                .reservation
+                .iter()
+                .any(|&r| self.occupant[self.idx(desc, instance, time, r)] == Some(needle))
     }
 
     /// True if `this` can be placed at `time` without displacing anyone.
@@ -68,7 +146,23 @@ impl Mrt {
     /// operation occupies the slot), matching the behaviour of a
     /// non-pipelined unit that is simply busy.
     pub fn fits(&self, this: OpId, desc: &OpDesc, instance: u32, time: i64) -> bool {
-        self.conflicts(this, desc, instance, time).is_empty()
+        // Fast path: fold the occupancy bits without branching per offset.
+        // Almost every query during the scheduler's cycle scan resolves
+        // here — the pattern lands on wholly free cells.
+        let mut busy = 0u64;
+        for &r in &desc.reservation {
+            busy |= self.bit(self.idx(desc, instance, time, r));
+        }
+        if busy == 0 {
+            return true;
+        }
+        // Some cell is taken; it only blocks if held by a different op.
+        desc.reservation.iter().all(
+            |&r| match self.occupant[self.idx(desc, instance, time, r)] {
+                None => true,
+                Some(occ) => occ == this,
+            },
+        )
     }
 
     /// Records `this` at `time`.
@@ -78,28 +172,23 @@ impl Mrt {
     /// Panics if any needed slot is held by a different operation; call
     /// [`fits`](Self::fits) or eject conflicting operations first.
     pub fn place(&mut self, this: OpId, desc: &OpDesc, instance: u32, time: i64) {
-        for (c, u, cyc) in self.cells(desc, instance, time) {
-            let slot = &mut self.slots[c][u][cyc];
+        // Two passes — check everything, then commit everything — so a
+        // pattern whose offsets coincide modulo II needs no dedup list.
+        for &r in &desc.reservation {
+            let i = self.idx(desc, instance, time, r);
+            let slot = self.occupant[i];
             assert!(
-                slot.is_none() || *slot == Some(this),
-                "MRT slot ({c},{u},{cyc}) already held by {:?}",
+                slot.is_none() || slot == Some(this),
+                "MRT slot {:?} already held by {:?}",
+                self.describe(desc, instance, i),
                 slot.unwrap()
             );
-            *slot = Some(this);
         }
-    }
-
-    /// The distinct cells the pattern touches; offsets of a pattern longer
-    /// than II can coincide modulo II and must be visited once.
-    fn cells(&self, desc: &OpDesc, instance: u32, time: i64) -> Vec<(usize, usize, usize)> {
-        let mut cells: Vec<_> = desc
-            .reservation
-            .iter()
-            .map(|&r| self.cell(desc, instance, time, r))
-            .collect();
-        cells.sort_unstable();
-        cells.dedup();
-        cells
+        for &r in &desc.reservation {
+            let i = self.idx(desc, instance, time, r);
+            self.occupant[i] = Some(this);
+            self.set_bit(i, true);
+        }
     }
 
     /// Releases the slots `this` held at `time`.
@@ -109,22 +198,26 @@ impl Mrt {
     /// Panics if a slot is not actually held by `this` — a sign the caller's
     /// bookkeeping of placement times has drifted from the table.
     pub fn remove(&mut self, this: OpId, desc: &OpDesc, instance: u32, time: i64) {
-        for (c, u, cyc) in self.cells(desc, instance, time) {
-            let slot = &mut self.slots[c][u][cyc];
-            assert_eq!(*slot, Some(this), "MRT slot ({c},{u},{cyc}) not held by {this}");
-            *slot = None;
+        for &r in &desc.reservation {
+            let i = self.idx(desc, instance, time, r);
+            assert_eq!(
+                self.occupant[i],
+                Some(this),
+                "MRT slot {:?} not held by {this}",
+                self.describe(desc, instance, i)
+            );
+        }
+        for &r in &desc.reservation {
+            let i = self.idx(desc, instance, time, r);
+            self.occupant[i] = None;
+            self.set_bit(i, false);
         }
     }
 
     /// Total number of occupied slots (distinct (class, instance, cycle)
     /// cells), for diagnostics.
     pub fn occupancy(&self) -> usize {
-        self.slots
-            .iter()
-            .flatten()
-            .flatten()
-            .filter(|s| s.is_some())
-            .count()
+        self.occupied.iter().map(|w| w.count_ones() as usize).sum()
     }
 }
 
@@ -145,6 +238,8 @@ mod tests {
         assert!(!mrt.fits(b, &desc, 0, 6), "2 and 6 coincide mod 4");
         assert!(mrt.fits(b, &desc, 0, 3));
         assert_eq!(mrt.conflicts(b, &desc, 0, 6), vec![a]);
+        assert!(mrt.conflicts_contain(b, &desc, 0, 6, a));
+        assert!(!mrt.conflicts_contain(b, &desc, 0, 3, a));
     }
 
     #[test]
@@ -218,5 +313,124 @@ mod tests {
     #[should_panic(expected = "II must be positive")]
     fn zero_ii_panics() {
         let _ = Mrt::new(&huff_machine(), 0);
+    }
+
+    /// The seed implementation: nested `Vec`s, allocation per query. Kept
+    /// as the oracle for the randomized differential test below.
+    #[derive(Clone)]
+    struct NaiveMrt {
+        ii: u32,
+        slots: Vec<Vec<Vec<Option<OpId>>>>,
+    }
+
+    impl NaiveMrt {
+        fn new(machine: &Machine, ii: u32) -> Self {
+            let slots = machine
+                .classes()
+                .iter()
+                .map(|c| vec![vec![None; ii as usize]; c.count as usize])
+                .collect();
+            Self { ii, slots }
+        }
+
+        fn cell(&self, desc: &OpDesc, instance: u32, time: i64, r: u32) -> (usize, usize, usize) {
+            let cycle = (time + i64::from(r)).rem_euclid(i64::from(self.ii)) as usize;
+            (desc.class.index(), instance as usize, cycle)
+        }
+
+        fn conflicts(&self, this: OpId, desc: &OpDesc, instance: u32, time: i64) -> Vec<OpId> {
+            let mut out = Vec::new();
+            for &r in &desc.reservation {
+                let (c, u, cyc) = self.cell(desc, instance, time, r);
+                if let Some(occ) = self.slots[c][u][cyc] {
+                    if occ != this && !out.contains(&occ) {
+                        out.push(occ);
+                    }
+                }
+            }
+            out
+        }
+
+        fn fits(&self, this: OpId, desc: &OpDesc, instance: u32, time: i64) -> bool {
+            self.conflicts(this, desc, instance, time).is_empty()
+        }
+
+        fn place(&mut self, this: OpId, desc: &OpDesc, instance: u32, time: i64) {
+            for &r in &desc.reservation {
+                let (c, u, cyc) = self.cell(desc, instance, time, r);
+                self.slots[c][u][cyc] = Some(this);
+            }
+        }
+
+        fn remove(&mut self, _this: OpId, desc: &OpDesc, instance: u32, time: i64) {
+            for &r in &desc.reservation {
+                let (c, u, cyc) = self.cell(desc, instance, time, r);
+                self.slots[c][u][cyc] = None;
+            }
+        }
+
+        fn occupancy(&self) -> usize {
+            self.slots
+                .iter()
+                .flatten()
+                .flatten()
+                .filter(|s| s.is_some())
+                .count()
+        }
+    }
+
+    #[test]
+    fn bitset_mrt_matches_naive_oracle_on_random_sequences() {
+        use lsms_prng::SmallRng;
+        let m = huff_machine();
+        let kinds = [
+            OpKind::FAdd,
+            OpKind::FMul,
+            OpKind::FDiv,
+            OpKind::Load,
+            OpKind::Store,
+            OpKind::IntAdd,
+            OpKind::FSqrt,
+        ];
+        for case in 0u64..64 {
+            let mut rng = SmallRng::seed_from_u64(0x317 + case);
+            let ii = rng.gen_range(1..24u32);
+            let mut fast = Mrt::new(&m, ii);
+            let mut naive = NaiveMrt::new(&m, ii);
+            // (op, desc index, instance, time) of everything currently placed.
+            let mut placed: Vec<(OpId, usize, u32, i64)> = Vec::new();
+            let mut next_op = 0usize;
+            for _ in 0..200 {
+                let ki = rng.gen_range(0..kinds.len());
+                let desc = m.desc(kinds[ki]).clone();
+                let count = m.classes()[desc.class.index()].count;
+                let instance = rng.gen_range(0..count);
+                let time = rng.gen_range(0..64i64);
+                let this = OpId::new(next_op);
+                assert_eq!(
+                    fast.fits(this, &desc, instance, time),
+                    naive.fits(this, &desc, instance, time),
+                    "case {case} ii {ii}: fits diverges"
+                );
+                assert_eq!(
+                    fast.conflicts(this, &desc, instance, time),
+                    naive.conflicts(this, &desc, instance, time),
+                    "case {case} ii {ii}: conflicts diverge"
+                );
+                if fast.fits(this, &desc, instance, time) && rng.gen_bool(0.7) {
+                    fast.place(this, &desc, instance, time);
+                    naive.place(this, &desc, instance, time);
+                    placed.push((this, ki, instance, time));
+                    next_op += 1;
+                } else if !placed.is_empty() && rng.gen_bool(0.5) {
+                    let victim = rng.gen_range(0..placed.len());
+                    let (op, ki, instance, time) = placed.swap_remove(victim);
+                    let desc = m.desc(kinds[ki]).clone();
+                    fast.remove(op, &desc, instance, time);
+                    naive.remove(op, &desc, instance, time);
+                }
+                assert_eq!(fast.occupancy(), naive.occupancy(), "case {case} ii {ii}");
+            }
+        }
     }
 }

@@ -51,12 +51,20 @@ pub struct OpDesc {
 impl OpDesc {
     /// A fully pipelined operation: busy only at issue.
     pub fn pipelined(class: ClassId, latency: u32) -> Self {
-        Self { class, latency, reservation: vec![0] }
+        Self {
+            class,
+            latency,
+            reservation: vec![0],
+        }
     }
 
     /// A non-pipelined operation: busy for `latency` consecutive cycles.
     pub fn unpipelined(class: ClassId, latency: u32) -> Self {
-        Self { class, latency, reservation: (0..latency).collect() }
+        Self {
+            class,
+            latency,
+            reservation: (0..latency).collect(),
+        }
     }
 }
 
@@ -160,7 +168,13 @@ mod tests {
     fn res_mii_counts_memory_ports() {
         let m = huff_machine();
         // Five memory operations over two ports: ceil(5/2) = 3.
-        let body = body_with(&[OpKind::Load, OpKind::Load, OpKind::Load, OpKind::Store, OpKind::Store]);
+        let body = body_with(&[
+            OpKind::Load,
+            OpKind::Load,
+            OpKind::Load,
+            OpKind::Store,
+            OpKind::Store,
+        ]);
         assert_eq!(res_mii(&m, &body), 3);
     }
 

@@ -1,0 +1,231 @@
+//! A small, vendored, deterministic PRNG.
+//!
+//! The workspace must build with no external crates (the evaluation runs
+//! in hermetic environments with no registry access), so this crate
+//! replaces the `rand` dependency with a self-contained xoshiro256++
+//! generator seeded through SplitMix64 — the same construction `rand`'s
+//! `SmallRng` has used on 64-bit targets, reimplemented from the public
+//! reference algorithms.
+//!
+//! The API mirrors the subset of `rand` the workspace consumes
+//! ([`SmallRng::seed_from_u64`], [`SmallRng::gen_range`],
+//! [`SmallRng::gen_ratio`], [`SmallRng::gen_bool`]) so call sites read
+//! identically. Streams are stable: the exact output sequence for a given
+//! seed is part of this crate's contract (the benchmark corpus and every
+//! seeded test depend on it) and is pinned by unit tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// A deterministic xoshiro256++ generator.
+///
+/// Not cryptographically secure; statistically excellent for synthetic
+/// workload generation and randomized testing.
+#[derive(Clone, Debug)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+impl SmallRng {
+    /// Seeds the generator by expanding `seed` through SplitMix64, the
+    /// initialization recommended by the xoshiro authors.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        Self {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// The next raw 64-bit output (xoshiro256++).
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// The next raw 32-bit output (upper half of the 64-bit stream).
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// A uniform value in `range`, which may be half-open (`a..b`) or
+    /// inclusive (`a..=b`) over any primitive integer type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn gen_range<R: UniformRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+
+    /// True with probability `num / den`, using one uniform draw.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den` is zero or `num > den`.
+    pub fn gen_ratio(&mut self, num: u32, den: u32) -> bool {
+        assert!(
+            den > 0 && num <= den,
+            "gen_ratio({num}, {den}) is not a probability"
+        );
+        (u64::from(self.next_u32()) * u64::from(den)) >> 32 < u64::from(num)
+    }
+
+    /// True with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool({p}) is not a probability"
+        );
+        // 53 random bits against the probability scaled to the same grid.
+        let scaled = (p * (1u64 << 53) as f64) as u64;
+        (self.next_u64() >> 11) < scaled
+    }
+}
+
+/// Ranges [`SmallRng::gen_range`] accepts.
+pub trait UniformRange {
+    /// The element type produced.
+    type Output;
+    /// Draws one uniform sample from the range.
+    fn sample(self, rng: &mut SmallRng) -> Self::Output;
+}
+
+/// Debiased uniform draw in `[0, span)` via Lemire's multiply-shift with
+/// rejection.
+fn uniform_below(rng: &mut SmallRng, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    // Zone: the largest multiple of `span` not exceeding 2^64.
+    let zone = u64::MAX - (u64::MAX - span + 1) % span;
+    loop {
+        let v = rng.next_u64();
+        let hi = ((u128::from(v) * u128::from(span)) >> 64) as u64;
+        if v <= zone {
+            return hi;
+        }
+    }
+}
+
+macro_rules! impl_uniform {
+    ($($t:ty => $wide:ty),* $(,)?) => {$(
+        impl UniformRange for Range<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut SmallRng) -> $t {
+                assert!(self.start < self.end, "gen_range on empty range");
+                let span = (self.end as $wide).wrapping_sub(self.start as $wide) as u64;
+                self.start.wrapping_add(uniform_below(rng, span) as $t)
+            }
+        }
+        impl UniformRange for RangeInclusive<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut SmallRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range on empty range");
+                let span = (end as $wide).wrapping_sub(start as $wide) as u64;
+                if span == u64::MAX {
+                    return start.wrapping_add(rng.next_u64() as $t);
+                }
+                start.wrapping_add(uniform_below(rng, span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+impl_uniform! {
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => u64, i16 => u64, i32 => u64, i64 => u64, isize => u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_is_pinned() {
+        // The exact sequence is a compatibility contract: the corpus
+        // generator and the seeded tests depend on it never changing.
+        let mut rng = SmallRng::seed_from_u64(0);
+        assert_eq!(rng.next_u64(), 5987356902031041503);
+        assert_eq!(rng.next_u64(), 7051070477665621255);
+        assert_eq!(rng.next_u64(), 6633766593972829180);
+        let mut rng = SmallRng::seed_from_u64(1993);
+        let first = rng.next_u64();
+        let mut again = SmallRng::seed_from_u64(1993);
+        assert_eq!(first, again.next_u64());
+        assert_ne!(SmallRng::seed_from_u64(2).next_u64(), first);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let a = rng.gen_range(0..5u32);
+            assert!(a < 5);
+            let b = rng.gen_range(-200..200i32);
+            assert!((-200..200).contains(&b));
+            let c = rng.gen_range(3..=6usize);
+            assert!((3..=6).contains(&c));
+            let d = rng.gen_range(1..9i64);
+            assert!((1..9).contains(&d));
+        }
+    }
+
+    #[test]
+    fn gen_range_hits_every_value() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut seen = [false; 6];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0..6usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_ratio_is_roughly_calibrated() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let hits = (0..100_000).filter(|_| rng.gen_ratio(1, 4)).count();
+        assert!(
+            (23_000..27_000).contains(&hits),
+            "1/4 ratio hit {hits}/100000"
+        );
+        assert!((0..1000).all(|_| rng.gen_ratio(1, 1)));
+        assert!(!(0..1000).any(|_| rng.gen_ratio(0, 7)));
+    }
+
+    #[test]
+    fn gen_bool_is_roughly_calibrated() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.55)).count();
+        assert!((53_000..57_000).contains(&hits), "p=0.55 hit {hits}/100000");
+        assert!((0..1000).all(|_| rng.gen_bool(1.0)));
+        assert!(!(0..1000).any(|_| rng.gen_bool(0.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let _ = SmallRng::seed_from_u64(0).gen_range(5..5u32);
+    }
+}

@@ -44,7 +44,9 @@ pub fn mve_plan(problem: &SchedProblem<'_>, schedule: &Schedule) -> MvePlan {
         if v.reg_class() != RegClass::Rr || v.def.is_none() {
             continue;
         }
-        let Some(len) = lt[v.id.index()] else { continue };
+        let Some(len) = lt[v.id.index()] else {
+            continue;
+        };
         if len <= 0 {
             continue;
         }
@@ -105,7 +107,10 @@ mod tests {
         let plan = mve_plan(&problem, &schedule);
         assert!(plan.unroll >= 2, "unroll = {}", plan.unroll);
         assert!(plan.unroll >= plan.unroll_max);
-        assert_eq!(plan.expanded_ops, u64::from(plan.unroll) * problem.num_real_ops() as u64);
+        assert_eq!(
+            plan.expanded_ops,
+            u64::from(plan.unroll) * problem.num_real_ops() as u64
+        );
         assert!(plan.registers >= plan.unroll_max);
     }
 

@@ -96,7 +96,10 @@ impl std::fmt::Display for AllocError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             AllocError::CapExceeded { cap } => {
-                write!(f, "no conflict-free rotating allocation within {cap} registers")
+                write!(
+                    f,
+                    "no conflict-free rotating allocation within {cap} registers"
+                )
             }
         }
     }
@@ -176,16 +179,28 @@ pub fn allocate_rotating(
     }
 
     if lives.is_empty() {
-        return Ok(RotatingAllocation { num_regs: 0, offsets: BTreeMap::new(), max_live });
+        return Ok(RotatingAllocation {
+            num_regs: 0,
+            offsets: BTreeMap::new(),
+            max_live,
+        });
     }
 
     // The self-overlap constraint alone forces N*II >= max lifetime.
-    let self_min = lives.iter().map(|l| l.len.div_euclid(ii) + 1).max().unwrap_or(1) as u32;
+    let self_min = lives
+        .iter()
+        .map(|l| l.len.div_euclid(ii) + 1)
+        .max()
+        .unwrap_or(1) as u32;
     let start = max_live.max(self_min).max(1);
     let cap = start + 64;
     for n in start..=cap {
         if let Some(offsets) = try_size(&lives, ii, n, strategy.fit) {
-            return Ok(RotatingAllocation { num_regs: n, offsets, max_live });
+            return Ok(RotatingAllocation {
+                num_regs: n,
+                offsets,
+                max_live,
+            });
         }
     }
     Err(AllocError::CapExceeded { cap })
@@ -199,10 +214,7 @@ fn try_size(lives: &[Live], ii: i64, n: u32, fit: Fit) -> Option<BTreeMap<ValueI
         // Self conflict: instances i and i + k*n share a register; they
         // must not overlap in time (strictly, when live-in seeds extend
         // the first instances' occupancy). Live-in depth must also fit.
-        if n_i * ii < live.len
-            || (live.depth > 0 && n_i * ii <= live.len)
-            || live.depth >= n_i
-        {
+        if n_i * ii < live.len || (live.depth > 0 && n_i * ii <= live.len) || live.depth >= n_i {
             return None;
         }
         let mut forbidden = vec![false; n as usize];
@@ -333,7 +345,9 @@ pub fn verify_allocation(
             continue;
         }
         let Some(def) = v.def else { continue };
-        let Some(&offset) = alloc.offsets.get(&v.id) else { continue };
+        let Some(&offset) = alloc.offsets.get(&v.id) else {
+            continue;
+        };
         let len = lt[v.id.index()].unwrap_or(1).max(1);
         // Live-in instances are seeded before the loop and occupy their
         // register from cycle 0 through their last read (closed interval,
@@ -369,10 +383,22 @@ mod tests {
 
     fn strategies() -> Vec<Strategy> {
         vec![
-            Strategy { ordering: Ordering::StartTime, fit: Fit::FirstFit },
-            Strategy { ordering: Ordering::StartTime, fit: Fit::EndFit },
-            Strategy { ordering: Ordering::LongestFirst, fit: Fit::FirstFit },
-            Strategy { ordering: Ordering::LongestFirst, fit: Fit::EndFit },
+            Strategy {
+                ordering: Ordering::StartTime,
+                fit: Fit::FirstFit,
+            },
+            Strategy {
+                ordering: Ordering::StartTime,
+                fit: Fit::EndFit,
+            },
+            Strategy {
+                ordering: Ordering::LongestFirst,
+                fit: Fit::FirstFit,
+            },
+            Strategy {
+                ordering: Ordering::LongestFirst,
+                fit: Fit::EndFit,
+            },
         ]
     }
 
@@ -385,8 +411,7 @@ mod tests {
             let report = measure(&problem, &schedule);
             let mut best = u32::MAX;
             for strategy in strategies() {
-                let alloc =
-                    allocate_rotating(&problem, &schedule, RegClass::Rr, strategy).unwrap();
+                let alloc = allocate_rotating(&problem, &schedule, RegClass::Rr, strategy).unwrap();
                 assert_eq!(alloc.max_live, report.rr_max_live);
                 best = best.min(alloc.excess());
                 verify_allocation(&problem, &schedule, RegClass::Rr, &alloc, 24)
@@ -451,8 +476,8 @@ mod tests {
         let machine = huff_machine();
         let problem = SchedProblem::new(&unit.loops[0].body, &machine).unwrap();
         let schedule = SlackScheduler::new().run(&problem).unwrap();
-        let alloc = allocate_rotating(&problem, &schedule, RegClass::Icr, Strategy::default())
-            .unwrap();
+        let alloc =
+            allocate_rotating(&problem, &schedule, RegClass::Icr, Strategy::default()).unwrap();
         assert!(alloc.num_regs >= 1);
         verify_allocation(&problem, &schedule, RegClass::Icr, &alloc, 24).unwrap();
     }
@@ -463,8 +488,8 @@ mod tests {
         let machine = huff_machine();
         let problem = SchedProblem::new(&unit.loops[0].body, &machine).unwrap();
         let schedule = SlackScheduler::new().run(&problem).unwrap();
-        let alloc = allocate_rotating(&problem, &schedule, RegClass::Icr, Strategy::default())
-            .unwrap();
+        let alloc =
+            allocate_rotating(&problem, &schedule, RegClass::Icr, Strategy::default()).unwrap();
         assert_eq!(alloc.num_regs, 0);
     }
 

@@ -1,36 +1,49 @@
 //! Property tests: rotating allocations over compiled random loops are
 //! always conflict-free under the brute-force oracle, for every strategy.
+//!
+//! Formerly a `proptest` suite; rewritten over the vendored deterministic
+//! PRNG so the workspace builds without external crates.
 
 use lsms_front::compile;
 use lsms_ir::RegClass;
 use lsms_machine::huff_machine;
+use lsms_prng::SmallRng;
 use lsms_regalloc::{allocate_rotating, mve_plan, verify_allocation, Fit, Ordering, Strategy};
 use lsms_sched::pressure::measure;
 use lsms_sched::{SchedProblem, SlackScheduler};
-use proptest::prelude::*;
 
 fn strategies() -> [Strategy; 4] {
     [
-        Strategy { ordering: Ordering::StartTime, fit: Fit::FirstFit },
-        Strategy { ordering: Ordering::StartTime, fit: Fit::EndFit },
-        Strategy { ordering: Ordering::LongestFirst, fit: Fit::FirstFit },
-        Strategy { ordering: Ordering::LongestFirst, fit: Fit::EndFit },
+        Strategy {
+            ordering: Ordering::StartTime,
+            fit: Fit::FirstFit,
+        },
+        Strategy {
+            ordering: Ordering::StartTime,
+            fit: Fit::EndFit,
+        },
+        Strategy {
+            ordering: Ordering::LongestFirst,
+            fit: Fit::FirstFit,
+        },
+        Strategy {
+            ordering: Ordering::LongestFirst,
+            fit: Fit::EndFit,
+        },
     ]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
-
-    #[test]
-    fn allocations_verify_for_every_strategy(seed in 0u64..50_000) {
-        let generated =
-            lsms_loops::generate(&lsms_loops::GeneratorConfig { seed, count: 1 });
+#[test]
+fn allocations_verify_for_every_strategy() {
+    for case in 0u64..40 {
+        let seed = SmallRng::seed_from_u64(0xa110c + case).gen_range(0..50_000u64);
+        let generated = lsms_loops::generate(&lsms_loops::GeneratorConfig { seed, count: 1 });
         let unit = compile(&generated[0].source).expect("generator emits valid DSL");
         let compiled = &unit.loops[0];
         let machine = huff_machine();
         let problem = SchedProblem::new(&compiled.body, &machine).expect("problem builds");
         let Ok(schedule) = SlackScheduler::new().run(&problem) else {
-            return Ok(()); // scheduling failures are measured elsewhere
+            continue; // scheduling failures are measured elsewhere
         };
         let report = measure(&problem, &schedule);
         for strategy in strategies() {
@@ -42,33 +55,38 @@ proptest! {
                 );
                 if class == RegClass::Rr {
                     // Never below the MaxLive lower bound.
-                    prop_assert!(alloc.num_regs >= report.rr_max_live);
+                    assert!(alloc.num_regs >= report.rr_max_live, "seed {seed}");
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn mve_plan_is_consistent_with_lifetimes(seed in 0u64..50_000) {
-        let generated =
-            lsms_loops::generate(&lsms_loops::GeneratorConfig { seed, count: 1 });
+#[test]
+fn mve_plan_is_consistent_with_lifetimes() {
+    for case in 0u64..40 {
+        let seed = SmallRng::seed_from_u64(0x33e9 + case).gen_range(0..50_000u64);
+        let generated = lsms_loops::generate(&lsms_loops::GeneratorConfig { seed, count: 1 });
         let unit = compile(&generated[0].source).expect("generator emits valid DSL");
         let machine = huff_machine();
         let problem = SchedProblem::new(&unit.loops[0].body, &machine).expect("problem builds");
         let Ok(schedule) = SlackScheduler::new().run(&problem) else {
-            return Ok(());
+            continue;
         };
         let plan = mve_plan(&problem, &schedule);
-        prop_assert!(plan.unroll >= 1);
-        prop_assert!(plan.unroll >= plan.unroll_max);
-        prop_assert!(plan.unroll >= plan.unroll_max);
-        prop_assert_eq!(
+        assert!(plan.unroll >= 1);
+        assert!(plan.unroll >= plan.unroll_max);
+        assert_eq!(
             plan.expanded_ops,
-            u64::from(plan.unroll) * problem.num_real_ops() as u64
+            u64::from(plan.unroll) * problem.num_real_ops() as u64,
+            "seed {seed}"
         );
         // Registers: at least one per register-holding value with a
         // positive lifetime, at most unroll_max per value.
-        prop_assert!(u64::from(plan.registers)
-            <= u64::from(plan.unroll_max) * problem.body().values().len() as u64);
+        assert!(
+            u64::from(plan.registers)
+                <= u64::from(plan.unroll_max) * problem.body().values().len() as u64,
+            "seed {seed}"
+        );
     }
 }

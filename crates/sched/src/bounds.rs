@@ -87,7 +87,11 @@ pub fn rec_mii_min_ratio(problem: &SchedProblem<'_>) -> Option<u32> {
     }
     // Only real arcs can be on circuits (Start has no in-arcs, Stop no
     // out-arcs).
-    let arcs: Vec<_> = problem.arcs().iter().filter(|a| a.from < n && a.to < n).collect();
+    let arcs: Vec<_> = problem
+        .arcs()
+        .iter()
+        .filter(|a| a.from < n && a.to < n)
+        .collect();
     let has_positive_cycle = |ii: i64| -> bool {
         // Longest-path Bellman–Ford from a virtual source connected to all
         // nodes with weight 0: dist starts at 0 everywhere.
@@ -157,10 +161,9 @@ fn enumerate_circuits(problem: &SchedProblem<'_>, emit: &mut dyn FnMut(i64, u32)
     // Self-arcs are elementary circuits of length one; Johnson's main loop
     // handles only length >= 2.
     for arc in problem.arcs() {
-        if arc.from == arc.to && arc.from < n
-            && !emit(arc.latency, arc.omega) {
-                return;
-            }
+        if arc.from == arc.to && arc.from < n && !emit(arc.latency, arc.omega) {
+            return;
+        }
     }
     // adj[v] = (w, latency, omega) for each non-self arc v -> w.
     let adj: Vec<Vec<(usize, i64, u32)>> = (0..n)

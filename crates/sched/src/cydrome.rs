@@ -17,7 +17,7 @@
 use lsms_ir::tarjan_scc;
 
 use crate::engine::{run_framework, Direction, EngineState, Heuristic};
-use crate::{DecisionStats, SchedFailure, SchedProblem, Schedule};
+use crate::{DecisionStats, MinDistCache, SchedFailure, SchedProblem, Schedule};
 
 /// The baseline scheduler reproducing Cydrome's behaviour as described in
 /// §8.
@@ -53,7 +53,10 @@ pub struct CydromeScheduler {
 impl CydromeScheduler {
     /// A baseline scheduler with default limits.
     pub fn new() -> Self {
-        Self { budget_factor: 10, max_ii: None }
+        Self {
+            budget_factor: 10,
+            max_ii: None,
+        }
     }
 
     /// Schedules the problem with the static-priority, always-early
@@ -64,8 +67,27 @@ impl CydromeScheduler {
     /// Returns [`SchedFailure`] if no feasible schedule is found up to the
     /// II cap — the fate of 14 loops in Table 4.
     pub fn run(&self, problem: &SchedProblem<'_>) -> Result<Schedule, SchedFailure> {
+        self.run_cached(problem, &MinDistCache::new())
+    }
+
+    /// As [`run`](Self::run), but sharing `cache` so MinDist matrices
+    /// already computed for this problem (e.g. by the slack scheduler) are
+    /// reused instead of recomputed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchedFailure`] if no feasible schedule is found up to the
+    /// II cap — the fate of 14 loops in Table 4.
+    pub fn run_cached(
+        &self,
+        problem: &SchedProblem<'_>,
+        cache: &MinDistCache,
+    ) -> Result<Schedule, SchedFailure> {
         let mut decisions = DecisionStats::default();
-        let max_ii = self.max_ii.unwrap_or(4 * problem.mii() + 64).max(problem.mii());
+        let max_ii = self
+            .max_ii
+            .unwrap_or(4 * problem.mii() + 64)
+            .max(problem.mii());
         let mut heuristic = CydromeHeuristic::new(problem);
         run_framework(
             problem,
@@ -73,6 +95,7 @@ impl CydromeScheduler {
             self.budget_factor.max(1),
             max_ii,
             crate::IiIncrement::default(),
+            cache,
             &mut decisions,
         )
     }
@@ -97,7 +120,10 @@ impl CydromeHeuristic {
                 }
             }
         }
-        Self { on_recurrence, rank: vec![0; n] }
+        Self {
+            on_recurrence,
+            rank: vec![0; n],
+        }
     }
 }
 

@@ -15,8 +15,10 @@
 use lsms_ir::OpId;
 use lsms_machine::{critical_classes, Mrt, UnitAssignment};
 
+use std::sync::Arc;
+
 use crate::mindist::NO_PATH;
-use crate::{DecisionStats, MinDist, SchedProblem, SchedStats, Schedule};
+use crate::{DecisionStats, MinDist, MinDistCache, SchedProblem, SchedStats, Schedule};
 
 /// Which end of the `[Estart, Lstart]` window to scan from (§5.2).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -49,7 +51,7 @@ pub(crate) trait Heuristic {
 pub(crate) struct EngineState<'p, 'a> {
     pub problem: &'p SchedProblem<'a>,
     pub ii: u32,
-    pub md: MinDist,
+    pub md: Arc<MinDist>,
     /// Issue time per node (`None` = unplaced). `Start` is fixed at 0.
     pub time: Vec<Option<i64>>,
     /// Earliest start bound per node; meaningful only while unplaced.
@@ -77,11 +79,19 @@ pub(crate) struct EngineState<'p, 'a> {
     mrt: Mrt,
     unplaced: Vec<bool>,
     unplaced_count: usize,
+    /// Scratch list reused by the forcing path's conflict queries so the
+    /// central loop stays allocation-free after setup.
+    conflict_buf: Vec<OpId>,
 }
 
 impl<'p, 'a> EngineState<'p, 'a> {
-    fn new(problem: &'p SchedProblem<'a>, ii: u32, straight_line: bool) -> Option<Self> {
-        let md = MinDist::compute(problem, ii);
+    fn new(
+        problem: &'p SchedProblem<'a>,
+        ii: u32,
+        straight_line: bool,
+        cache: &MinDistCache,
+    ) -> Option<Self> {
+        let md = cache.get(problem, ii);
         if !md.is_feasible() {
             return None;
         }
@@ -136,7 +146,10 @@ impl<'p, 'a> EngineState<'p, 'a> {
         for x in order {
             let class = machine.desc(body.ops()[x].kind).class;
             let count = machine.classes()[class.index()].count;
-            assignments[x] = UnitAssignment { class, instance: next[class.index()] % count };
+            assignments[x] = UnitAssignment {
+                class,
+                instance: next[class.index()] % count,
+            };
             next[class.index()] += 1;
         }
 
@@ -160,12 +173,17 @@ impl<'p, 'a> EngineState<'p, 'a> {
             mrt: Mrt::new(machine, ii),
             unplaced,
             unplaced_count,
+            conflict_buf: Vec::new(),
         })
     }
 
     /// Iterates over the indices of unplaced nodes.
     pub fn unplaced(&self) -> impl Iterator<Item = usize> + '_ {
-        self.unplaced.iter().enumerate().filter(|(_, &u)| u).map(|(i, _)| i)
+        self.unplaced
+            .iter()
+            .enumerate()
+            .filter(|(_, &u)| u)
+            .map(|(i, _)| i)
     }
 
     /// True if the node is currently placed (Start always is).
@@ -190,8 +208,7 @@ impl<'p, 'a> EngineState<'p, 'a> {
         if self.contended && self.critical[node] {
             priority /= 2;
         }
-        if node < self.problem.num_real_ops()
-            && self.problem.body().ops()[node].kind.uses_divider()
+        if node < self.problem.num_real_ops() && self.problem.body().ops()[node].kind.uses_divider()
         {
             priority /= 2;
         }
@@ -345,16 +362,18 @@ enum Attempt {
 }
 
 /// Runs one II attempt: the §4.2 central loop under an iteration budget.
+#[allow(clippy::too_many_arguments)]
 fn attempt(
     problem: &SchedProblem<'_>,
     ii: u32,
     heuristic: &mut dyn Heuristic,
     budget: u64,
     straight_line: bool,
+    cache: &MinDistCache,
     stats: &mut SchedStats,
     decisions: &mut DecisionStats,
 ) -> Attempt {
-    let Some(mut st) = EngineState::new(problem, ii, straight_line) else {
+    let Some(mut st) = EngineState::new(problem, ii, straight_line, cache) else {
         return Attempt::InfeasibleIi;
     };
     heuristic.begin_attempt(&st);
@@ -414,30 +433,31 @@ fn attempt(
                 // avoid resource conflicts with it (§4.4 footnote).
                 if !st.problem.is_pseudo(x) {
                     if let Some(br) = brtop {
-                        while st
-                            .mrt
-                            .conflicts(
-                                OpId::new(x),
-                                st.problem.desc(x),
-                                st.assignments[x].instance,
-                                t,
-                            )
-                            .contains(&OpId::new(br))
-                        {
+                        while st.mrt.conflicts_contain(
+                            OpId::new(x),
+                            st.problem.desc(x),
+                            st.assignments[x].instance,
+                            t,
+                            OpId::new(br),
+                        ) {
                             t += 1;
                         }
                     }
-                    // Eject the resource conflicts.
-                    let conflicts = st.mrt.conflicts(
+                    // Eject the resource conflicts (into the reused scratch
+                    // list — no allocation per forcing step).
+                    let mut conflicts = std::mem::take(&mut st.conflict_buf);
+                    st.mrt.conflicts_into(
                         OpId::new(x),
                         st.problem.desc(x),
                         st.assignments[x].instance,
                         t,
+                        &mut conflicts,
                     );
-                    for z in conflicts {
+                    for &z in &conflicts {
                         st.eject(z.index());
                         stats.ejected_ops += 1;
                     }
+                    st.conflict_buf = conflicts;
                 }
                 st.place(x, t);
                 // Eject every placed operation whose dependence constraints
@@ -453,8 +473,8 @@ fn attempt(
                     let Some(tz) = st.time[z] else { continue };
                     let fwd = st.md.get(x, z);
                     let back = st.md.get(z, x);
-                    let violated = (fwd != NO_PATH && t + fwd > tz)
-                        || (back != NO_PATH && tz + back > t);
+                    let violated =
+                        (fwd != NO_PATH && t + fwd > tz) || (back != NO_PATH && tz + back > t);
                     if violated {
                         debug_assert!(
                             Some(z) != brtop,
@@ -483,6 +503,7 @@ pub(crate) fn run_framework(
     budget_factor: u64,
     max_ii: u32,
     increment: crate::IiIncrement,
+    cache: &MinDistCache,
     decisions: &mut DecisionStats,
 ) -> Result<Schedule, crate::SchedFailure> {
     run_framework_from(
@@ -493,6 +514,7 @@ pub(crate) fn run_framework(
         max_ii,
         increment,
         false,
+        cache,
         decisions,
     )
 }
@@ -509,6 +531,7 @@ pub(crate) fn run_framework_from(
     max_ii: u32,
     increment: crate::IiIncrement,
     straight_line: bool,
+    cache: &MinDistCache,
     decisions: &mut DecisionStats,
 ) -> Result<Schedule, crate::SchedFailure> {
     let started = std::time::Instant::now();
@@ -517,10 +540,24 @@ pub(crate) fn run_framework_from(
     let mut ii = start_ii.max(1);
     loop {
         stats.attempts += 1;
-        match attempt(problem, ii, heuristic, budget, straight_line, &mut stats, decisions) {
+        match attempt(
+            problem,
+            ii,
+            heuristic,
+            budget,
+            straight_line,
+            cache,
+            &mut stats,
+            decisions,
+        ) {
             Attempt::Success(times, assignments) => {
                 stats.elapsed = started.elapsed();
-                let schedule = Schedule { ii, times, assignments, stats };
+                let schedule = Schedule {
+                    ii,
+                    times,
+                    assignments,
+                    stats,
+                };
                 debug_assert_eq!(crate::validate(problem, &schedule), Ok(()));
                 return Ok(schedule);
             }
@@ -577,7 +614,7 @@ mod tests {
         let body = chain_body();
         let machine = huff_machine();
         let problem = SchedProblem::new(&body, &machine).unwrap();
-        let st = EngineState::new(&problem, problem.mii(), false).unwrap();
+        let st = EngineState::new(&problem, problem.mii(), false, &MinDistCache::new()).unwrap();
         // Estart: load 0, fadd 13, store 14; Stop at 15.
         assert_eq!(st.estart[0], 0);
         assert_eq!(st.estart[1], 13);
@@ -602,7 +639,7 @@ mod tests {
         let body = b.finish();
         let machine = huff_machine();
         let problem = SchedProblem::new(&body, &machine).unwrap();
-        let st = EngineState::new(&problem, problem.mii(), false).unwrap();
+        let st = EngineState::new(&problem, problem.mii(), false, &MinDistCache::new()).unwrap();
         // Same slack shape, but the divider op's priority is at most half
         // the raw slack (possibly quartered if the divider is critical).
         let slack_div = st.slack(0);
@@ -625,7 +662,7 @@ mod tests {
         let body = b.finish();
         let machine = huff_machine();
         let problem = SchedProblem::new(&body, &machine).unwrap();
-        let st = EngineState::new(&problem, 2, false).unwrap();
+        let st = EngineState::new(&problem, 2, false, &MinDistCache::new()).unwrap();
         // All four are congruent (estart 0); round-robin alternates
         // instances 0,1,0,1 in order.
         let instances: Vec<u32> = (0..4).map(|i| st.assignments[i].instance).collect();
@@ -646,8 +683,8 @@ mod tests {
         let machine = huff_machine();
         let problem = SchedProblem::new(&body, &machine).unwrap();
         assert_eq!(problem.rec_mii(), 4);
-        assert!(EngineState::new(&problem, 3, false).is_none());
-        assert!(EngineState::new(&problem, 4, false).is_some());
+        assert!(EngineState::new(&problem, 3, false, &MinDistCache::new()).is_none());
+        assert!(EngineState::new(&problem, 4, false, &MinDistCache::new()).is_some());
     }
 
     #[test]
@@ -655,7 +692,7 @@ mod tests {
         let body = chain_body();
         let machine = huff_machine();
         let problem = SchedProblem::new(&body, &machine).unwrap();
-        let st = EngineState::new(&problem, 1000, true).unwrap();
+        let st = EngineState::new(&problem, 1000, true, &MinDistCache::new()).unwrap();
         let floor = st.estart[problem.stop()].max(i64::from(problem.res_mii()));
         assert_eq!(st.lstart_stop, floor + floor / 8 + 2);
         // Far below the huge horizon: late placements cannot drift to the

@@ -7,8 +7,8 @@ use std::fmt::Write as _;
 
 use lsms_ir::RegClass;
 
-use crate::pressure::{lifetimes, live_vector, measure, min_lifetimes};
-use crate::{MinDist, SchedProblem, Schedule};
+use crate::pressure::{lifetimes, live_vector, measure_cached, min_lifetimes};
+use crate::{MinDistCache, SchedProblem, Schedule};
 
 /// Renders the kernel as a cycle × operation timeline: one line per kernel
 /// cycle, listing each operation with its stage, a textual Gantt of the
@@ -32,12 +32,7 @@ pub fn kernel_timeline(problem: &SchedProblem<'_>, schedule: &Schedule) -> Strin
             .collect();
         ops.sort_by_key(|op| (schedule.stage(op.id.index()), op.id));
         for op in ops {
-            let _ = write!(
-                out,
-                " [s{}]{}",
-                schedule.stage(op.id.index()),
-                op.kind
-            );
+            let _ = write!(out, " [s{}]{}", schedule.stage(op.id.index()), op.kind);
         }
         let _ = writeln!(out);
     }
@@ -48,10 +43,19 @@ pub fn kernel_timeline(problem: &SchedProblem<'_>, schedule: &Schedule) -> Strin
 /// live value's definition cycle, length, MinLT lower bound, and how many
 /// rotating registers its wrap implies.
 pub fn lifetime_table(problem: &SchedProblem<'_>, schedule: &Schedule) -> String {
+    lifetime_table_cached(problem, schedule, &MinDistCache::new())
+}
+
+/// As [`lifetime_table`] with a shared MinDist cache.
+pub fn lifetime_table_cached(
+    problem: &SchedProblem<'_>,
+    schedule: &Schedule,
+    cache: &MinDistCache,
+) -> String {
     let body = problem.body();
     let ii = i64::from(schedule.ii);
     let lt = lifetimes(problem, schedule);
-    let md = MinDist::compute(problem, schedule.ii);
+    let md = cache.get(problem, schedule.ii);
     let minlt = min_lifetimes(problem, &md);
     let mut out = String::new();
     let _ = writeln!(
@@ -61,7 +65,9 @@ pub fn lifetime_table(problem: &SchedProblem<'_>, schedule: &Schedule) -> String
     );
     for v in body.values() {
         let Some(def) = v.def else { continue };
-        let Some(len) = lt[v.id.index()] else { continue };
+        let Some(len) = lt[v.id.index()] else {
+            continue;
+        };
         if len <= 0 {
             continue;
         }
@@ -87,14 +93,20 @@ pub fn live_vector_chart(problem: &SchedProblem<'_>, schedule: &Schedule) -> Str
     let mut out = String::new();
     let _ = writeln!(out, "LiveVector (RR file):");
     for (cycle, &count) in vector.iter().enumerate() {
-        let _ = writeln!(out, "  cycle {cycle:>3} | {:<40} {count}", "#".repeat(count.min(40) as usize));
+        let _ = writeln!(
+            out,
+            "  cycle {cycle:>3} | {:<40} {count}",
+            "#".repeat(count.min(40) as usize)
+        );
     }
     out
 }
 
 /// A one-stop textual report: bounds, timeline, lifetimes, pressure.
 pub fn report(problem: &SchedProblem<'_>, schedule: &Schedule) -> String {
-    let pressure = measure(problem, schedule);
+    // One cache spans both MinDist consumers (pressure, lifetime table).
+    let cache = MinDistCache::new();
+    let pressure = measure_cached(problem, schedule, &cache);
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -108,7 +120,7 @@ pub fn report(problem: &SchedProblem<'_>, schedule: &Schedule) -> String {
     );
     out.push_str(&kernel_timeline(problem, schedule));
     out.push('\n');
-    out.push_str(&lifetime_table(problem, schedule));
+    out.push_str(&lifetime_table_cached(problem, schedule, &cache));
     out.push('\n');
     out.push_str(&live_vector_chart(problem, schedule));
     let _ = writeln!(

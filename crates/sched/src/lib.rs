@@ -46,21 +46,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod engine;
 pub mod bounds;
 pub mod cydrome;
+mod engine;
 pub mod explain;
-pub mod svg;
 pub mod mindist;
 pub mod pressure;
 pub mod problem;
 pub mod schedule;
 pub mod slack;
 pub mod stats;
+pub mod svg;
 
 pub use bounds::{mii, rec_mii, rec_mii_min_ratio, res_mii};
 pub use cydrome::CydromeScheduler;
-pub use mindist::MinDist;
+pub use mindist::{MinDist, MinDistCache};
 pub use pressure::PressureReport;
 pub use problem::{Arc, ProblemError, SchedProblem};
 pub use schedule::{validate, Schedule, ScheduleError};

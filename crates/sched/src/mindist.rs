@@ -1,6 +1,7 @@
 //! The `MinDist` relation (§4.1): all-pairs longest paths at a given II.
 
 use crate::SchedProblem;
+use std::sync::{Arc, Mutex};
 
 /// Sentinel for "no path in the dependence graph" (the paper's −∞).
 ///
@@ -14,9 +15,9 @@ pub const NO_PATH: i64 = i64::MIN / 4;
 ///
 /// Computing MinDist is an all-pairs *longest*-paths problem over arcs of
 /// weight `latency − ω·II`; because `II ≥ RecMII` makes every cycle weight
-/// non-positive, the computation is well defined (§4.1). The matrix must be
-/// recomputed for each attempted II — reasonable overhead, since most loops
-/// achieve MII.
+/// non-positive, the computation is well defined (§4.1). The matrix depends
+/// only on `(problem, II)`, so within one scheduling run it is computed at
+/// most once per candidate II — see [`MinDistCache`].
 #[derive(Clone, Debug)]
 pub struct MinDist {
     n: usize,
@@ -33,9 +34,18 @@ impl MinDist {
     /// if `ii < RecMII` some diagonal entry would want to be positive, which
     /// [`is_feasible`](Self::is_feasible) reports.
     pub fn compute(problem: &SchedProblem<'_>, ii: u32) -> Self {
+        Self::compute_into(problem, ii, Vec::new())
+    }
+
+    /// Like [`compute`](Self::compute) but recycles `buf` as the matrix
+    /// storage, avoiding a fresh allocation when a same-size buffer from an
+    /// earlier II attempt is available.
+    pub fn compute_into(problem: &SchedProblem<'_>, ii: u32, mut buf: Vec<i64>) -> Self {
         assert!(ii > 0, "II must be positive");
         let n = problem.num_nodes();
-        let mut d = vec![NO_PATH; n * n];
+        buf.clear();
+        buf.resize(n * n, NO_PATH);
+        let mut d = buf;
         for arc in problem.arcs() {
             let idx = arc.from * n + arc.to;
             d[idx] = d[idx].max(arc.weight(ii));
@@ -50,6 +60,18 @@ impl MinDist {
             d[i * n + i] = d[i * n + i].max(0);
         }
         for k in 0..n {
+            // Row k contributes through via = d[i][k] + d[k][j]; if its only
+            // finite entry is the zero diagonal, every candidate collapses to
+            // d[i][k] + 0 <= d[i][k] and the whole pass is a no-op. Dependence
+            // graphs are sparse, so many rows (e.g. Stop, stores) skip here.
+            let row = &d[k * n..k * n + n];
+            let useful = row
+                .iter()
+                .enumerate()
+                .any(|(j, &w)| w != NO_PATH && (j != k || w != 0));
+            if !useful {
+                continue;
+            }
             for i in 0..n {
                 let dik = d[i * n + k];
                 if dik == NO_PATH {
@@ -99,6 +121,72 @@ impl MinDist {
     pub fn get(&self, x: usize, y: usize) -> i64 {
         debug_assert!(x < self.n && y < self.n);
         self.d[x * self.n + y]
+    }
+}
+
+#[derive(Default)]
+struct CacheInner {
+    /// Computed matrices for this problem, keyed by II. IIs are probed in a
+    /// short monotone sequence per evaluation, so a small vector beats a map.
+    entries: Vec<(u32, Arc<MinDist>)>,
+    /// Retired matrix buffers available for reuse by the next compute.
+    pool: Vec<Vec<i64>>,
+    /// Number of Floyd–Warshall runs actually performed.
+    computed: u64,
+}
+
+/// Shares one [`MinDist`] per `(problem, II)` across everything that needs
+/// it during a scheduling run: the scheduling engine's II search, pressure
+/// measurement, the MinAvg bound, and diagnostic reports.
+///
+/// The cache is keyed by II only, so one cache must serve exactly one
+/// [`SchedProblem`] — create a fresh cache per problem (they are cheap) or
+/// call [`reset`](Self::reset) between problems to recycle the matrix
+/// buffers. Interior mutability makes `get` usable through a shared
+/// reference, and the lock is held across the compute so concurrent callers
+/// asking for the same II still trigger exactly one Floyd–Warshall.
+#[derive(Default)]
+pub struct MinDistCache {
+    inner: Mutex<CacheInner>,
+}
+
+impl MinDistCache {
+    /// An empty cache with no retained buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The matrix for `(problem, ii)`, computing it on first request and
+    /// returning the shared copy on every later one.
+    pub fn get(&self, problem: &SchedProblem<'_>, ii: u32) -> Arc<MinDist> {
+        let mut inner = self.inner.lock().expect("MinDist cache poisoned");
+        if let Some((_, md)) = inner.entries.iter().find(|(key, _)| *key == ii) {
+            return Arc::clone(md);
+        }
+        let buf = inner.pool.pop().unwrap_or_default();
+        let md = Arc::new(MinDist::compute_into(problem, ii, buf));
+        inner.computed += 1;
+        inner.entries.push((ii, Arc::clone(&md)));
+        md
+    }
+
+    /// How many matrices were actually computed (cache misses) so far.
+    /// Survives [`reset`](Self::reset), so a corpus run can assert it equals
+    /// the number of distinct `(problem, II)` pairs encountered.
+    pub fn computed(&self) -> u64 {
+        self.inner.lock().expect("MinDist cache poisoned").computed
+    }
+
+    /// Drops all entries so the cache can serve a different problem, moving
+    /// each matrix buffer that is no longer shared into the reuse pool.
+    pub fn reset(&self) {
+        let mut inner = self.inner.lock().expect("MinDist cache poisoned");
+        let entries = std::mem::take(&mut inner.entries);
+        for (_, md) in entries {
+            if let Ok(md) = Arc::try_unwrap(md) {
+                inner.pool.push(md.d);
+            }
+        }
     }
 }
 
@@ -200,6 +288,45 @@ mod tests {
         for i in 0..p.num_real_ops() {
             assert!(md.get(p.start(), i) >= 0);
             assert!(md.get(i, p.stop()) >= 0);
+        }
+    }
+
+    #[test]
+    fn cache_computes_each_ii_once_and_recycles_buffers() {
+        let body = chain_body();
+        let m = huff_machine();
+        let p = SchedProblem::new(&body, &m).unwrap();
+        let cache = MinDistCache::new();
+        let a = cache.get(&p, 3);
+        let b = cache.get(&p, 3);
+        let c = cache.get(&p, 4);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(cache.computed(), 2);
+        assert_eq!(a.get(0, 1), 13);
+        // After dropping the outstanding handles, reset pools the buffers
+        // and the next compute still answers correctly.
+        drop((a, b, c));
+        cache.reset();
+        let d = cache.get(&p, 3);
+        assert_eq!(d.get(0, 1), 13);
+        assert_eq!(cache.computed(), 3);
+    }
+
+    #[test]
+    fn compute_into_matches_compute() {
+        let body = chain_body();
+        let m = huff_machine();
+        let p = SchedProblem::new(&body, &m).unwrap();
+        let fresh = MinDist::compute(&p, 2);
+        // A dirty oversized buffer must not leak stale entries.
+        let dirty = vec![42i64; 1000];
+        let reused = MinDist::compute_into(&p, 2, dirty);
+        assert_eq!(fresh.is_feasible(), reused.is_feasible());
+        for x in 0..p.num_nodes() {
+            for y in 0..p.num_nodes() {
+                assert_eq!(fresh.get(x, y), reused.get(x, y));
+            }
         }
     }
 }

@@ -16,7 +16,7 @@
 use lsms_ir::{RegClass, ValueType};
 
 use crate::mindist::NO_PATH;
-use crate::{MinDist, SchedProblem, Schedule};
+use crate::{MinDist, MinDistCache, SchedProblem, Schedule};
 
 /// Pressure measurements for one scheduled loop.
 #[derive(Clone, Debug, PartialEq)]
@@ -88,7 +88,13 @@ pub fn min_lifetimes(problem: &SchedProblem<'_>, md: &MinDist) -> Vec<Option<i64
 /// three observations; the LiveVector's maximum dominates its average,
 /// and every actual lifetime dominates its MinLT).
 pub fn min_avg(problem: &SchedProblem<'_>, ii: u32) -> u32 {
-    let md = MinDist::compute(problem, ii);
+    min_avg_cached(problem, ii, &MinDistCache::new())
+}
+
+/// As [`min_avg`] with a shared MinDist cache, so callers that already
+/// scheduled at `ii` do not pay a second Floyd–Warshall.
+pub fn min_avg_cached(problem: &SchedProblem<'_>, ii: u32, cache: &MinDistCache) -> u32 {
+    let md = cache.get(problem, ii);
     let minlt = min_lifetimes(problem, &md);
     sum_ceil(problem, &minlt, ii, RegClass::Rr)
 }
@@ -147,7 +153,9 @@ pub fn live_vector(
             continue;
         }
         let Some(def) = v.def else { continue };
-        let Some(lt) = lifetimes[v.id.index()] else { continue };
+        let Some(lt) = lifetimes[v.id.index()] else {
+            continue;
+        };
         if lt <= 0 {
             continue;
         }
@@ -184,6 +192,17 @@ pub fn gpr_count(problem: &SchedProblem<'_>) -> u32 {
 /// Measures a schedule's register pressure across all three register
 /// files.
 pub fn measure(problem: &SchedProblem<'_>, schedule: &Schedule) -> PressureReport {
+    measure_cached(problem, schedule, &MinDistCache::new())
+}
+
+/// As [`measure`] with a shared MinDist cache: the matrix for
+/// `schedule.ii` is almost always already present from the scheduling run
+/// that produced the schedule.
+pub fn measure_cached(
+    problem: &SchedProblem<'_>,
+    schedule: &Schedule,
+    cache: &MinDistCache,
+) -> PressureReport {
     let body = problem.body();
     let ii = schedule.ii;
     let lt = lifetimes(problem, schedule);
@@ -197,7 +216,7 @@ pub fn measure(problem: &SchedProblem<'_>, schedule: &Schedule) -> PressureRepor
         .map(|l| l.max(0))
         .sum();
 
-    let md = MinDist::compute(problem, ii);
+    let md = cache.get(problem, ii);
     let minlt = min_lifetimes(problem, &md);
     let rr_min_avg = sum_ceil(problem, &minlt, ii, RegClass::Rr);
 
@@ -248,7 +267,12 @@ mod tests {
         let m = huff_machine();
         let p = SchedProblem::new(&body, &m).unwrap();
         // The paper's schedule: fx at cycle 0, fy at cycle 1, II = 2.
-        let s = Schedule { ii: 2, times: vec![0, 1], assignments: Vec::new(), stats: SchedStats::default() };
+        let s = Schedule {
+            ii: 2,
+            times: vec![0, 1],
+            assignments: Vec::new(),
+            stats: SchedStats::default(),
+        };
         let lt = lifetimes(&p, &s);
         // x: defined at 0; used by fx at 0+1*2=2 and fy at 1+2*2=5 -> 5.
         assert_eq!(lt[0], Some(5));
@@ -322,8 +346,12 @@ mod tests {
         let s = SlackScheduler::new().run(&p).unwrap();
         let report = measure(&p, &s);
         assert_eq!(report.gprs, 2); // c and a
-        // x lives 13 cycles, y lives 1: at II = 2 MaxLive must be >= 7.
-        assert!(report.rr_max_live >= 7, "rr_max_live = {}", report.rr_max_live);
+                                    // x lives 13 cycles, y lives 1: at II = 2 MaxLive must be >= 7.
+        assert!(
+            report.rr_max_live >= 7,
+            "rr_max_live = {}",
+            report.rr_max_live
+        );
     }
 
     #[test]
@@ -350,7 +378,12 @@ mod tests {
         let body = LoopBuilder::new("empty").finish();
         let m = huff_machine();
         let p = SchedProblem::new(&body, &m).unwrap();
-        let s = Schedule { ii: 1, times: vec![], assignments: Vec::new(), stats: SchedStats::default() };
+        let s = Schedule {
+            ii: 1,
+            times: vec![],
+            assignments: Vec::new(),
+            stats: SchedStats::default(),
+        };
         let report = measure(&p, &s);
         assert_eq!(report.rr_max_live, 0);
         assert_eq!(report.gprs, 0);

@@ -102,7 +102,12 @@ impl<'a> SchedProblem<'a> {
             // Start precedes everything at distance 0; Stop succeeds
             // everything by the operation's own latency, so that
             // Estart(Stop) is the schedule's makespan.
-            arcs.push(Arc { from: start, to: op.id.index(), latency: 0, omega: 0 });
+            arcs.push(Arc {
+                from: start,
+                to: op.id.index(),
+                latency: 0,
+                omega: 0,
+            });
             arcs.push(Arc {
                 from: op.id.index(),
                 to: stop,
@@ -111,7 +116,12 @@ impl<'a> SchedProblem<'a> {
             });
         }
         if n == 0 {
-            arcs.push(Arc { from: start, to: stop, latency: 0, omega: 0 });
+            arcs.push(Arc {
+                from: start,
+                to: stop,
+                latency: 0,
+                omega: 0,
+            });
         }
         let total = n + 2;
         let mut out = vec![Vec::new(); total];
@@ -130,8 +140,7 @@ impl<'a> SchedProblem<'a> {
             res_mii: lsms_machine::res_mii(machine, body),
             rec_mii: 0,
         };
-        problem.rec_mii =
-            crate::bounds::rec_mii(&problem).ok_or(ProblemError::ZeroOmegaCycle)?;
+        problem.rec_mii = crate::bounds::rec_mii(&problem).ok_or(ProblemError::ZeroOmegaCycle)?;
         Ok(problem)
     }
 
@@ -276,7 +285,12 @@ mod tests {
 
     #[test]
     fn arc_weight_subtracts_omega_times_ii() {
-        let arc = Arc { from: 0, to: 1, latency: 13, omega: 2 };
+        let arc = Arc {
+            from: 0,
+            to: 1,
+            latency: 13,
+            omega: 2,
+        };
         assert_eq!(arc.weight(5), 3);
         assert_eq!(arc.weight(7), -1);
     }

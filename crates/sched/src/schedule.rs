@@ -123,7 +123,10 @@ pub fn validate(problem: &SchedProblem<'_>, schedule: &Schedule) -> Result<(), S
         }
         let gap = schedule.times[arc.to] - schedule.times[arc.from];
         if gap < arc.weight(schedule.ii) {
-            return Err(ScheduleError::DependenceViolated { from: arc.from, to: arc.to });
+            return Err(ScheduleError::DependenceViolated {
+                from: arc.from,
+                to: arc.to,
+            });
         }
     }
     let mut mrt = Mrt::new(problem.machine(), schedule.ii);
@@ -141,9 +144,17 @@ pub fn validate(problem: &SchedProblem<'_>, schedule: &Schedule) -> Result<(), S
             schedule.times[op],
         );
         if let Some(&other) = conflicts.first() {
-            return Err(ScheduleError::ResourceConflict { a: other.index(), b: op });
+            return Err(ScheduleError::ResourceConflict {
+                a: other.index(),
+                b: op,
+            });
         }
-        mrt.place(lsms_ir::OpId::new(op), desc, assignment.instance, schedule.times[op]);
+        mrt.place(
+            lsms_ir::OpId::new(op),
+            desc,
+            assignment.instance,
+            schedule.times[op],
+        );
     }
     Ok(())
 }
@@ -166,7 +177,12 @@ mod tests {
     }
 
     fn sched(ii: u32, times: Vec<i64>) -> Schedule {
-        Schedule { ii, times, assignments: Vec::new(), stats: SchedStats::default() }
+        Schedule {
+            ii,
+            times,
+            assignments: Vec::new(),
+            stats: SchedStats::default(),
+        }
     }
 
     #[test]

@@ -5,7 +5,7 @@ use std::fmt;
 use lsms_ir::ValueId;
 
 use crate::engine::{run_framework, Direction, EngineState, Heuristic};
-use crate::{DecisionStats, SchedProblem, SchedStats, Schedule};
+use crate::{DecisionStats, MinDistCache, SchedProblem, SchedStats, Schedule};
 
 /// How the scheduler decides which end of an operation's slack window to
 /// scan from.
@@ -77,7 +77,11 @@ pub struct SchedFailure {
 
 impl fmt::Display for SchedFailure {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "failed to pipeline; last attempted II = {}", self.last_ii)
+        write!(
+            f,
+            "failed to pipeline; last attempted II = {}",
+            self.last_ii
+        )
     }
 }
 
@@ -138,6 +142,22 @@ impl SlackScheduler {
         self.run_with_decisions(problem).0
     }
 
+    /// As [`run`](Self::run), but sharing `cache` so the MinDist matrices
+    /// computed during the II search are reused by other schedulers and by
+    /// pressure analyses of the same problem.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchedFailure`] if no feasible schedule is found up to the
+    /// configured II cap.
+    pub fn run_cached(
+        &self,
+        problem: &SchedProblem<'_>,
+        cache: &MinDistCache,
+    ) -> Result<Schedule, SchedFailure> {
+        self.run_with_decisions_cached(problem, cache).0
+    }
+
     /// Schedules the problem as *straight-line code*: one iteration, no
     /// overlap.
     ///
@@ -153,10 +173,7 @@ impl SlackScheduler {
     /// Returns [`SchedFailure`] only if even a horizon four times the
     /// serial length fails — which would indicate a framework bug rather
     /// than a hard instance.
-    pub fn run_straight_line(
-        &self,
-        problem: &SchedProblem<'_>,
-    ) -> Result<Schedule, SchedFailure> {
+    pub fn run_straight_line(&self, problem: &SchedProblem<'_>) -> Result<Schedule, SchedFailure> {
         // A horizon no schedule needs to exceed: every operation run
         // back to back.
         let serial: u64 = problem
@@ -170,7 +187,9 @@ impl SlackScheduler {
             .sum();
         let horizon = u32::try_from(serial + 8).unwrap_or(u32::MAX / 8);
         let mut decisions = DecisionStats::default();
-        let mut heuristic = SlackHeuristic { policy: self.config.direction };
+        let mut heuristic = SlackHeuristic {
+            policy: self.config.direction,
+        };
         // Straight-line forcing advances one cycle per ejection, so packing
         // long non-pipelined reservations (the divider's 17-cycle window)
         // can need far more central-loop iterations than modulo scheduling
@@ -182,6 +201,9 @@ impl SlackScheduler {
             .map(|op| problem.machine().desc(op.kind).reservation.len() as u64)
             .max()
             .unwrap_or(1);
+        // Straight-line horizons are disjoint from the modulo II range, so
+        // a shared cache would only retain useless giant matrices; use a
+        // private one.
         crate::engine::run_framework_from(
             problem,
             &mut heuristic,
@@ -190,6 +212,7 @@ impl SlackScheduler {
             horizon.saturating_mul(4),
             self.config.increment,
             true,
+            &MinDistCache::new(),
             &mut decisions,
         )
     }
@@ -200,15 +223,32 @@ impl SlackScheduler {
         &self,
         problem: &SchedProblem<'_>,
     ) -> (Result<Schedule, SchedFailure>, DecisionStats) {
+        self.run_with_decisions_cached(problem, &MinDistCache::new())
+    }
+
+    /// Like [`run_with_decisions`](Self::run_with_decisions) with a shared
+    /// MinDist cache.
+    pub fn run_with_decisions_cached(
+        &self,
+        problem: &SchedProblem<'_>,
+        cache: &MinDistCache,
+    ) -> (Result<Schedule, SchedFailure>, DecisionStats) {
         let mut decisions = DecisionStats::default();
-        let max_ii = self.config.max_ii.unwrap_or(4 * problem.mii() + 64).max(problem.mii());
-        let mut heuristic = SlackHeuristic { policy: self.config.direction };
+        let max_ii = self
+            .config
+            .max_ii
+            .unwrap_or(4 * problem.mii() + 64)
+            .max(problem.mii());
+        let mut heuristic = SlackHeuristic {
+            policy: self.config.direction,
+        };
         let result = run_framework(
             problem,
             &mut heuristic,
             self.config.budget_factor,
             max_ii,
             self.config.increment,
+            cache,
             &mut decisions,
         );
         (result, decisions)
@@ -306,8 +346,7 @@ fn bidirectional_direction(
         // If Estart(d) + MinLT(v) >= omega*II + Lstart(node), this use can
         // never be the one stretching v's lifetime.
         let minlt = st.minlt[v.index()].expect("flow-used value has a MinLT");
-        let pinned =
-            st.effective_estart(d) + minlt >= i64::from(dep.omega) * ii + st.lstart[node];
+        let pinned = st.effective_estart(d) + minlt >= i64::from(dep.omega) * ii + st.lstart[node];
         if !pinned {
             inputs += 1;
         }
@@ -587,8 +626,17 @@ mod tests {
         .run_straight_line(&p)
         .unwrap();
         let lt = |s: &Schedule| s.times[21] - s.times[0];
-        assert!(lt(&bi) <= lt(&early), "bidirectional {} vs early {}", lt(&bi), lt(&early));
-        assert_eq!(lt(&bi), 13, "load issues exactly its latency before the join");
+        assert!(
+            lt(&bi) <= lt(&early),
+            "bidirectional {} vs early {}",
+            lt(&bi),
+            lt(&early)
+        );
+        assert_eq!(
+            lt(&bi),
+            13,
+            "load issues exactly its latency before the join"
+        );
     }
 
     #[test]
@@ -653,6 +701,10 @@ mod tests {
             lt(&bi),
             lt(&early)
         );
-        assert_eq!(lt(&bi), 13, "load should issue exactly 13 cycles before its use");
+        assert_eq!(
+            lt(&bi),
+            13,
+            "load should issue exactly 13 cycles before its use"
+        );
     }
 }

@@ -72,7 +72,10 @@ pub struct DecisionStats {
 impl DecisionStats {
     /// Total direction decisions that actually had slack to spend.
     pub fn with_slack(&self) -> u64 {
-        self.isolated_early + self.early_more_inputs + self.late_more_outputs + self.tie_early
+        self.isolated_early
+            + self.early_more_inputs
+            + self.late_more_outputs
+            + self.tie_early
             + self.tie_late
     }
 

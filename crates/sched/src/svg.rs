@@ -15,8 +15,9 @@ const LEFT: i64 = 120;
 const TOP: i64 = 30;
 
 /// Fill colours per functional-unit class index (cycled).
-const PALETTE: [&str; 6] =
-    ["#4e79a7", "#f28e2b", "#59a14f", "#e15759", "#b07aa1", "#76b7b2"];
+const PALETTE: [&str; 6] = [
+    "#4e79a7", "#f28e2b", "#59a14f", "#e15759", "#b07aa1", "#76b7b2",
+];
 
 fn rect(out: &mut String, x: i64, y: i64, w: i64, h: i64, fill: &str, title: &str) {
     let _ = write!(
@@ -167,7 +168,11 @@ mod tests {
         // Both lifetimes rendered (x and y are live).
         assert!(svg.contains("live ["));
         // Balanced tags.
-        assert_eq!(svg.matches("<rect").count(), svg.matches("/>").count() + svg.matches("</rect>").count() - svg.matches("<line").count());
+        assert_eq!(
+            svg.matches("<rect").count(),
+            svg.matches("/>").count() + svg.matches("</rect>").count()
+                - svg.matches("<line").count()
+        );
     }
 
     #[test]

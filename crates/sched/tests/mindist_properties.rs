@@ -1,11 +1,15 @@
 //! Algebraic properties of the MinDist relation and the II bounds, over
-//! random dependence graphs.
+//! seeded random dependence graphs.
+//!
+//! Formerly a `proptest` suite; rewritten over the vendored deterministic
+//! PRNG so the workspace builds without external crates. Every case is a
+//! pure function of its seed, so failures reproduce exactly.
 
 use lsms_ir::{LoopBody, LoopBuilder, OpKind, ValueType};
 use lsms_machine::huff_machine;
+use lsms_prng::SmallRng;
 use lsms_sched::mindist::NO_PATH;
-use lsms_sched::{MinDist, SchedProblem};
-use proptest::prelude::*;
+use lsms_sched::{MinDist, MinDistCache, SchedProblem};
 
 /// A random DAG-with-back-arcs body (same construction idea as the main
 /// property suite, kept local and simple).
@@ -21,30 +25,47 @@ fn body_from(arcs: &[(u8, u8, u8)], n: usize) -> LoopBody {
     for &(from, to, omega) in arcs {
         let (f, t) = (from as usize % n, to as usize % n);
         // Keep zero-omega arcs forward so no zero-omega cycle forms.
-        let omega = if t <= f { u32::from(omega % 3) + 1 } else { u32::from(omega % 3) };
+        let omega = if t <= f {
+            u32::from(omega % 3) + 1
+        } else {
+            u32::from(omega % 3)
+        };
         b.flow_dep(ops[f], ops[t], omega);
     }
     b.finish()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+/// Draws a random arc list shaped like the old proptest strategy:
+/// 1..`max_arcs` arcs of (from, to, omega) with small endpoints.
+fn random_arcs(rng: &mut SmallRng, ends: u8, max_arcs: usize) -> Vec<(u8, u8, u8)> {
+    let count = rng.gen_range(1..=max_arcs);
+    (0..count)
+        .map(|_| {
+            (
+                rng.gen_range(0..ends),
+                rng.gen_range(0..ends),
+                rng.gen_range(0..3u8),
+            )
+        })
+        .collect()
+}
 
-    #[test]
-    fn mindist_satisfies_the_longest_path_triangle_inequality(
-        arcs in prop::collection::vec((0u8..12, 0u8..12, 0u8..3), 1..24),
-        extra_ii in 0u32..4,
-    ) {
+#[test]
+fn mindist_satisfies_the_longest_path_triangle_inequality() {
+    for case in 0u64..128 {
+        let mut rng = SmallRng::seed_from_u64(0x41d0 + case);
+        let arcs = random_arcs(&mut rng, 12, 23);
+        let extra_ii = rng.gen_range(0..4u32);
         let body = body_from(&arcs, 12);
         let machine = huff_machine();
         let problem = SchedProblem::new(&body, &machine).expect("buildable");
         let ii = problem.rec_mii() + extra_ii;
         let md = MinDist::compute(&problem, ii);
-        prop_assert!(md.is_feasible());
+        assert!(md.is_feasible());
         let n = problem.num_nodes();
         for a in 0..n {
             // Diagonal pinned at zero.
-            prop_assert_eq!(md.get(a, a), 0);
+            assert_eq!(md.get(a, a), 0);
             for b in 0..n {
                 let dab = md.get(a, b);
                 if dab == NO_PATH {
@@ -57,32 +78,38 @@ proptest! {
                     }
                     // Longest path: d(a,c) >= d(a,b) + d(b,c).
                     let dac = md.get(a, c);
-                    prop_assert!(dac != NO_PATH && dac >= dab + dbc,
-                        "d({a},{c}) = {dac} < {dab} + {dbc}");
+                    assert!(
+                        dac != NO_PATH && dac >= dab + dbc,
+                        "case {case}: d({a},{c}) = {dac} < {dab} + {dbc}"
+                    );
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn feasibility_flips_exactly_at_rec_mii(
-        arcs in prop::collection::vec((0u8..10, 0u8..10, 0u8..3), 1..20),
-    ) {
+#[test]
+fn feasibility_flips_exactly_at_rec_mii() {
+    for case in 0u64..128 {
+        let mut rng = SmallRng::seed_from_u64(0xfea5 + case);
+        let arcs = random_arcs(&mut rng, 10, 19);
         let body = body_from(&arcs, 10);
         let machine = huff_machine();
         let problem = SchedProblem::new(&body, &machine).expect("buildable");
         let rec = problem.rec_mii();
-        prop_assert!(MinDist::compute(&problem, rec).is_feasible());
-        prop_assert!(MinDist::compute(&problem, rec + 3).is_feasible());
+        assert!(MinDist::compute(&problem, rec).is_feasible());
+        assert!(MinDist::compute(&problem, rec + 3).is_feasible());
         if rec > 1 {
-            prop_assert!(!MinDist::compute(&problem, rec - 1).is_feasible());
+            assert!(!MinDist::compute(&problem, rec - 1).is_feasible());
         }
     }
+}
 
-    #[test]
-    fn mindist_weakly_decreases_as_ii_grows(
-        arcs in prop::collection::vec((0u8..10, 0u8..10, 0u8..3), 1..20),
-    ) {
+#[test]
+fn mindist_weakly_decreases_as_ii_grows() {
+    for case in 0u64..128 {
+        let mut rng = SmallRng::seed_from_u64(0xdec0 + case);
+        let arcs = random_arcs(&mut rng, 10, 19);
         let body = body_from(&arcs, 10);
         let machine = huff_machine();
         let problem = SchedProblem::new(&body, &machine).expect("buildable");
@@ -93,20 +120,22 @@ proptest! {
         for a in 0..n {
             for b in 0..n {
                 let (ds, dl) = (small.get(a, b), large.get(a, b));
-                prop_assert_eq!(ds == NO_PATH, dl == NO_PATH);
+                assert_eq!(ds == NO_PATH, dl == NO_PATH);
                 if ds != NO_PATH {
                     // Arc weights latency − ω·II are non-increasing in II.
-                    prop_assert!(dl <= ds, "d({a},{b}) grew: {ds} -> {dl}");
+                    assert!(dl <= ds, "case {case}: d({a},{b}) grew: {ds} -> {dl}");
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn estart_bounds_hold_in_actual_schedules(
-        arcs in prop::collection::vec((0u8..10, 0u8..10, 0u8..3), 1..18),
-    ) {
-        use lsms_sched::SlackScheduler;
+#[test]
+fn estart_bounds_hold_in_actual_schedules() {
+    use lsms_sched::SlackScheduler;
+    for case in 0u64..128 {
+        let mut rng = SmallRng::seed_from_u64(0xe5a7 + case);
+        let arcs = random_arcs(&mut rng, 10, 17);
         let body = body_from(&arcs, 10);
         let machine = huff_machine();
         let problem = SchedProblem::new(&body, &machine).expect("buildable");
@@ -116,8 +145,39 @@ proptest! {
         // Estart of §4.1 is a true lower bound.
         for op in 0..problem.num_real_ops() {
             let e0 = md.get(problem.start(), op);
-            prop_assert!(schedule.times[op] >= e0,
-                "op {op} at {} before its Estart {e0}", schedule.times[op]);
+            assert!(
+                schedule.times[op] >= e0,
+                "case {case}: op {op} at {} before its Estart {e0}",
+                schedule.times[op]
+            );
         }
+    }
+}
+
+#[test]
+fn cached_mindist_matches_direct_computation() {
+    for case in 0u64..64 {
+        let mut rng = SmallRng::seed_from_u64(0xcac4e + case);
+        let arcs = random_arcs(&mut rng, 10, 19);
+        let body = body_from(&arcs, 10);
+        let machine = huff_machine();
+        let problem = SchedProblem::new(&body, &machine).expect("buildable");
+        let rec = problem.rec_mii();
+        let cache = MinDistCache::new();
+        let n = problem.num_nodes();
+        for ii in rec..rec + 4 {
+            // Ask twice: the second hit must be the same shared matrix.
+            let first = cache.get(&problem, ii);
+            let second = cache.get(&problem, ii);
+            assert!(std::sync::Arc::ptr_eq(&first, &second));
+            let direct = MinDist::compute(&problem, ii);
+            assert_eq!(first.is_feasible(), direct.is_feasible());
+            for a in 0..n {
+                for b in 0..n {
+                    assert_eq!(first.get(a, b), direct.get(a, b), "case {case} ii {ii}");
+                }
+            }
+        }
+        assert_eq!(cache.computed(), 4, "one Floyd–Warshall per distinct II");
     }
 }

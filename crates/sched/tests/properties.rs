@@ -1,15 +1,19 @@
 //! Property-based tests: random dependence graphs through every scheduler,
 //! checked against the independent validator and the bound algebra.
+//!
+//! Formerly a `proptest` suite; rewritten over the vendored deterministic
+//! PRNG so the workspace builds without external crates. Each case derives
+//! entirely from its seed, so a failure message's `case` number reproduces
+//! the exact graph.
 
 use lsms_ir::{DepKind, DepVia, LoopBody, LoopBuilder, OpKind, ValueType};
 use lsms_machine::huff_machine;
+use lsms_prng::SmallRng;
 use lsms_sched::bounds::{rec_mii_by_enumeration, rec_mii_min_ratio};
 use lsms_sched::pressure::{lifetimes, measure, min_lifetimes};
 use lsms_sched::{
-    validate, CydromeScheduler, DirectionPolicy, MinDist, SchedProblem, SlackConfig,
-    SlackScheduler,
+    validate, CydromeScheduler, DirectionPolicy, MinDist, SchedProblem, SlackConfig, SlackScheduler,
 };
-use proptest::prelude::*;
 
 /// Description of one synthetic operation.
 #[derive(Clone, Debug)]
@@ -21,13 +25,27 @@ struct OpSpec {
     back: Option<(u8, u8)>,
 }
 
-fn op_spec() -> impl Strategy<Value = OpSpec> {
-    (
-        0u8..8,
-        prop::collection::vec((0u8..6, 0u8..3), 0..3),
-        prop::option::weighted(0.3, (0u8..6, 1u8..4)),
-    )
-        .prop_map(|(kind_sel, fwd, back)| OpSpec { kind_sel, fwd, back })
+/// Mirrors the old proptest strategy: kind in 0..8, 0..3 forward arcs of
+/// (0..6, 0..3), and a back arc (0..6, 1..4) with probability 0.3.
+fn random_spec(rng: &mut SmallRng) -> OpSpec {
+    let kind_sel = rng.gen_range(0..8u8);
+    let fwd = (0..rng.gen_range(0..3usize))
+        .map(|_| (rng.gen_range(0..6u8), rng.gen_range(0..3u8)))
+        .collect();
+    let back = rng
+        .gen_ratio(3, 10)
+        .then(|| (rng.gen_range(0..6u8), rng.gen_range(1..4u8)));
+    OpSpec {
+        kind_sel,
+        fwd,
+        back,
+    }
+}
+
+fn random_specs(rng: &mut SmallRng, max_len: usize) -> Vec<OpSpec> {
+    (0..rng.gen_range(1..max_len))
+        .map(|_| random_spec(rng))
+        .collect()
 }
 
 fn kind_of(sel: u8) -> OpKind {
@@ -83,7 +101,13 @@ fn build_body(specs: &[OpSpec]) -> LoopBody {
             if ops[i].1 {
                 b.flow_dep(ops[i].0, ops[j].0, u32::from(omega));
             } else {
-                b.dep(ops[i].0, ops[j].0, DepKind::Output, DepVia::Memory, u32::from(omega));
+                b.dep(
+                    ops[i].0,
+                    ops[j].0,
+                    DepKind::Output,
+                    DepVia::Memory,
+                    u32::from(omega),
+                );
             }
         }
         if let Some((off, omega)) = spec.back {
@@ -92,7 +116,13 @@ fn build_body(specs: &[OpSpec]) -> LoopBody {
                 if ops[i].1 {
                     b.flow_dep(ops[i].0, ops[j].0, u32::from(omega));
                 } else {
-                    b.dep(ops[i].0, ops[j].0, DepKind::Anti, DepVia::Memory, u32::from(omega));
+                    b.dep(
+                        ops[i].0,
+                        ops[j].0,
+                        DepKind::Anti,
+                        DepVia::Memory,
+                        u32::from(omega),
+                    );
                 }
             }
         }
@@ -100,20 +130,20 @@ fn build_body(specs: &[OpSpec]) -> LoopBody {
     b.finish()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    #[test]
-    fn every_scheduler_produces_valid_schedules(
-        specs in prop::collection::vec(op_spec(), 1..20)
-    ) {
+#[test]
+fn every_scheduler_produces_valid_schedules() {
+    for case in 0u64..96 {
+        let mut rng = SmallRng::seed_from_u64(0x5c4ed + case);
+        let specs = random_specs(&mut rng, 20);
         let body = build_body(&specs);
         let machine = huff_machine();
         let problem = SchedProblem::new(&body, &machine).expect("buildable");
 
-        let slack = SlackScheduler::new().run(&problem).expect("slack schedules");
-        prop_assert_eq!(validate(&problem, &slack), Ok(()));
-        prop_assert!(slack.ii >= problem.mii());
+        let slack = SlackScheduler::new()
+            .run(&problem)
+            .expect("slack schedules");
+        assert_eq!(validate(&problem, &slack), Ok(()), "case {case}");
+        assert!(slack.ii >= problem.mii());
 
         for policy in [DirectionPolicy::AlwaysEarly, DirectionPolicy::AlwaysLate] {
             let s = SlackScheduler::with_config(SlackConfig {
@@ -122,29 +152,35 @@ proptest! {
             })
             .run(&problem)
             .expect("ablation schedules");
-            prop_assert_eq!(validate(&problem, &s), Ok(()));
+            assert_eq!(validate(&problem, &s), Ok(()), "case {case} {policy:?}");
         }
 
         if let Ok(s) = CydromeScheduler::new().run(&problem) {
-            prop_assert_eq!(validate(&problem, &s), Ok(()));
-            prop_assert!(s.ii >= slack.ii || s.ii >= problem.mii());
+            assert_eq!(validate(&problem, &s), Ok(()), "case {case} cydrome");
+            assert!(s.ii >= slack.ii || s.ii >= problem.mii());
         }
     }
+}
 
-    #[test]
-    fn rec_mii_methods_agree(specs in prop::collection::vec(op_spec(), 1..16)) {
+#[test]
+fn rec_mii_methods_agree() {
+    for case in 0u64..96 {
+        let mut rng = SmallRng::seed_from_u64(0x4ec0 + case);
+        let specs = random_specs(&mut rng, 16);
         let body = build_body(&specs);
         let machine = huff_machine();
         let problem = SchedProblem::new(&body, &machine).expect("buildable");
         if let Ok(by_circuits) = rec_mii_by_enumeration(&problem, 1_000_000) {
-            prop_assert_eq!(by_circuits, rec_mii_min_ratio(&problem));
+            assert_eq!(by_circuits, rec_mii_min_ratio(&problem), "case {case}");
         }
     }
+}
 
-    #[test]
-    fn lifetimes_dominate_their_lower_bounds(
-        specs in prop::collection::vec(op_spec(), 1..16)
-    ) {
+#[test]
+fn lifetimes_dominate_their_lower_bounds() {
+    for case in 0u64..96 {
+        let mut rng = SmallRng::seed_from_u64(0x11f7 + case);
+        let specs = random_specs(&mut rng, 16);
         let body = build_body(&specs);
         let machine = huff_machine();
         let problem = SchedProblem::new(&body, &machine).expect("buildable");
@@ -154,15 +190,20 @@ proptest! {
         let lower = min_lifetimes(&problem, &md);
         for (value, (a, l)) in actual.iter().zip(&lower).enumerate() {
             if let (Some(a), Some(l)) = (a, l) {
-                prop_assert!(a >= l, "value {value}: lifetime {a} < MinLT {l}");
+                assert!(
+                    a >= l,
+                    "case {case} value {value}: lifetime {a} < MinLT {l}"
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn max_live_sits_between_avg_and_sum(
-        specs in prop::collection::vec(op_spec(), 1..16)
-    ) {
+#[test]
+fn max_live_sits_between_avg_and_sum() {
+    for case in 0u64..96 {
+        let mut rng = SmallRng::seed_from_u64(0x3a11 + case);
+        let specs = random_specs(&mut rng, 16);
         let body = build_body(&specs);
         let machine = huff_machine();
         let problem = SchedProblem::new(&body, &machine).expect("buildable");
@@ -171,69 +212,80 @@ proptest! {
         // MaxLive >= ceil(AvgLive): the max of the LiveVector is at least
         // its average.
         let avg = report.rr_avg_live();
-        prop_assert!(f64::from(report.rr_max_live) + 1e-9 >= avg);
+        assert!(f64::from(report.rr_max_live) + 1e-9 >= avg);
         // MinAvg is an absolute lower bound on MaxLive (Figure 5's gap is
         // never negative).
-        prop_assert!(report.rr_max_live >= report.rr_min_avg);
+        assert!(report.rr_max_live >= report.rr_min_avg, "case {case}");
         // MaxLive <= sum of per-value ceilings.
-        let md = MinDist::compute(&problem, schedule.ii);
-        let _ = md;
         let actual = lifetimes(&problem, &schedule);
         let sum_ceil: u64 = actual
             .iter()
             .flatten()
             .map(|&lt| (lt.max(0) as u64).div_ceil(u64::from(schedule.ii)))
             .sum();
-        prop_assert!(u64::from(report.rr_max_live) <= sum_ceil);
+        assert!(u64::from(report.rr_max_live) <= sum_ceil, "case {case}");
     }
+}
 
-    #[test]
-    fn unrolling_preserves_schedulability_and_tightens_fractional_bounds(
-        specs in prop::collection::vec(op_spec(), 1..12)
-    ) {
+#[test]
+fn unrolling_preserves_schedulability_and_tightens_fractional_bounds() {
+    for case in 0u64..96 {
+        let mut rng = SmallRng::seed_from_u64(0x0411 + case);
+        let specs = random_specs(&mut rng, 12);
         let body = build_body(&specs);
         let machine = huff_machine();
         let problem = SchedProblem::new(&body, &machine).expect("buildable");
         let unrolled = lsms_ir::unroll(&body, 2);
-        prop_assert_eq!(unrolled.validate(), Ok(()));
+        assert_eq!(unrolled.validate(), Ok(()));
         let problem2 = SchedProblem::new(&unrolled, &machine).expect("unrolled buildable");
         // Per-source-iteration bounds only improve (the fractional-MII
         // argument of §3.1): ceil(RecMII_u / 2) <= RecMII, and the
         // unrolled circuit bound never exceeds twice the original.
-        prop_assert!(problem2.rec_mii() <= 2 * problem.rec_mii());
-        prop_assert!(problem2.rec_mii().div_ceil(2) <= problem.rec_mii());
-        prop_assert!(problem2.res_mii() <= 2 * problem.res_mii());
+        assert!(problem2.rec_mii() <= 2 * problem.rec_mii(), "case {case}");
+        assert!(
+            problem2.rec_mii().div_ceil(2) <= problem.rec_mii(),
+            "case {case}"
+        );
+        assert!(problem2.res_mii() <= 2 * problem.res_mii(), "case {case}");
         // And the unrolled body schedules.
-        let s = SlackScheduler::new().run(&problem2).expect("unrolled schedules");
-        prop_assert_eq!(validate(&problem2, &s), Ok(()));
+        let s = SlackScheduler::new()
+            .run(&problem2)
+            .expect("unrolled schedules");
+        assert_eq!(validate(&problem2, &s), Ok(()), "case {case}");
     }
+}
 
-    #[test]
-    fn straight_line_mode_schedules_everything(
-        specs in prop::collection::vec(op_spec(), 1..14)
-    ) {
+#[test]
+fn straight_line_mode_schedules_everything() {
+    for case in 0u64..96 {
+        let mut rng = SmallRng::seed_from_u64(0x57a1 + case);
+        let specs = random_specs(&mut rng, 14);
         let body = build_body(&specs);
         let machine = huff_machine();
         let problem = SchedProblem::new(&body, &machine).expect("buildable");
         let s = SlackScheduler::new()
             .run_straight_line(&problem)
             .unwrap_or_else(|e| panic!("straight-line failed on {specs:?}: {e}"));
-        prop_assert_eq!(validate(&problem, &s), Ok(()));
+        assert_eq!(validate(&problem, &s), Ok(()), "case {case}");
         // Straight-line: nothing wraps, so the plain (non-modulo)
         // dependence constraints hold outright for omega-0 arcs.
-        prop_assert!(s.length() <= i64::from(s.ii));
+        assert!(s.length() <= i64::from(s.ii), "case {case}");
     }
+}
 
-    #[test]
-    fn bidirectional_never_worse_ii_than_cydrome(
-        specs in prop::collection::vec(op_spec(), 1..14)
-    ) {
+#[test]
+fn bidirectional_never_worse_ii_than_cydrome() {
+    for case in 0u64..96 {
+        let mut rng = SmallRng::seed_from_u64(0xb1d1 + case);
+        let specs = random_specs(&mut rng, 14);
         let body = build_body(&specs);
         let machine = huff_machine();
         let problem = SchedProblem::new(&body, &machine).expect("buildable");
-        let slack = SlackScheduler::new().run(&problem).expect("slack schedules");
+        let slack = SlackScheduler::new()
+            .run(&problem)
+            .expect("slack schedules");
         // The slack scheduler must achieve MII on these modest graphs often
         // enough that we simply require a feasible II within the cap.
-        prop_assert!(slack.ii <= 4 * problem.mii() + 64);
+        assert!(slack.ii <= 4 * problem.mii() + 64, "case {case}");
     }
 }

@@ -5,10 +5,9 @@ use std::collections::BTreeMap;
 
 use lsms_front::{CompiledLoop, Expr, InitialSource, LValue, Stmt, Ty};
 use lsms_machine::Machine;
+use lsms_prng::SmallRng;
 use lsms_regalloc::{allocate_rotating, Strategy};
 use lsms_sched::{SchedProblem, SlackConfig, SlackScheduler};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 use crate::reference::run_reference;
 use crate::vliw::run_kernel;
@@ -29,7 +28,11 @@ pub struct RunConfig {
 
 impl Default for RunConfig {
     fn default() -> Self {
-        Self { trip: 25, seed: 0x5eed, scheduler: SlackConfig::default() }
+        Self {
+            trip: 25,
+            seed: 0x5eed,
+            scheduler: SlackConfig::default(),
+        }
     }
 }
 
@@ -97,7 +100,13 @@ pub fn make_workspace(compiled: &CompiledLoop, trip: u64, seed: u64) -> Workspac
                 .or_insert_with(|| random_cell(&mut rng, Ty::Real));
         }
     }
-    Workspace { arrays, params, scalar_inits, lo, trip }
+    Workspace {
+        arrays,
+        params,
+        scalar_inits,
+        lo,
+        trip,
+    }
 }
 
 fn random_cell(rng: &mut SmallRng, ty: Ty) -> u64 {
@@ -130,7 +139,11 @@ fn visit_offsets(stmts: &[Stmt], sink: &mut impl FnMut(i64)) {
                 }
                 expr(value, sink);
             }
-            Stmt::If { cond, then_body, else_body } => {
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
                 expr(&cond.lhs, sink);
                 expr(&cond.rhs, sink);
                 visit_offsets(then_body, sink);
@@ -166,15 +179,26 @@ pub fn check_equivalence(
         .run(&problem)
         .map_err(|e| format!("schedule: {e}"))?;
     lsms_sched::validate(&problem, &schedule).map_err(|e| format!("validate: {e}"))?;
-    let rr = allocate_rotating(&problem, &schedule, lsms_ir::RegClass::Rr, Strategy::default())
-        .map_err(|e| format!("rr alloc: {e}"))?;
-    let icr =
-        allocate_rotating(&problem, &schedule, lsms_ir::RegClass::Icr, Strategy::default())
-            .map_err(|e| format!("icr alloc: {e}"))?;
-    let kernel = lsms_codegen::emit(&problem, &schedule, &rr, &icr)
-        .map_err(|e| format!("codegen: {e}"))?;
-    let outcome = run_kernel(compiled, &problem, &schedule, &kernel, &rr, &icr, &workspace)
-        .map_err(|e| format!("sim: {e}"))?;
+    let rr = allocate_rotating(
+        &problem,
+        &schedule,
+        lsms_ir::RegClass::Rr,
+        Strategy::default(),
+    )
+    .map_err(|e| format!("rr alloc: {e}"))?;
+    let icr = allocate_rotating(
+        &problem,
+        &schedule,
+        lsms_ir::RegClass::Icr,
+        Strategy::default(),
+    )
+    .map_err(|e| format!("icr alloc: {e}"))?;
+    let kernel =
+        lsms_codegen::emit(&problem, &schedule, &rr, &icr).map_err(|e| format!("codegen: {e}"))?;
+    let outcome = run_kernel(
+        compiled, &problem, &schedule, &kernel, &rr, &icr, &workspace,
+    )
+    .map_err(|e| format!("sim: {e}"))?;
 
     let mut elements = 0usize;
     for (a, (got, want)) in outcome.arrays.iter().zip(&expected).enumerate() {
@@ -270,10 +294,14 @@ mod tests {
                     let config = RunConfig {
                         trip,
                         seed: trip.wrapping_mul(0x1234_5678),
-                        scheduler: SlackConfig { direction: policy, ..SlackConfig::default() },
+                        scheduler: SlackConfig {
+                            direction: policy,
+                            ..SlackConfig::default()
+                        },
                     };
-                    let report = check_equivalence(l, &machine, &config)
-                        .unwrap_or_else(|e| panic!("{} (trip {trip}, {policy:?}): {e}", l.def.name));
+                    let report = check_equivalence(l, &machine, &config).unwrap_or_else(|e| {
+                        panic!("{} (trip {trip}, {policy:?}): {e}", l.def.name)
+                    });
                     assert!(report.elements > 0);
                 }
             }

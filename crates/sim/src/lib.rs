@@ -28,7 +28,9 @@ pub mod reference;
 pub mod trace;
 pub mod vliw;
 
-pub use harness::{check_equivalence, check_equivalence_mve, make_workspace, EquivReport, RunConfig};
+pub use harness::{
+    check_equivalence, check_equivalence_mve, make_workspace, EquivReport, RunConfig,
+};
 pub use mve_sim::run_mve;
 pub use reference::run_reference;
 pub use trace::{issue_trace, trace_stats, TraceEvent, TraceStats};

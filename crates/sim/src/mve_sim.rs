@@ -93,7 +93,9 @@ pub fn run_mve(
                 InitialSource::ArrayElem { array, offset } => {
                     let elem = lo + j + offset;
                     let elem = usize::try_from(elem).map_err(|_| SimError::SeedOutOfBounds)?;
-                    *workspace.arrays[*array].get(elem).ok_or(SimError::SeedOutOfBounds)?
+                    *workspace.arrays[*array]
+                        .get(elem)
+                        .ok_or(SimError::SeedOutOfBounds)?
                 }
                 InitialSource::Scalar(name) => *workspace
                     .scalar_inits
@@ -150,7 +152,11 @@ pub fn run_mve(
                         let addr = srcs[0] as i64;
                         let word = usize::try_from(addr / 8)
                             .map_err(|_| SimError::MemoryOutOfBounds { addr })?;
-                        Some(*memory.get(word).ok_or(SimError::MemoryOutOfBounds { addr })?)
+                        Some(
+                            *memory
+                                .get(word)
+                                .ok_or(SimError::MemoryOutOfBounds { addr })?,
+                        )
                     }
                     OpKind::Store => {
                         let addr = srcs[0] as i64;
@@ -199,7 +205,10 @@ pub fn run_mve(
         arrays.push(memory[cursor..cursor + a.len()].to_vec());
         cursor += a.len();
     }
-    Ok(SimOutcome { arrays, cycles: kernel_iters * u64::from(kernel.ii) })
+    Ok(SimOutcome {
+        arrays,
+        cycles: kernel_iters * u64::from(kernel.ii),
+    })
 }
 
 #[cfg(test)]

@@ -33,8 +33,14 @@ pub fn run_reference(compiled: &CompiledLoop, workspace: &Workspace) -> Vec<Vec<
                 Stmt::BreakIf { cond } => {
                     // Post-tested exit: the iteration completed; stop
                     // starting new ones when the condition fires.
-                    if eval_cond(cond, compiled, ws_ref(workspace), &mut arrays, &mut scalars, i)
-                    {
+                    if eval_cond(
+                        cond,
+                        compiled,
+                        ws_ref(workspace),
+                        &mut arrays,
+                        &mut scalars,
+                        i,
+                    ) {
                         break 'iterations;
                     }
                 }
@@ -72,7 +78,11 @@ fn exec_stmt(
                 }
             }
         }
-        Stmt::If { cond, then_body, else_body } => {
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        } => {
             let taken = eval_cond(cond, compiled, ws, arrays, scalars, i);
             let body = if taken { then_body } else { else_body };
             for s in body {
@@ -98,9 +108,10 @@ fn definite_type(expr: &Expr, compiled: &CompiledLoop) -> Option<Ty> {
     match expr {
         Expr::Real(_) => Some(Ty::Real),
         Expr::Int(_) => None,
-        Expr::Scalar(name, _) => {
-            compiled.info.param(name).or_else(|| compiled.info.carried(name))
-        }
+        Expr::Scalar(name, _) => compiled
+            .info
+            .param(name)
+            .or_else(|| compiled.info.carried(name)),
         Expr::Elem { array, .. } => compiled.info.array(array).map(|(_, t)| t),
         Expr::Neg(x) => definite_type(x, compiled),
         Expr::Bin(op, l, r) => {
@@ -228,9 +239,9 @@ fn eval(
             if let Some(&bits) = scalars.get(name.as_str()) {
                 bits
             } else {
-                *ws.params.get(name.as_str()).unwrap_or_else(|| {
-                    panic!("parameter `{name}` missing from workspace")
-                })
+                *ws.params
+                    .get(name.as_str())
+                    .unwrap_or_else(|| panic!("parameter `{name}` missing from workspace"))
             }
         }
         Expr::Elem { array, offset, .. } => {

@@ -99,8 +99,7 @@ mod tests {
         let body = unit.loops[0].body.clone();
         let problem = SchedProblem::new(&body, &machine).unwrap();
         let schedule = SlackScheduler::new().run(&problem).unwrap();
-        let rr =
-            allocate_rotating(&problem, &schedule, RegClass::Rr, Strategy::default()).unwrap();
+        let rr = allocate_rotating(&problem, &schedule, RegClass::Rr, Strategy::default()).unwrap();
         let icr =
             allocate_rotating(&problem, &schedule, RegClass::Icr, Strategy::default()).unwrap();
         let kernel = lsms_codegen::emit(&problem, &schedule, &rr, &icr).unwrap();

@@ -126,9 +126,7 @@ pub fn run_kernel(
                 .params
                 .get(name)
                 .ok_or_else(|| SimError::MissingParam(name.clone()))?,
-            InvariantSource::RefBase { array, offset } => {
-                (bases[*array] + 8 * offset) as u64
-            }
+            InvariantSource::RefBase { array, offset } => (bases[*array] + 8 * offset) as u64,
             InvariantSource::Stride => 8u64,
         };
     }
@@ -171,10 +169,15 @@ pub fn run_kernel(
             .unwrap_or(0) as i64;
         for j in -depth..0 {
             let bits = match source {
-                InitialSource::ArrayElem { array, offset: store_off } => {
+                InitialSource::ArrayElem {
+                    array,
+                    offset: store_off,
+                } => {
                     let elem = lo + j + store_off;
                     let elem = usize::try_from(elem).map_err(|_| SimError::SeedOutOfBounds)?;
-                    *workspace.arrays[*array].get(elem).ok_or(SimError::SeedOutOfBounds)?
+                    *workspace.arrays[*array]
+                        .get(elem)
+                        .ok_or(SimError::SeedOutOfBounds)?
                 }
                 InitialSource::Scalar(name) => *workspace
                     .scalar_inits
@@ -296,7 +299,10 @@ pub fn run_kernel(
         arrays.push(memory[cursor..cursor + a.len()].to_vec());
         cursor += a.len();
     }
-    Ok(SimOutcome { arrays, cycles: kernel_iters * u64::from(kernel.ii) })
+    Ok(SimOutcome {
+        arrays,
+        cycles: kernel_iters * u64::from(kernel.ii),
+    })
 }
 
 /// Evaluates a register-to-register opcode on raw bit patterns, sharing
@@ -377,7 +383,13 @@ mod tests {
     fn float_arithmetic_round_trips_bits() {
         let x = 1.5f64.to_bits();
         let y = 2.25f64.to_bits();
-        assert_eq!(f64::from_bits(execute_opcode(OpKind::FAdd, Ty::Real, &[x, y])), 3.75);
-        assert_eq!(f64::from_bits(execute_opcode(OpKind::FSqrt, Ty::Real, &[4f64.to_bits()])), 2.0);
+        assert_eq!(
+            f64::from_bits(execute_opcode(OpKind::FAdd, Ty::Real, &[x, y])),
+            3.75
+        );
+        assert_eq!(
+            f64::from_bits(execute_opcode(OpKind::FSqrt, Ty::Real, &[4f64.to_bits()])),
+            2.0
+        );
     }
 }

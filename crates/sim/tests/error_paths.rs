@@ -14,12 +14,7 @@ const AXPY: &str = "loop axpy(i = 1..n) {
     y[i] = y[i] + a * x[i];
 }";
 
-fn pipeline(
-    src: &str,
-) -> (
-    lsms_front::CompiledLoop,
-    lsms_machine::Machine,
-) {
+fn pipeline(src: &str) -> (lsms_front::CompiledLoop, lsms_machine::Machine) {
     let unit = compile(src).unwrap();
     (unit.loops.into_iter().next().unwrap(), huff_machine())
 }
@@ -35,7 +30,10 @@ fn missing_parameter_is_reported() {
     let mut ws = make_workspace(&compiled, 5, 1);
     ws.params.clear(); // drop `a` and `n`
     let err = run_kernel(&compiled, &problem, &schedule, &kernel, &rr, &icr, &ws).unwrap_err();
-    assert!(matches!(err, SimError::MissingParam(ref p) if p == "a" || p == "n"), "{err}");
+    assert!(
+        matches!(err, SimError::MissingParam(ref p) if p == "a" || p == "n"),
+        "{err}"
+    );
     let err = run_mve(
         &compiled,
         &problem,
@@ -65,7 +63,10 @@ fn missing_scalar_init_is_reported() {
     let mut ws = make_workspace(&compiled, 5, 1);
     ws.scalar_inits.clear();
     let err = run_kernel(&compiled, &problem, &schedule, &kernel, &rr, &icr, &ws).unwrap_err();
-    assert!(matches!(err, SimError::MissingScalarInit(ref s) if s == "s"), "{err}");
+    assert!(
+        matches!(err, SimError::MissingScalarInit(ref s) if s == "s"),
+        "{err}"
+    );
 }
 
 #[test]
@@ -126,5 +127,8 @@ fn zero_stage_edge_trips_execute() {
     let got = run_kernel(&compiled, &problem, &schedule, &kernel, &rr, &icr, &ws).unwrap();
     assert_eq!(got.arrays, run_reference(&compiled, &ws));
     // Cycle count: (trip + stages - 1) * II.
-    assert_eq!(got.cycles, u64::from(schedule.stages()) * u64::from(schedule.ii));
+    assert_eq!(
+        got.cycles,
+        u64::from(schedule.stages()) * u64::from(schedule.ii)
+    );
 }

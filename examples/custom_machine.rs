@@ -25,7 +25,11 @@ fn embedded_machine() -> Machine {
     let br = b.class("Branch", 1);
     b.pipelined(mem, 4, &[OpKind::Load]);
     b.pipelined(mem, 1, &[OpKind::Store]);
-    b.pipelined(addr, 1, &[OpKind::AddrAdd, OpKind::AddrSub, OpKind::AddrMul]);
+    b.pipelined(
+        addr,
+        1,
+        &[OpKind::AddrAdd, OpKind::AddrSub, OpKind::AddrMul],
+    );
     b.pipelined(
         alu,
         1,
@@ -51,7 +55,11 @@ fn embedded_machine() -> Machine {
         ],
     );
     b.pipelined(mul, 3, &[OpKind::IntMul, OpKind::FMul]);
-    b.unpipelined(div, 12, &[OpKind::IntDiv, OpKind::IntMod, OpKind::FDiv, OpKind::FMod]);
+    b.unpipelined(
+        div,
+        12,
+        &[OpKind::IntDiv, OpKind::IntMod, OpKind::FDiv, OpKind::FMod],
+    );
     b.unpipelined(div, 15, &[OpKind::FSqrt]);
     b.pipelined(br, 1, &[OpKind::Brtop]);
     b.finish()

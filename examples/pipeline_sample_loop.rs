@@ -57,7 +57,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let vector = live_vector(&problem, &schedule, &lt, RegClass::Rr);
     println!("LiveVector = {vector:?} (the paper's Figure 4 computes <4 4>)");
     let pressure = measure(&problem, &schedule);
-    println!("MaxLive = {}, MinAvg = {}", pressure.rr_max_live, pressure.rr_min_avg);
+    println!(
+        "MaxLive = {}, MinAvg = {}",
+        pressure.rr_max_live, pressure.rr_min_avg
+    );
 
     // Allocate the rotating file (Figure 3 shows a naive 6-register
     // allocation; an optimal one uses 4).
@@ -73,8 +76,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     print!("{}", to_asm(&kernel, &problem));
 
     // And prove the pipeline computes what the source says.
-    let report = check_equivalence(compiled, &machine, &RunConfig { trip: 50, ..RunConfig::default() })
-        .map_err(std::io::Error::other)?;
+    let report = check_equivalence(
+        compiled,
+        &machine,
+        &RunConfig {
+            trip: 50,
+            ..RunConfig::default()
+        },
+    )
+    .map_err(std::io::Error::other)?;
     println!(
         "\npipeline verified against the reference interpreter: {} array elements identical \
          after {} cycles ({} iterations at II {})",

@@ -10,9 +10,7 @@
 use lsms::front::compile;
 use lsms::machine::huff_machine;
 use lsms::sched::pressure::measure;
-use lsms::sched::{
-    CydromeScheduler, DirectionPolicy, SchedProblem, SlackConfig, SlackScheduler,
-};
+use lsms::sched::{CydromeScheduler, DirectionPolicy, SchedProblem, SlackConfig, SlackScheduler};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let machine = huff_machine();

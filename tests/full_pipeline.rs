@@ -30,7 +30,11 @@ fn kernels_simulate_correctly_at_edge_trip_counts() {
         let unit = compile(&kernel.source).expect("kernels compile");
         let compiled = &unit.loops[0];
         for trip in [1, 2, 3, 13, 64] {
-            let config = RunConfig { trip, seed: trip * 7 + 1, ..RunConfig::default() };
+            let config = RunConfig {
+                trip,
+                seed: trip * 7 + 1,
+                ..RunConfig::default()
+            };
             check_equivalence(compiled, &machine, &config)
                 .unwrap_or_else(|e| panic!("{} at trip {trip}: {e}", kernel.name));
         }
@@ -46,7 +50,12 @@ fn generated_corpus_slice_schedules_validates_and_allocates() {
         let schedule = SlackScheduler::new()
             .run(&problem)
             .unwrap_or_else(|e| panic!("{}: {e}", compiled.def.name));
-        assert_eq!(validate(&problem, &schedule), Ok(()), "{}", compiled.def.name);
+        assert_eq!(
+            validate(&problem, &schedule),
+            Ok(()),
+            "{}",
+            compiled.def.name
+        );
         for class in [RegClass::Rr, RegClass::Icr] {
             let alloc = allocate_rotating(&problem, &schedule, class, Strategy::default())
                 .unwrap_or_else(|e| panic!("{}: {e}", compiled.def.name));
@@ -61,7 +70,11 @@ fn generated_corpus_slice_schedules_validates_and_allocates() {
 fn generated_corpus_slice_simulates_correctly() {
     let machine = huff_machine();
     for compiled in lsms::loops::corpus(40, 0xbeef) {
-        let config = RunConfig { trip: 17, seed: 0xabc, ..RunConfig::default() };
+        let config = RunConfig {
+            trip: 17,
+            seed: 0xabc,
+            ..RunConfig::default()
+        };
         check_equivalence(&compiled, &machine, &config)
             .unwrap_or_else(|e| panic!("{}: {e}", compiled.def.name));
     }
@@ -105,5 +118,8 @@ fn figure1_reproduces_the_papers_numbers() {
         .filter(|v| v.reg_class() == lsms::ir::RegClass::Rr)
         .filter(|v| lt[v.id.index()].unwrap_or(0) > i64::from(schedule.ii))
         .count();
-    assert!(long_lived >= 2, "x and y live longer than II, needing rotation");
+    assert!(
+        long_lived >= 2,
+        "x and y live longer than II, needing rotation"
+    );
 }

@@ -5,9 +5,7 @@
 
 use lsms::machine::huff_machine;
 use lsms::sched::pressure::measure;
-use lsms::sched::{
-    CydromeScheduler, DirectionPolicy, SchedProblem, SlackConfig, SlackScheduler,
-};
+use lsms::sched::{CydromeScheduler, DirectionPolicy, SchedProblem, SlackConfig, SlackScheduler};
 
 struct Sample {
     mii: u32,

@@ -6,12 +6,17 @@ use lsms::front::{compile, lex, parse, print_loop};
 
 #[test]
 fn every_corpus_source_roundtrips() {
-    let mut sources: Vec<String> =
-        lsms::loops::kernels().into_iter().map(|k| k.source).collect();
+    let mut sources: Vec<String> = lsms::loops::kernels()
+        .into_iter()
+        .map(|k| k.source)
+        .collect();
     sources.extend(
-        lsms::loops::generate(&lsms::loops::GeneratorConfig { seed: 77, count: 150 })
-            .into_iter()
-            .map(|l| l.source),
+        lsms::loops::generate(&lsms::loops::GeneratorConfig {
+            seed: 77,
+            count: 150,
+        })
+        .into_iter()
+        .map(|l| l.source),
     );
     for source in sources {
         let original = parse(&lex(&source).expect("lexes")).expect("parses");
