@@ -8,8 +8,8 @@
 
 use lsms_ir::RegClass;
 use lsms_machine::huff_machine;
+use lsms_pipeline::CompileSession;
 use lsms_regalloc::{allocate_rotating, verify_allocation, Fit, Ordering, Strategy};
-use lsms_sched::{SchedProblem, SlackScheduler};
 
 fn main() {
     let count = std::env::var("LSMS_CORPUS")
@@ -17,6 +17,7 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(400);
     let machine = huff_machine();
+    let session = CompileSession::with_machine(machine.clone());
     let corpus = lsms_loops::corpus(count, lsms_bench::CORPUS_SEED);
     let strategies = [
         (
@@ -51,19 +52,21 @@ fn main() {
     let mut excess: Vec<Vec<u32>> = vec![Vec::new(); strategies.len() + 1];
     let mut scheduled = 0usize;
     for l in &corpus {
-        let problem = match SchedProblem::new(&l.body, &machine) {
-            Ok(p) => p,
-            Err(_) => continue,
-        };
-        let Ok(schedule) = SlackScheduler::new().run(&problem) else {
+        // Dependence-graph or scheduling failures degrade to skips here;
+        // the session already recorded them in its pass report.
+        let Ok(artifacts) = session.run_loop(l) else {
             continue;
         };
+        let problem = artifacts
+            .problem(&machine)
+            .unwrap_or_else(|e| panic!("{}: {e}", l.def.name));
+        let schedule = &artifacts.schedule;
         scheduled += 1;
         let mut best = u32::MAX;
         for (s, (_, strategy)) in strategies.iter().enumerate() {
-            let alloc = allocate_rotating(&problem, &schedule, RegClass::Rr, *strategy)
+            let alloc = allocate_rotating(&problem, schedule, RegClass::Rr, *strategy)
                 .unwrap_or_else(|e| panic!("{}: {e}", l.def.name));
-            verify_allocation(&problem, &schedule, RegClass::Rr, &alloc, 16)
+            verify_allocation(&problem, schedule, RegClass::Rr, &alloc, 16)
                 .unwrap_or_else(|(a, b, r)| panic!("{}: {a} and {b} collide in r{r}", l.def.name));
             excess[s].push(alloc.excess());
             best = best.min(alloc.excess());

@@ -8,8 +8,9 @@
 
 use std::time::Duration;
 
-use lsms_bench::{evaluate_corpus_jobs, BenchArgs, CORPUS_SEED};
+use lsms_bench::{evaluate_corpus_session, BenchArgs, CORPUS_SEED};
 use lsms_machine::huff_machine;
+use lsms_pipeline::CompileSession;
 use lsms_sched::SchedStats;
 
 fn report(label: &str, per_loop: &[(&str, usize, SchedStats)]) {
@@ -53,9 +54,11 @@ fn report(label: &str, per_loop: &[(&str, usize, SchedStats)]) {
 }
 
 fn main() {
-    let machine = huff_machine();
+    let session = CompileSession::with_machine(huff_machine());
     let args = BenchArgs::parse();
-    let records = evaluate_corpus_jobs(args.corpus_size, CORPUS_SEED, &machine, args.jobs);
+    let corpus = evaluate_corpus_session(&session, args.corpus_size, CORPUS_SEED, args.jobs);
+    corpus.warn_failures();
+    let records = corpus.records;
 
     let new: Vec<(&str, usize, SchedStats)> = records
         .iter()

@@ -11,15 +11,14 @@
 
 use lsms_loops::{generate_with_profile, GeneratorConfig, Profile};
 use lsms_machine::huff_machine;
-use lsms_sched::pressure::measure;
-use lsms_sched::{CydromeScheduler, DirectionPolicy, SchedProblem, SlackConfig, SlackScheduler};
+use lsms_pipeline::CompileSession;
 
 fn main() {
     let count = std::env::var("LSMS_CORPUS")
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(300);
-    let machine = huff_machine();
+    let session = CompileSession::with_machine(huff_machine());
     println!("Corpus sensitivity ({count} generated loops per profile)");
     println!(
         "{:<18} {:>8} {:>8} | {:>10} {:>10} {:>10}",
@@ -39,32 +38,29 @@ fn main() {
         let mut sum_mii = 0u64;
         let mut rr = [0u64; 3];
         for source in &sources {
-            let Ok(unit) = lsms_front::compile(&source.source) else {
+            let Ok(unit) = session.compile_source(&source.source) else {
                 continue;
             };
-            let Ok(problem) = SchedProblem::new(&unit.loops[0].body, &machine) else {
+            let Ok(eval) = session.evaluate_variants(&unit.loops[0], false) else {
                 continue;
             };
-            let Ok(bidir) = SlackScheduler::new().run(&problem) else {
-                continue;
-            };
-            let Ok(early) = SlackScheduler::with_config(SlackConfig {
-                direction: DirectionPolicy::AlwaysEarly,
-                ..SlackConfig::default()
-            })
-            .run(&problem) else {
-                continue;
-            };
-            let Ok(old) = CydromeScheduler::new().run(&problem) else {
+            // Keep the original skip rule: only count loops where all
+            // three scheduler variants succeeded.
+            let (Some(bidir_ii), Some(bidir), Some(early), Some(old)) = (
+                eval.new.ii,
+                eval.new.pressure.as_ref(),
+                eval.early.pressure.as_ref(),
+                eval.old.pressure.as_ref(),
+            ) else {
                 continue;
             };
             total += 1;
-            optimal += usize::from(bidir.ii == problem.mii());
-            sum_ii += u64::from(bidir.ii);
-            sum_mii += u64::from(problem.mii());
-            rr[0] += u64::from(measure(&problem, &bidir).rr_max_live);
-            rr[1] += u64::from(measure(&problem, &early).rr_max_live);
-            rr[2] += u64::from(measure(&problem, &old).rr_max_live);
+            optimal += usize::from(bidir_ii == eval.mii);
+            sum_ii += u64::from(bidir_ii);
+            sum_mii += u64::from(eval.mii);
+            rr[0] += u64::from(bidir.rr_max_live);
+            rr[1] += u64::from(early.rr_max_live);
+            rr[2] += u64::from(old.rr_max_live);
         }
         println!(
             "{:<18} {:>7.1}% {:>8.3} | {:>10} {:>10} {:>10}",

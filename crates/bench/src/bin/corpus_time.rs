@@ -7,8 +7,9 @@
 
 use std::time::Instant;
 
-use lsms_bench::{evaluate_corpus_jobs, BenchArgs, LoopRecord, CORPUS_SEED};
-use lsms_machine::{huff_machine, Machine};
+use lsms_bench::{evaluate_corpus_session, BenchArgs, LoopRecord, CORPUS_SEED};
+use lsms_machine::huff_machine;
+use lsms_pipeline::CompileSession;
 
 struct Timing {
     jobs: usize,
@@ -27,13 +28,15 @@ fn percentile_ms(sorted: &[f64], p: f64) -> f64 {
     sorted[idx]
 }
 
-fn run(count: usize, machine: &Machine, jobs: usize) -> Timing {
+fn run(count: usize, session: &CompileSession, jobs: usize) -> Timing {
     // Per-loop latencies come from the scheduler's own elapsed counters
     // (summed over the three runs), so they are meaningful even when the
     // loops ran concurrently.
     let started = Instant::now();
-    let records = evaluate_corpus_jobs(count, CORPUS_SEED, machine, jobs);
+    let corpus = evaluate_corpus_session(session, count, CORPUS_SEED, jobs);
     let total_secs = started.elapsed().as_secs_f64();
+    corpus.warn_failures();
+    let records = corpus.records;
     let mut per_loop: Vec<f64> = records
         .iter()
         .map(|r| {
@@ -60,18 +63,18 @@ fn json_entry(t: &Timing) -> String {
 
 fn main() {
     let args = BenchArgs::parse();
-    let machine = huff_machine();
+    let session = CompileSession::with_machine(huff_machine());
 
     println!(
         "corpus_time: {} loops, {} job(s)",
         args.corpus_size, args.jobs
     );
-    let single = run(args.corpus_size, &machine, 1);
+    let single = run(args.corpus_size, &session, 1);
     println!(
         "  jobs=1     {:>8.3}s  p50 {:.2}ms  p90 {:.2}ms  p99 {:.2}ms",
         single.total_secs, single.p50_ms, single.p90_ms, single.p99_ms
     );
-    let multi = run(args.corpus_size, &machine, args.jobs);
+    let multi = run(args.corpus_size, &session, args.jobs);
     println!(
         "  jobs={:<4}  {:>8.3}s  p50 {:.2}ms  p90 {:.2}ms  p99 {:.2}ms",
         multi.jobs, multi.total_secs, multi.p50_ms, multi.p90_ms, multi.p99_ms

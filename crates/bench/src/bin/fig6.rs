@@ -4,13 +4,16 @@
 //! many rotating registers — with the new scheduler 92% of loops use no
 //! more than 32 RRs and only 5 loops use more than 64.
 
-use lsms_bench::{cumulative_histogram, evaluate_corpus_jobs, BenchArgs, CORPUS_SEED};
+use lsms_bench::{cumulative_histogram, evaluate_corpus_session, BenchArgs, CORPUS_SEED};
 use lsms_machine::huff_machine;
+use lsms_pipeline::CompileSession;
 
 fn main() {
-    let machine = huff_machine();
+    let session = CompileSession::with_machine(huff_machine());
     let args = BenchArgs::parse();
-    let records = evaluate_corpus_jobs(args.corpus_size, CORPUS_SEED, &machine, args.jobs);
+    let corpus = evaluate_corpus_session(&session, args.corpus_size, CORPUS_SEED, args.jobs);
+    corpus.warn_failures();
+    let records = corpus.records;
     let pick = |f: &dyn Fn(&lsms_bench::LoopRecord) -> Option<i64>| -> Vec<i64> {
         records.iter().filter_map(f).collect()
     };

@@ -6,14 +6,17 @@
 //! rest, more stretchable inputs than outputs 30%, fewer 4%, ties 20%;
 //! overall the heuristics favour early placement about 2:1.
 
-use lsms_bench::{evaluate_corpus_jobs, BenchArgs, CORPUS_SEED};
+use lsms_bench::{evaluate_corpus_session, BenchArgs, CORPUS_SEED};
 use lsms_machine::huff_machine;
+use lsms_pipeline::CompileSession;
 use lsms_sched::DecisionStats;
 
 fn main() {
-    let machine = huff_machine();
+    let session = CompileSession::with_machine(huff_machine());
     let args = BenchArgs::parse();
-    let records = evaluate_corpus_jobs(args.corpus_size, CORPUS_SEED, &machine, args.jobs);
+    let corpus = evaluate_corpus_session(&session, args.corpus_size, CORPUS_SEED, args.jobs);
+    corpus.warn_failures();
+    let records = corpus.records;
     let mut total = DecisionStats::default();
     for r in &records {
         total += &r.decisions;

@@ -9,7 +9,8 @@
 use std::time::Duration;
 
 use lsms_machine::huff_machine;
-use lsms_sched::{IiIncrement, SchedProblem, SlackConfig, SlackScheduler};
+use lsms_pipeline::{CompileSession, SchedulerBackend, SessionConfig};
+use lsms_sched::{IiIncrement, SlackConfig};
 
 fn main() {
     let count = std::env::var("LSMS_CORPUS")
@@ -28,31 +29,24 @@ fn main() {
         ("4% steps", IiIncrement::FourPercent),
         ("by one", IiIncrement::ByOne),
     ] {
-        let scheduler = SlackScheduler::with_config(SlackConfig {
+        let mut config = SessionConfig::new(machine.clone());
+        config.backend = SchedulerBackend::Slack(SlackConfig {
             increment,
             ..SlackConfig::default()
         });
+        let session = CompileSession::new(config);
         let mut sum_ii = 0u64;
         let mut failures = 0usize;
         let mut attempts = 0u64;
         let mut elapsed = Duration::ZERO;
         for l in &corpus {
-            let Ok(problem) = SchedProblem::new(&l.body, &machine) else {
+            let Ok(outcome) = session.schedule_outcome(l) else {
                 continue;
             };
-            match scheduler.run(&problem) {
-                Ok(s) => {
-                    sum_ii += u64::from(s.ii);
-                    attempts += u64::from(s.stats.attempts);
-                    elapsed += s.stats.elapsed;
-                }
-                Err(f) => {
-                    failures += 1;
-                    sum_ii += u64::from(f.last_ii);
-                    attempts += u64::from(f.stats.attempts);
-                    elapsed += f.stats.elapsed;
-                }
-            }
+            failures += usize::from(outcome.ii.is_none());
+            sum_ii += outcome.counted_ii();
+            attempts += u64::from(outcome.stats.attempts);
+            elapsed += outcome.stats.elapsed;
         }
         println!("{name:<14} {sum_ii:>10} {failures:>10} {attempts:>12} {elapsed:>12.2?}");
         results.push((sum_ii, elapsed));

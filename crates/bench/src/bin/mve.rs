@@ -7,18 +7,18 @@
 //! code expansion \[18\]. A rotating register file can solve this problem
 //! without duplicating code."
 
-use lsms_codegen::{emit, emit_mve};
-use lsms_ir::RegClass;
 use lsms_machine::huff_machine;
-use lsms_regalloc::{allocate_rotating, Strategy};
-use lsms_sched::{SchedProblem, SlackScheduler};
+use lsms_pipeline::{CompileSession, SessionConfig};
 
 fn main() {
     let count = std::env::var("LSMS_CORPUS")
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(400);
-    let machine = huff_machine();
+    let mut config = SessionConfig::new(huff_machine());
+    config.codegen = true;
+    config.mve = true;
+    let session = CompileSession::new(config);
     let corpus = lsms_loops::corpus(count, lsms_bench::CORPUS_SEED);
     let mut scheduled = 0usize;
     let mut rot_insts = 0u64;
@@ -27,24 +27,12 @@ fn main() {
     let mut mve_regs = 0u64;
     let mut unrolls: Vec<u32> = Vec::new();
     for l in &corpus {
-        let Ok(problem) = SchedProblem::new(&l.body, &machine) else {
+        // Any stage failure (depgraph, schedule, regalloc, codegen) is a
+        // recorded skip; the session carries the loop end-to-end otherwise.
+        let Ok(artifacts) = session.run_loop(l) else {
             continue;
         };
-        let Ok(schedule) = SlackScheduler::new().run(&problem) else {
-            continue;
-        };
-        let Ok(rr) = allocate_rotating(&problem, &schedule, RegClass::Rr, Strategy::default())
-        else {
-            continue;
-        };
-        let Ok(icr) = allocate_rotating(&problem, &schedule, RegClass::Icr, Strategy::default())
-        else {
-            continue;
-        };
-        let Ok(rot) = emit(&problem, &schedule, &rr, &icr) else {
-            continue;
-        };
-        let Ok(mve) = emit_mve(&problem, &schedule) else {
+        let (Some(rot), Some(mve)) = (artifacts.kernel.as_ref(), artifacts.mve.as_ref()) else {
             continue;
         };
         scheduled += 1;

@@ -5,8 +5,9 @@
 //! Runs a corpus slice against the paper machine and two latency
 //! variants, reporting the headline metrics side by side.
 
-use lsms_bench::{evaluate_corpus_jobs, BenchArgs, CORPUS_SEED};
+use lsms_bench::{evaluate_corpus_session, BenchArgs, CORPUS_SEED};
 use lsms_machine::alternate_machines;
+use lsms_pipeline::CompileSession;
 
 fn main() {
     // Robustness sweeps three machines, so it defaults to a 400-loop slice
@@ -23,7 +24,10 @@ fn main() {
         "machine", "optimal", "II/MII", "mean excess", "median MaxLive", "failures"
     );
     for machine in alternate_machines() {
-        let records = evaluate_corpus_jobs(count, CORPUS_SEED, &machine, args.jobs);
+        let session = CompileSession::with_machine(machine.clone());
+        let corpus = evaluate_corpus_session(&session, count, CORPUS_SEED, args.jobs);
+        corpus.warn_failures();
+        let records = corpus.records;
         let optimal = records.iter().filter(|r| r.new.ii == Some(r.mii)).count();
         let sum_ii: u64 = records.iter().map(|r| r.new.counted_ii()).sum();
         let sum_mii: u64 = records.iter().map(|r| u64::from(r.mii)).sum();

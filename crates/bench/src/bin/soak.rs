@@ -8,8 +8,8 @@
 //! ```
 
 use lsms_machine::huff_machine;
+use lsms_pipeline::{CompileSession, SchedulerBackend, SessionConfig, Stage, VerifySpec};
 use lsms_sched::{DirectionPolicy, SlackConfig};
-use lsms_sim::{check_equivalence, check_equivalence_mve, RunConfig};
 
 fn env(name: &str, default: u64) -> u64 {
     std::env::var(name)
@@ -22,12 +22,13 @@ fn main() {
     let start = env("LSMS_SOAK_START", 100_000);
     let count = env("LSMS_SOAK_COUNT", 1_000);
     let machine = huff_machine();
+    let front = CompileSession::with_machine(machine.clone());
     let mut ok = 0u64;
     let mut sched_fails = 0u64;
     let mut fails = 0u64;
     for seed in start..start + count {
         let loops = lsms_loops::generate(&lsms_loops::GeneratorConfig { seed, count: 1 });
-        let unit = match lsms_front::compile(&loops[0].source) {
+        let unit = match front.compile_source(&loops[0].source) {
             Ok(u) => u,
             Err(e) => {
                 println!("COMPILE FAIL {seed}: {e}");
@@ -40,32 +41,30 @@ fn main() {
             (7, DirectionPolicy::AlwaysLate),
             (23, DirectionPolicy::AlwaysEarly),
         ] {
-            let config = RunConfig {
+            // One session per configuration: full codegen (rotating and
+            // MVE kernels) plus the simulate-verify pass, which checks
+            // both kernels against the reference interpreter.
+            let mut config = SessionConfig::new(machine.clone());
+            config.backend = SchedulerBackend::Slack(SlackConfig {
+                direction: policy,
+                ..Default::default()
+            });
+            config.codegen = true;
+            config.mve = true;
+            config.verify = Some(VerifySpec {
                 trip,
                 seed: seed ^ 0x1111,
-                scheduler: SlackConfig {
-                    direction: policy,
-                    ..Default::default()
-                },
-            };
-            for (engine, result) in [
-                (
-                    "rotating",
-                    check_equivalence(&unit.loops[0], &machine, &config),
-                ),
-                (
-                    "mve",
-                    check_equivalence_mve(&unit.loops[0], &machine, &config),
-                ),
-            ] {
-                match result {
-                    Ok(_) => ok += 1,
-                    Err(e) if e.starts_with("schedule:") => sched_fails += 1,
-                    Err(e) => {
-                        fails += 1;
-                        if fails <= 8 {
-                            println!("FAIL [{engine}] seed {seed} trip {trip} {policy:?}: {e}");
-                        }
+            });
+            let session = CompileSession::new(config);
+            match session.run_loop(&unit.loops[0]) {
+                Ok(_) => ok += 1,
+                // A loop the scheduler cannot pipeline is an expected
+                // degradation, not a correctness failure.
+                Err(e) if e.stage == Stage::Schedule => sched_fails += 1,
+                Err(e) => {
+                    fails += 1;
+                    if fails <= 8 {
+                        println!("FAIL seed {seed} trip {trip} {policy:?}: {e}");
                     }
                 }
             }

@@ -9,8 +9,9 @@
 
 use lsms_ir::RegClass;
 use lsms_machine::huff_machine;
+use lsms_pipeline::{CompileSession, SchedulerBackend, SessionConfig};
 use lsms_sched::pressure::{lifetimes, live_vector};
-use lsms_sched::{DirectionPolicy, SchedProblem, SlackConfig, SlackScheduler};
+use lsms_sched::{DirectionPolicy, SlackConfig};
 
 fn main() {
     let count = std::env::var("LSMS_CORPUS")
@@ -18,6 +19,20 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(400);
     let machine = huff_machine();
+    // One straight-line session per direction policy.
+    let sessions: Vec<CompileSession> =
+        [DirectionPolicy::Bidirectional, DirectionPolicy::AlwaysEarly]
+            .into_iter()
+            .map(|direction| {
+                let mut config = SessionConfig::new(machine.clone());
+                config.straight_line = true;
+                config.backend = SchedulerBackend::Slack(SlackConfig {
+                    direction,
+                    ..SlackConfig::default()
+                });
+                CompileSession::new(config)
+            })
+            .collect();
     let corpus = lsms_loops::corpus(count, lsms_bench::CORPUS_SEED);
     let mut rows = 0usize;
     let mut len = [0u64; 2];
@@ -25,25 +40,19 @@ fn main() {
     let mut wins = 0usize;
     let mut losses = 0usize;
     for l in &corpus {
-        let Ok(problem) = SchedProblem::new(&l.body, &machine) else {
-            continue;
-        };
         let mut this = [0u64; 2];
         let mut ok = true;
-        for (slot, direction) in [DirectionPolicy::Bidirectional, DirectionPolicy::AlwaysEarly]
-            .into_iter()
-            .enumerate()
-        {
-            let scheduler = SlackScheduler::with_config(SlackConfig {
-                direction,
-                ..SlackConfig::default()
-            });
-            let Ok(schedule) = scheduler.run_straight_line(&problem) else {
+        for (slot, session) in sessions.iter().enumerate() {
+            let Ok(artifacts) = session.run_loop(l) else {
                 ok = false;
                 break;
             };
-            let lt = lifetimes(&problem, &schedule);
-            let vector = live_vector(&problem, &schedule, &lt, RegClass::Rr);
+            let problem = artifacts
+                .problem(&machine)
+                .unwrap_or_else(|e| panic!("{}: {e}", l.def.name));
+            let schedule = &artifacts.schedule;
+            let lt = lifetimes(&problem, schedule);
+            let vector = live_vector(&problem, schedule, &lt, RegClass::Rr);
             let max_live = u64::from(vector.iter().copied().max().unwrap_or(0));
             len[slot] += schedule.length() as u64;
             pressure[slot] += max_live;

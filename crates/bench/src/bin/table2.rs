@@ -16,13 +16,16 @@
 //! # GPRs                      0     11     27     85
 //! ```
 
-use lsms_bench::{evaluate_corpus_jobs, stat_row, BenchArgs, CORPUS_SEED};
+use lsms_bench::{evaluate_corpus_session, stat_row, BenchArgs, CORPUS_SEED};
 use lsms_machine::huff_machine;
+use lsms_pipeline::CompileSession;
 
 fn main() {
-    let machine = huff_machine();
+    let session = CompileSession::with_machine(huff_machine());
     let args = BenchArgs::parse();
-    let records = evaluate_corpus_jobs(args.corpus_size, CORPUS_SEED, &machine, args.jobs);
+    let corpus = evaluate_corpus_session(&session, args.corpus_size, CORPUS_SEED, args.jobs);
+    corpus.warn_failures();
+    let records = corpus.records;
     println!("Table 2: Measurements from all {} loops", records.len());
     println!(
         "{:<24} {:>6} {:>6} {:>6} {:>6}",

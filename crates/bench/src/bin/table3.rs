@@ -4,14 +4,17 @@
 //! ΣII/ΣMII = 1.01; for the 62 non-optimal loops, II − MII has
 //! min/50%/90%/max = 1/1/4/15 and II/MII = 1.005/1.08/1.5/3.0.
 
-use lsms_bench::{class_line, evaluate_corpus_jobs, percentiles, BenchArgs, CORPUS_SEED};
+use lsms_bench::{class_line, evaluate_corpus_session, percentiles, BenchArgs, CORPUS_SEED};
 use lsms_ir::LoopClass;
 use lsms_machine::huff_machine;
+use lsms_pipeline::CompileSession;
 
 fn main() {
-    let machine = huff_machine();
+    let session = CompileSession::with_machine(huff_machine());
     let args = BenchArgs::parse();
-    let records = evaluate_corpus_jobs(args.corpus_size, CORPUS_SEED, &machine, args.jobs);
+    let corpus = evaluate_corpus_session(&session, args.corpus_size, CORPUS_SEED, args.jobs);
+    corpus.warn_failures();
+    let records = corpus.records;
     println!("Table 3: Slack Scheduling Performance (New Scheduler)");
     println!(
         "{:<18} {:>5} {:>5} {:>6} {:>8} {:>8} {:>6}",

@@ -4,14 +4,17 @@
 //! 14 loops failed to pipeline (counted at the last II attempted); for
 //! the 132 non-optimal loops II − MII reaches 198 and II/MII reaches 12.
 
-use lsms_bench::{class_line, evaluate_corpus_jobs, percentiles, BenchArgs, CORPUS_SEED};
+use lsms_bench::{class_line, evaluate_corpus_session, percentiles, BenchArgs, CORPUS_SEED};
 use lsms_ir::LoopClass;
 use lsms_machine::huff_machine;
+use lsms_pipeline::CompileSession;
 
 fn main() {
-    let machine = huff_machine();
+    let session = CompileSession::with_machine(huff_machine());
     let args = BenchArgs::parse();
-    let records = evaluate_corpus_jobs(args.corpus_size, CORPUS_SEED, &machine, args.jobs);
+    let corpus = evaluate_corpus_session(&session, args.corpus_size, CORPUS_SEED, args.jobs);
+    corpus.warn_failures();
+    let records = corpus.records;
     println!("Table 4: Cydrome-Style Scheduling Performance (Old Scheduler)");
     println!(
         "{:<18} {:>5} {:>5} {:>6} {:>8} {:>8} {:>6}",

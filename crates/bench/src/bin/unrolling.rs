@@ -8,9 +8,8 @@
 //! unrolled ×2 and ×3, scheduled, and compared on *effective* II per
 //! source iteration (`II / factor`).
 
-use lsms_ir::unroll;
 use lsms_machine::huff_machine;
-use lsms_sched::{SchedProblem, SlackScheduler};
+use lsms_pipeline::{CompileSession, SessionConfig};
 
 fn main() {
     let count = std::env::var("LSMS_CORPUS")
@@ -18,6 +17,15 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(400);
     let machine = huff_machine();
+    // One session per unroll factor; the ×2/×3 sessions run the unroll
+    // pass before depgraph/schedule.
+    let session_for = |factor: u32| {
+        let mut config = SessionConfig::new(machine.clone());
+        config.unroll = factor;
+        CompileSession::new(config)
+    };
+    let base_session = session_for(1);
+    let unrolled_sessions = [(2u32, session_for(2)), (3u32, session_for(3))];
     let corpus = lsms_loops::corpus(count, lsms_bench::CORPUS_SEED);
     let mut improved = 0usize;
     let mut examined = 0usize;
@@ -25,37 +33,31 @@ fn main() {
     let mut best_total = 0f64;
     let mut examples = Vec::new();
     for l in &corpus {
-        let Ok(problem) = SchedProblem::new(&l.body, &machine) else {
+        let Ok(base) = base_session.run_loop(l) else {
             continue;
         };
-        let Ok(base) = SlackScheduler::new().run(&problem) else {
-            continue;
-        };
+        let base_ii = base.schedule.ii;
         examined += 1;
-        let mut best = f64::from(base.ii);
+        let mut best = f64::from(base_ii);
         let mut best_factor = 1u32;
-        for factor in [2u32, 3] {
-            let unrolled = unroll(&l.body, factor);
-            let Ok(p2) = SchedProblem::new(&unrolled, &machine) else {
+        for (factor, session) in &unrolled_sessions {
+            let Ok(artifacts) = session.run_loop(l) else {
                 continue;
             };
-            let Ok(s2) = SlackScheduler::new().run(&p2) else {
-                continue;
-            };
-            let effective = f64::from(s2.ii) / f64::from(factor);
+            let effective = f64::from(artifacts.schedule.ii) / f64::from(*factor);
             if effective + 1e-9 < best {
                 best = effective;
-                best_factor = factor;
+                best_factor = *factor;
             }
         }
-        base_total += f64::from(base.ii);
+        base_total += f64::from(base_ii);
         best_total += best;
         if best_factor > 1 {
             improved += 1;
             if examples.len() < 10 {
                 examples.push(format!(
                     "  {:<12} II {} -> {:.2}/iter at x{}",
-                    l.def.name, base.ii, best, best_factor
+                    l.def.name, base_ii, best, best_factor
                 ));
             }
         }

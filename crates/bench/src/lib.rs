@@ -27,32 +27,10 @@
 use lsms_front::CompiledLoop;
 use lsms_ir::LoopClass;
 use lsms_machine::Machine;
-use lsms_sched::pressure::{gpr_count, measure_cached, min_avg_cached};
-use lsms_sched::{
-    bounds, CydromeScheduler, DecisionStats, DirectionPolicy, MinDistCache, PressureReport,
-    SchedProblem, SchedStats, SlackConfig, SlackScheduler,
-};
+use lsms_pipeline::{CompileSession, LsmsError};
+use lsms_sched::{bounds, DecisionStats};
 
-/// One scheduler's result on one loop.
-#[derive(Clone, Debug)]
-pub struct SchedOutcome {
-    /// Achieved II, or `None` if the loop failed to pipeline.
-    pub ii: Option<u32>,
-    /// The last II attempted (equals `ii` on success); failures are
-    /// "represented by the last II that was attempted" (Table 4).
-    pub last_ii: u32,
-    /// Register pressure of the final schedule, when one exists.
-    pub pressure: Option<PressureReport>,
-    /// Work counters.
-    pub stats: SchedStats,
-}
-
-impl SchedOutcome {
-    /// The II this loop contributes to ΣII: achieved or last-attempted.
-    pub fn counted_ii(&self) -> u64 {
-        u64::from(self.ii.unwrap_or(self.last_ii))
-    }
-}
+pub use lsms_pipeline::SchedOutcome;
 
 /// Everything the experiments need about one loop.
 #[derive(Clone, Debug)]
@@ -91,112 +69,187 @@ pub struct LoopRecord {
     pub decisions: DecisionStats,
 }
 
-fn outcome_of(
-    result: Result<lsms_sched::Schedule, lsms_sched::SchedFailure>,
-    problem: &SchedProblem<'_>,
-    cache: &MinDistCache,
-) -> SchedOutcome {
-    match result {
-        Ok(schedule) => SchedOutcome {
-            ii: Some(schedule.ii),
-            last_ii: schedule.ii,
-            pressure: Some(measure_cached(problem, &schedule, cache)),
-            stats: schedule.stats,
-        },
-        Err(failure) => SchedOutcome {
-            ii: None,
-            last_ii: failure.last_ii,
-            pressure: None,
-            stats: failure.stats,
-        },
-    }
-}
-
 impl LoopRecord {
-    /// Evaluates one compiled loop on one machine.
+    /// Evaluates one compiled loop through a [`CompileSession`]: the
+    /// session runs the three schedulers over one shared `MinDistCache`
+    /// (each distinct II this loop visits costs exactly one
+    /// Floyd–Warshall) and this crate adds the corpus bookkeeping.
     ///
-    /// One [`MinDistCache`] spans the three scheduler runs, both pressure
-    /// measurements, and the MinAvg bound, so each distinct II this loop
-    /// visits costs exactly one Floyd–Warshall.
+    /// A malformed loop (invalid body, zero-ω circuit) comes back as an
+    /// [`LsmsError`] instead of panicking, so one bad generated loop
+    /// degrades to a recorded failure rather than aborting a corpus run.
+    pub fn try_evaluate(
+        session: &CompileSession,
+        compiled: &CompiledLoop,
+    ) -> Result<Self, LsmsError> {
+        Self::try_evaluate_impl(session, compiled, false)
+    }
+
+    /// As [`try_evaluate`](Self::try_evaluate), but running the three
+    /// scheduler fan-out (bidirectional, always-early, baseline) on
+    /// scoped threads. Useful when evaluating few loops on many cores;
+    /// the produced record is identical to the sequential one.
+    pub fn try_evaluate_fanout(
+        session: &CompileSession,
+        compiled: &CompiledLoop,
+    ) -> Result<Self, LsmsError> {
+        Self::try_evaluate_impl(session, compiled, true)
+    }
+
+    /// Convenience wrapper over [`try_evaluate`](Self::try_evaluate) for
+    /// known-good loops (panics on malformed input).
     pub fn evaluate(compiled: &CompiledLoop, machine: &Machine) -> Self {
-        Self::evaluate_impl(compiled, machine, false)
+        let session = CompileSession::with_machine(machine.clone());
+        Self::try_evaluate(&session, compiled)
+            .unwrap_or_else(|e| panic!("{}: {e}", compiled.def.name))
     }
 
-    /// As [`evaluate`](Self::evaluate), but running the three scheduler
-    /// fan-out (bidirectional, always-early, baseline) on scoped threads.
-    /// Useful when evaluating few loops on many cores; the produced record
-    /// is identical to the sequential one.
+    /// Convenience wrapper over
+    /// [`try_evaluate_fanout`](Self::try_evaluate_fanout) for known-good
+    /// loops (panics on malformed input).
     pub fn evaluate_fanout(compiled: &CompiledLoop, machine: &Machine) -> Self {
-        Self::evaluate_impl(compiled, machine, true)
+        let session = CompileSession::with_machine(machine.clone());
+        Self::try_evaluate_fanout(&session, compiled)
+            .unwrap_or_else(|e| panic!("{}: {e}", compiled.def.name))
     }
 
-    fn evaluate_impl(compiled: &CompiledLoop, machine: &Machine, fan_out: bool) -> Self {
+    fn try_evaluate_impl(
+        session: &CompileSession,
+        compiled: &CompiledLoop,
+        fan_out: bool,
+    ) -> Result<Self, LsmsError> {
+        let eval = session.evaluate_variants(compiled, fan_out)?;
+        let machine = &session.config().machine;
         let body = &compiled.body;
-        let problem = SchedProblem::new(body, machine)
-            .unwrap_or_else(|e| panic!("{}: {e}", compiled.def.name));
-        let mii = problem.mii();
-        let cache = MinDistCache::new();
-
-        let run_slack = |direction: DirectionPolicy| -> (SchedOutcome, DecisionStats) {
-            let scheduler = SlackScheduler::with_config(SlackConfig {
-                direction,
-                ..SlackConfig::default()
-            });
-            let (result, decisions) = scheduler.run_with_decisions_cached(&problem, &cache);
-            (outcome_of(result, &problem, &cache), decisions)
-        };
-        let run_old = || {
-            outcome_of(
-                CydromeScheduler::new().run_cached(&problem, &cache),
-                &problem,
-                &cache,
-            )
-        };
-
-        let ((new, decisions), (early, _), old) = if fan_out {
-            std::thread::scope(|s| {
-                let new = s.spawn(|| run_slack(DirectionPolicy::Bidirectional));
-                let early = s.spawn(|| run_slack(DirectionPolicy::AlwaysEarly));
-                let old = s.spawn(run_old);
-                (
-                    new.join().expect("bidirectional run panicked"),
-                    early.join().expect("always-early run panicked"),
-                    old.join().expect("baseline run panicked"),
-                )
-            })
-        } else {
-            (
-                run_slack(DirectionPolicy::Bidirectional),
-                run_slack(DirectionPolicy::AlwaysEarly),
-                run_old(),
-            )
-        };
-
-        LoopRecord {
+        Ok(LoopRecord {
             name: compiled.def.name.clone(),
             class: body.class(),
             num_ops: body.num_ops(),
             basic_blocks: body.meta().basic_blocks,
-            critical_ops: bounds::critical_ops(machine, body, mii),
+            critical_ops: bounds::critical_ops(machine, body, eval.mii),
             ops_on_recurrences: bounds::ops_on_recurrences(body),
             div_ops: body.num_divider_ops(),
-            rec_mii: problem.rec_mii(),
-            res_mii: problem.res_mii(),
-            mii,
-            min_avg_at_mii: min_avg_cached(&problem, mii, &cache),
-            gprs: gpr_count(&problem),
-            new,
-            early,
-            old,
-            decisions,
+            rec_mii: eval.rec_mii,
+            res_mii: eval.res_mii,
+            mii: eval.mii,
+            min_avg_at_mii: eval.min_avg_at_mii,
+            gprs: eval.gprs,
+            new: eval.new,
+            early: eval.early,
+            old: eval.old,
+            decisions: eval.decisions,
+        })
+    }
+}
+
+/// One loop the corpus evaluation could not process (its diagnostic is
+/// kept; the run continues).
+#[derive(Clone, Debug)]
+pub struct CorpusFailure {
+    /// Position in the input loop list.
+    pub index: usize,
+    /// Loop name.
+    pub name: String,
+    /// What went wrong.
+    pub error: LsmsError,
+}
+
+/// The outcome of evaluating a loop list: the successful records, in
+/// input order, plus any per-loop failures.
+#[derive(Clone, Debug, Default)]
+pub struct CorpusReport {
+    /// Successfully evaluated loops, in input order.
+    pub records: Vec<LoopRecord>,
+    /// Loops that failed a pipeline stage, in input order.
+    pub failures: Vec<CorpusFailure>,
+}
+
+impl CorpusReport {
+    /// Prints one stderr warning per failed loop (no-op when none failed).
+    pub fn warn_failures(&self) {
+        for f in &self.failures {
+            eprintln!("warning: loop {} (#{}): {}", f.name, f.index, f.error);
         }
     }
 }
 
-/// Evaluates the standard corpus (kernels + generated) on a machine, using
-/// [`default_jobs`] worker threads. Records come back in corpus order
-/// regardless of thread count, so the output of every experiment binary is
-/// byte-identical to a single-threaded run.
+/// Evaluates the standard corpus (kernels + generated) through a
+/// session, using [`default_jobs`] worker threads. Records come back in
+/// corpus order regardless of thread count, so the output of every
+/// experiment binary is byte-identical to a single-threaded run.
+pub fn evaluate_corpus_session(
+    session: &CompileSession,
+    count: usize,
+    seed: u64,
+    jobs: usize,
+) -> CorpusReport {
+    let loops = lsms_loops::corpus(count, seed);
+    evaluate_loops_session(session, &loops, jobs)
+}
+
+/// Evaluates an already-built loop list through a session on `jobs`
+/// worker threads, preserving input order in the output.
+pub fn evaluate_loops_session(
+    session: &CompileSession,
+    loops: &[CompiledLoop],
+    jobs: usize,
+) -> CorpusReport {
+    let jobs = jobs.max(1).min(loops.len().max(1));
+    let results: Vec<Result<LoopRecord, LsmsError>> = if jobs == 1 {
+        loops
+            .iter()
+            .map(|l| LoopRecord::try_evaluate(session, l))
+            .collect()
+    } else {
+        // Work-stealing by atomic counter; results are reassembled by
+        // index so the order (and thus every downstream text report) is
+        // deterministic.
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let (tx, rx) = std::sync::mpsc::channel::<(usize, Result<LoopRecord, LsmsError>)>();
+        std::thread::scope(|s| {
+            for _ in 0..jobs {
+                let tx = tx.clone();
+                let next = &next;
+                s.spawn(move || loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= loops.len() {
+                        break;
+                    }
+                    let result = LoopRecord::try_evaluate(session, &loops[i]);
+                    if tx.send((i, result)).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+            let mut slots: Vec<Option<Result<LoopRecord, LsmsError>>> =
+                (0..loops.len()).map(|_| None).collect();
+            for (i, result) in rx {
+                slots[i] = Some(result);
+            }
+            slots
+                .into_iter()
+                .map(|r| r.expect("every corpus index evaluated"))
+                .collect()
+        })
+    };
+    let mut report = CorpusReport::default();
+    for (index, result) in results.into_iter().enumerate() {
+        match result {
+            Ok(record) => report.records.push(record),
+            Err(error) => report.failures.push(CorpusFailure {
+                index,
+                name: loops[index].def.name.clone(),
+                error,
+            }),
+        }
+    }
+    report
+}
+
+/// Evaluates the standard corpus on a machine with [`default_jobs`]
+/// worker threads (an ephemeral-session convenience over
+/// [`evaluate_corpus_session`]; failures are warned to stderr).
 pub fn evaluate_corpus(count: usize, seed: u64, machine: &Machine) -> Vec<LoopRecord> {
     evaluate_corpus_jobs(count, seed, machine, default_jobs())
 }
@@ -209,49 +262,19 @@ pub fn evaluate_corpus_jobs(
     machine: &Machine,
     jobs: usize,
 ) -> Vec<LoopRecord> {
-    let loops = lsms_loops::corpus(count, seed);
-    evaluate_loops(&loops, machine, jobs)
+    let session = CompileSession::with_machine(machine.clone());
+    let report = evaluate_corpus_session(&session, count, seed, jobs);
+    report.warn_failures();
+    report.records
 }
 
-/// Evaluates an already-built loop list on `jobs` worker threads,
-/// preserving input order in the output.
+/// Evaluates an already-built loop list on `jobs` worker threads through
+/// an ephemeral session, preserving input order in the output.
 pub fn evaluate_loops(loops: &[CompiledLoop], machine: &Machine, jobs: usize) -> Vec<LoopRecord> {
-    let jobs = jobs.max(1).min(loops.len().max(1));
-    if jobs == 1 {
-        return loops
-            .iter()
-            .map(|l| LoopRecord::evaluate(l, machine))
-            .collect();
-    }
-    // Work-stealing by atomic counter; results are reassembled by index so
-    // the order (and thus every downstream text report) is deterministic.
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let (tx, rx) = std::sync::mpsc::channel::<(usize, LoopRecord)>();
-    std::thread::scope(|s| {
-        for _ in 0..jobs {
-            let tx = tx.clone();
-            let next = &next;
-            s.spawn(move || loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= loops.len() {
-                    break;
-                }
-                let record = LoopRecord::evaluate(&loops[i], machine);
-                if tx.send((i, record)).is_err() {
-                    break;
-                }
-            });
-        }
-        drop(tx);
-        let mut slots: Vec<Option<LoopRecord>> = (0..loops.len()).map(|_| None).collect();
-        for (i, record) in rx {
-            slots[i] = Some(record);
-        }
-        slots
-            .into_iter()
-            .map(|r| r.expect("every corpus index evaluated"))
-            .collect()
-    })
+    let session = CompileSession::with_machine(machine.clone());
+    let report = evaluate_loops_session(&session, loops, jobs);
+    report.warn_failures();
+    report.records
 }
 
 /// The corpus size used by the experiment binaries: the paper's 1,525.
@@ -500,5 +523,41 @@ mod tests {
         let h = cumulative_histogram("test", &[("a", vec![0, 1, 5, 9]), ("b", vec![2, 2, 3, 40])]);
         assert!(h.contains("registers"));
         assert!(h.contains("100.0%"));
+    }
+
+    /// A malformed loop (zero-ω dependence circuit) must degrade to a
+    /// recorded [`CorpusFailure`], not a panic, and must not disturb the
+    /// records of its healthy neighbours.
+    #[test]
+    fn malformed_loop_degrades_to_recorded_failure() {
+        use lsms_ir::{LoopBuilder, OpKind, ValueType};
+        use lsms_pipeline::Stage;
+
+        let session = CompileSession::with_machine(huff_machine());
+        let mut loops = lsms_loops::corpus(3, CORPUS_SEED);
+
+        // Replace the middle loop's body with a zero-ω circuit, which
+        // the dependence-graph pass rejects as unschedulable.
+        let mut b = LoopBuilder::new("zero_omega");
+        let x = b.new_value(ValueType::Float);
+        let y = b.new_value(ValueType::Float);
+        let o1 = b.op(OpKind::FAdd, &[y, y], Some(x));
+        let o2 = b.op(OpKind::FMul, &[x, x], Some(y));
+        b.flow_dep(o1, o2, 0);
+        b.flow_dep(o2, o1, 0);
+        loops[1].body = b.finish();
+
+        let report = evaluate_loops_session(&session, &loops, 1);
+        assert_eq!(report.records.len(), 2);
+        assert_eq!(report.failures.len(), 1);
+        let failure = &report.failures[0];
+        assert_eq!(failure.index, 1);
+        assert_eq!(failure.error.stage, Stage::DepGraph);
+        assert_eq!(failure.error.code, "E0402");
+
+        // The surviving records match a run over the healthy loops alone.
+        let healthy = [loops[0].clone(), loops[2].clone()];
+        let clean = evaluate_loops_session(&session, &healthy, 1);
+        assert_records_identical(&report.records, &clean.records);
     }
 }

@@ -10,6 +10,11 @@
 //!   --straight-line              schedule as a basic block (no overlap)
 //!   --run     TRIP               simulate TRIP iterations and verify
 //!                                against the reference interpreter
+//!   --timings PATH               write the per-pass report as JSON to
+//!                                PATH ("-" = stdout)
+//!   --explain-pass NAME          describe a pipeline pass; with a FILE
+//!                                or --eval-corpus, also print what the
+//!                                pass did on this invocation
 //!
 //!   --eval-corpus                no FILE: schedule the synthetic corpus
 //!                                and print a summary instead
@@ -19,22 +24,28 @@
 //!                                (env LSMS_JOBS)
 //! ```
 //!
+//! Diagnostics are uniform (`error[E0101]: FILE:3:7: message [parse]`)
+//! and the exit code identifies the failing stage: 2 usage, 3 I/O,
+//! 4 parse, 5 sema, 6 lower, 7 depgraph, 8 schedule, 9 regalloc,
+//! 10 codegen, 11 simulate.
+//!
 //! Example:
 //!
 //! ```sh
 //! echo 'loop daxpy(i = 1..n) { real x[], y[]; param real a;
 //!       y[i] = y[i] + a * x[i]; }' > /tmp/daxpy.loop
-//! lsmsc /tmp/daxpy.loop --emit asm --run 100
+//! lsmsc /tmp/daxpy.loop --emit asm --run 100 --timings -
 //! ```
 
 use std::process::ExitCode;
 
-use lsms_front::compile;
-use lsms_ir::RegClass;
 use lsms_machine::{huff_machine, short_latency_machine, wide_machine, Machine};
-use lsms_regalloc::{allocate_rotating, Strategy};
-use lsms_sched::{explain, DirectionPolicy, SchedProblem, Schedule, SlackConfig, SlackScheduler};
-use lsms_sim::{check_equivalence, RunConfig};
+use lsms_pipeline::{
+    pass_info, CompileSession, LsmsError, SchedulerBackend, SessionConfig, Stage, VerifySpec,
+};
+use lsms_sched::{explain, DirectionPolicy, SlackConfig};
+
+const EMITS: &[&str] = &["report", "sched", "list", "asm", "mve", "dot", "svg"];
 
 struct Options {
     file: String,
@@ -47,14 +58,18 @@ struct Options {
     eval_corpus: bool,
     corpus_size: usize,
     jobs: usize,
+    timings: Option<String>,
+    explain_pass: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: lsmsc FILE.loop [--machine huff|short|wide] [--policy bidir|early|late]\n\
          \x20             [--emit report|sched|list|asm|mve|dot|svg|all] [--unroll N]\n\
-         \x20             [--straight-line] [--run TRIP]\n\
-         \x20      lsmsc --eval-corpus [--corpus-size N] [--jobs N] [--machine ...]"
+         \x20             [--straight-line] [--run TRIP] [--timings PATH|-]\n\
+         \x20             [--explain-pass NAME]\n\
+         \x20      lsmsc --eval-corpus [--corpus-size N] [--jobs N] [--machine ...]\n\
+         \x20      lsmsc --explain-pass NAME"
     );
     std::process::exit(2);
 }
@@ -72,6 +87,8 @@ fn parse_args() -> Options {
         eval_corpus: false,
         corpus_size: lsms_bench::default_corpus_size(),
         jobs: lsms_bench::default_jobs(),
+        timings: None,
+        explain_pass: None,
     };
     let need = |args: &mut dyn Iterator<Item = String>, flag: &str| -> String {
         args.next().unwrap_or_else(|| {
@@ -106,12 +123,12 @@ fn parse_args() -> Options {
             "--emit" => {
                 let what = need(&mut args, "--emit");
                 options.emit = if what == "all" {
-                    ["report", "sched", "list", "asm", "mve", "dot", "svg"]
-                        .iter()
-                        .map(|s| (*s).to_owned())
-                        .collect()
-                } else {
+                    EMITS.iter().map(|s| (*s).to_owned()).collect()
+                } else if EMITS.contains(&what.as_str()) {
                     vec![what]
+                } else {
+                    eprintln!("unknown --emit `{what}`");
+                    usage();
                 };
             }
             "--unroll" => {
@@ -150,6 +167,8 @@ fn parse_args() -> Options {
                     usage();
                 }))
             }
+            "--timings" => options.timings = Some(need(&mut args, "--timings")),
+            "--explain-pass" => options.explain_pass = Some(need(&mut args, "--explain-pass")),
             "--help" | "-h" => usage(),
             other if options.file.is_empty() && !other.starts_with('-') => {
                 options.file = other.to_owned();
@@ -160,22 +179,40 @@ fn parse_args() -> Options {
             }
         }
     }
-    if options.file.is_empty() && !options.eval_corpus {
+    if options.file.is_empty() && !options.eval_corpus && options.explain_pass.is_none() {
         usage();
     }
     options
 }
 
+/// The session configuration an option set implies. The session runs
+/// codegen exactly when an emission needs the artifacts.
+fn session_config(options: &Options) -> SessionConfig {
+    let mut config = SessionConfig::new(options.machine.clone());
+    config.backend = SchedulerBackend::Slack(SlackConfig {
+        direction: options.policy,
+        ..SlackConfig::default()
+    });
+    config.unroll = options.unroll;
+    config.straight_line = options.straight_line;
+    config.codegen = options.emit.iter().any(|e| e == "asm");
+    config.mve = options.emit.iter().any(|e| e == "mve");
+    config.verify = options.run.map(VerifySpec::with_trip);
+    config
+}
+
 /// `--eval-corpus`: schedule the synthetic corpus with the three schedulers
 /// and print a headline summary (the quick health check the experiment
 /// binaries expand into full tables).
-fn eval_corpus(options: &Options) -> ExitCode {
-    let records = lsms_bench::evaluate_corpus_jobs(
+fn eval_corpus(options: &Options, session: &CompileSession) {
+    let corpus = lsms_bench::evaluate_corpus_session(
+        session,
         options.corpus_size,
         lsms_bench::CORPUS_SEED,
-        &options.machine,
         options.jobs,
     );
+    corpus.warn_failures();
+    let records = corpus.records;
     let scheduled = records.iter().filter(|r| r.new.ii.is_some()).count();
     let optimal = records.iter().filter(|r| r.new.ii == Some(r.mii)).count();
     let sum_ii: u64 = records.iter().map(|r| r.new.counted_ii()).sum();
@@ -190,136 +227,136 @@ fn eval_corpus(options: &Options) -> ExitCode {
         100.0 * optimal as f64 / records.len().max(1) as f64,
         sum_ii as f64 / sum_mii.max(1) as f64,
     );
-    ExitCode::SUCCESS
 }
 
-fn schedule_body(
-    options: &Options,
-    problem: &SchedProblem<'_>,
-) -> Result<Schedule, lsms_sched::SchedFailure> {
-    let scheduler = SlackScheduler::with_config(SlackConfig {
-        direction: options.policy,
-        ..SlackConfig::default()
-    });
-    if options.straight_line {
-        scheduler.run_straight_line(problem)
-    } else {
-        scheduler.run(problem)
+/// Compiles the input file and prints everything the options ask for.
+fn compile_and_emit(options: &Options, session: &CompileSession) -> Result<(), LsmsError> {
+    let unit = session.compile_file(&options.file)?;
+    if unit.loops.is_empty() {
+        return Err(LsmsError::usage(format!("no loops in {}", options.file)));
     }
+    for compiled in &unit.loops {
+        let artifacts = session.run_loop(compiled)?;
+        let problem = artifacts.problem(&session.config().machine)?;
+        let schedule = &artifacts.schedule;
+        for emit in &options.emit {
+            match emit.as_str() {
+                "report" => print!("{}", explain::report(&problem, schedule)),
+                "sched" => {
+                    println!("loop {}: II = {}", artifacts.name, schedule.ii);
+                    for op in artifacts.body.ops() {
+                        println!("  {:>4}  {}", schedule.times[op.id.index()], op.kind);
+                    }
+                }
+                "dot" => print!("{}", lsms_ir::to_dot(&artifacts.body)),
+                "list" => print!("{}", lsms_ir::to_listing(&artifacts.body)),
+                "svg" => println!("{}", lsms_sched::svg::to_svg(&problem, schedule)),
+                "asm" => {
+                    let kernel = artifacts.kernel.as_ref().expect("--emit asm ran codegen");
+                    print!("{}", lsms_codegen::to_asm(kernel, &problem));
+                }
+                "mve" => {
+                    let kernel = artifacts.mve.as_ref().expect("--emit mve ran codegen");
+                    print!("{}", lsms_codegen::to_asm_mve(kernel));
+                }
+                _ => unreachable!("emit names validated in parse_args"),
+            }
+        }
+        if let (Some(trip), Some(report)) = (options.run, &artifacts.equiv) {
+            println!(
+                "run: {} iterations in {} cycles (II {}, {} stages); \
+                 {} array elements verified against the reference interpreter",
+                trip, report.cycles, report.ii, report.stages, report.elements
+            );
+        }
+    }
+    Ok(())
+}
+
+/// `--explain-pass NAME`: static documentation for the pass plus, when
+/// this invocation ran it, the measured work.
+fn explain_pass(name: &str, session: &CompileSession) -> Result<(), LsmsError> {
+    let info = pass_info(name).ok_or_else(|| {
+        let known: Vec<&str> = lsms_pipeline::PASSES.iter().map(|p| p.name).collect();
+        LsmsError::usage(format!(
+            "unknown pass `{name}` (passes: {})",
+            known.join(", ")
+        ))
+    })?;
+    println!("pass {}: {}", info.name, info.summary);
+    println!();
+    println!("{}", info.details);
+    if !info.counters.is_empty() {
+        println!();
+        println!("counters:");
+        for (key, meaning) in info.counters {
+            println!("  {key:<20} {meaning}");
+        }
+    }
+    let report = session.report();
+    match report.get(name) {
+        Some(record) => {
+            println!();
+            println!(
+                "this invocation: {} run(s), {:.2?} wall",
+                record.invocations, record.wall
+            );
+            for (key, value) in &record.counters {
+                println!("  {key:<20} {value}");
+            }
+        }
+        None if !report.is_empty() => {
+            println!();
+            println!("this invocation: pass did not run");
+        }
+        None => {}
+    }
+    Ok(())
+}
+
+/// `--timings PATH`: the session's per-pass report as JSON.
+fn write_timings(path: &str, session: &CompileSession) -> Result<(), LsmsError> {
+    let json = session.report().to_json();
+    if path == "-" {
+        print!("{json}");
+    } else {
+        std::fs::write(path, json)
+            .map_err(|e| LsmsError::io(format!("cannot write {path}: {e}")))?;
+    }
+    Ok(())
 }
 
 fn main() -> ExitCode {
     let options = parse_args();
+    let session = CompileSession::new(session_config(&options));
+
+    let mut code = 0u8;
     if options.eval_corpus {
-        return eval_corpus(&options);
-    }
-    let source = match std::fs::read_to_string(&options.file) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("lsmsc: cannot read {}: {e}", options.file);
-            return ExitCode::FAILURE;
+        eval_corpus(&options, &session);
+    } else if !options.file.is_empty() {
+        if let Err(e) = compile_and_emit(&options, &session) {
+            // I/O messages already name the path; don't prefix it twice.
+            let origin = (e.stage != Stage::Io).then_some(options.file.as_str());
+            eprintln!("lsmsc: {}", e.render(origin));
+            code = e.exit_code();
         }
-    };
-    let unit = match compile(&source) {
-        Ok(u) => u,
-        Err(e) => {
-            eprintln!("{}:{e}", options.file);
-            return ExitCode::FAILURE;
-        }
-    };
-    if unit.loops.is_empty() {
-        eprintln!("lsmsc: no loops in {}", options.file);
-        return ExitCode::FAILURE;
     }
 
-    for compiled in &unit.loops {
-        let unrolled;
-        let body = if options.unroll > 1 {
-            unrolled = lsms_ir::unroll(&compiled.body, options.unroll);
-            &unrolled
-        } else {
-            &compiled.body
-        };
-        let problem = match SchedProblem::new(body, &options.machine) {
-            Ok(p) => p,
-            Err(e) => {
-                eprintln!("lsmsc: {}: {e}", compiled.def.name);
-                return ExitCode::FAILURE;
-            }
-        };
-        let schedule = match schedule_body(&options, &problem) {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("lsmsc: {}: {e}", compiled.def.name);
-                return ExitCode::FAILURE;
-            }
-        };
-
-        for emit in &options.emit {
-            match emit.as_str() {
-                "report" => print!("{}", explain::report(&problem, &schedule)),
-                "sched" => {
-                    println!("loop {}: II = {}", compiled.def.name, schedule.ii);
-                    for op in body.ops() {
-                        println!("  {:>4}  {}", schedule.times[op.id.index()], op.kind);
-                    }
-                }
-                "dot" => print!("{}", lsms_ir::to_dot(body)),
-                "list" => print!("{}", lsms_ir::to_listing(body)),
-                "svg" => println!("{}", lsms_sched::svg::to_svg(&problem, &schedule)),
-                "asm" => {
-                    let rr =
-                        allocate_rotating(&problem, &schedule, RegClass::Rr, Strategy::default());
-                    let icr =
-                        allocate_rotating(&problem, &schedule, RegClass::Icr, Strategy::default());
-                    match (rr, icr) {
-                        (Ok(rr), Ok(icr)) => {
-                            match lsms_codegen::emit(&problem, &schedule, &rr, &icr) {
-                                Ok(kernel) => {
-                                    print!("{}", lsms_codegen::to_asm(&kernel, &problem))
-                                }
-                                Err(e) => eprintln!("lsmsc: codegen: {e}"),
-                            }
-                        }
-                        _ => eprintln!("lsmsc: allocation failed"),
-                    }
-                }
-                "mve" => match lsms_codegen::emit_mve(&problem, &schedule) {
-                    Ok(kernel) => print!("{}", lsms_codegen::to_asm_mve(&kernel)),
-                    Err(e) => eprintln!("lsmsc: mve: {e}"),
-                },
-                other => {
-                    eprintln!("unknown --emit `{other}`");
-                    return ExitCode::FAILURE;
-                }
-            }
-        }
-
-        if let Some(trip) = options.run {
-            if options.unroll > 1 || options.straight_line {
-                eprintln!("lsmsc: --run applies to the plain modulo pipeline only");
-                return ExitCode::FAILURE;
-            }
-            let config = RunConfig {
-                trip,
-                seed: 0x5eed,
-                scheduler: SlackConfig {
-                    direction: options.policy,
-                    ..SlackConfig::default()
-                },
-            };
-            match check_equivalence(compiled, &options.machine, &config) {
-                Ok(report) => println!(
-                    "run: {} iterations in {} cycles (II {}, {} stages); \
-                     {} array elements verified against the reference interpreter",
-                    trip, report.cycles, report.ii, report.stages, report.elements
-                ),
-                Err(e) => {
-                    eprintln!("lsmsc: verification FAILED: {e}");
-                    return ExitCode::FAILURE;
-                }
+    if let Some(name) = &options.explain_pass {
+        if let Err(e) = explain_pass(name, &session) {
+            eprintln!("lsmsc: {}", e.render(None));
+            if code == 0 {
+                code = e.exit_code();
             }
         }
     }
-    ExitCode::SUCCESS
+    if let Some(path) = &options.timings {
+        if let Err(e) = write_timings(path, &session) {
+            eprintln!("lsmsc: {}", e.render(None));
+            if code == 0 {
+                code = e.exit_code();
+            }
+        }
+    }
+    ExitCode::from(code)
 }

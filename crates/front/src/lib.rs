@@ -55,7 +55,7 @@ mod sema;
 pub use ast::{BinOp, Bound, Cond, Decl, Expr, LValue, LoopDef, RelOp, Stmt, Ty};
 pub use error::{FrontError, Span};
 pub use lexer::{lex, Token, TokenKind};
-pub use lower::{CompiledLoop, CompiledUnit, InitialSource, InvariantSource};
+pub use lower::{lower as lower_loop, CompiledLoop, CompiledUnit, InitialSource, InvariantSource};
 pub use parser::parse;
 pub use printer::print_loop;
 pub use sema::{analyze, LoopInfo};

@@ -1,0 +1,158 @@
+//! The unified compilation pipeline: a [`CompileSession`] pass manager
+//! over the fixed stage order the paper's system implies —
+//!
+//! ```text
+//! parse → sema → lower(+if-convert) → [unroll] → depgraph
+//!       → schedule:{slack,early,late,cydrome}
+//!       → [regalloc] → [codegen] → [simulate-verify]
+//! ```
+//!
+//! Before this crate, the driver, the bench library, and ~20 experiment
+//! binaries each re-wired those stages by hand and stringified six
+//! unrelated error enums at the joints. A session is now the one place
+//! where stage order, `MinDistCache` sharing, diagnostics
+//! ([`LsmsError`], with stable codes and per-stage exit codes), and
+//! observability (per-pass wall clock and work counters in a
+//! [`PassReport`], serializable to JSON for `lsmsc --timings`) live.
+//!
+//! # Example
+//!
+//! ```
+//! use lsms_machine::huff_machine;
+//! use lsms_pipeline::{CompileSession, SessionConfig};
+//!
+//! let session = CompileSession::new(SessionConfig::new(huff_machine()));
+//! let unit = session.compile_source(
+//!     "loop daxpy(i = 1..n) { real x[], y[]; param real a;
+//!          y[i] = y[i] + a * x[i]; }",
+//! )?;
+//! let artifacts = session.run_loop(&unit.loops[0])?;
+//! assert!(artifacts.schedule.ii >= 1);
+//! let report = session.report();
+//! assert!(report.get("schedule:slack").is_some());
+//! # Ok::<(), lsms_pipeline::LsmsError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+pub mod passes;
+mod report;
+mod session;
+
+pub use error::{LsmsError, Stage};
+pub use passes::{pass_info, PassInfo, PASSES};
+pub use report::{PassRecord, PassReport};
+pub use session::{
+    CompileSession, LoopArtifacts, LoopEvaluation, SchedOutcome, SchedulerBackend, SessionConfig,
+    VerifySpec,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsms_machine::huff_machine;
+    use lsms_sched::{DirectionPolicy, SlackConfig};
+
+    const DAXPY: &str = "loop daxpy(i = 1..n) { real x[], y[]; param real a;
+         y[i] = y[i] + a * x[i]; }";
+
+    #[test]
+    fn full_pipeline_records_every_pass_that_ran() {
+        let mut config = SessionConfig::new(huff_machine());
+        config.codegen = true;
+        config.mve = true;
+        config.verify = Some(VerifySpec::with_trip(20));
+        let session = CompileSession::new(config);
+        let unit = session.compile_source(DAXPY).expect("compiles");
+        let artifacts = session.run_loop(&unit.loops[0]).expect("pipelines");
+        assert!(artifacts.kernel.is_some());
+        assert!(artifacts.mve.is_some());
+        assert!(artifacts.rr.is_some());
+        let equiv = artifacts.equiv.expect("verified");
+        assert!(equiv.elements > 0);
+
+        let report = session.report();
+        for pass in [
+            "parse",
+            "sema",
+            "lower",
+            "if-convert",
+            "depgraph",
+            "schedule:slack",
+            "regalloc",
+            "codegen",
+            "simulate-verify",
+        ] {
+            let record = report.get(pass).unwrap_or_else(|| panic!("{pass} missing"));
+            assert!(record.invocations >= 1, "{pass}");
+        }
+        // Canonical ordering regardless of recording order.
+        let names: Vec<&str> = report.passes().iter().map(|r| r.name.as_str()).collect();
+        let mut expected = names.clone();
+        expected.sort_by_key(|n| passes::PASSES.iter().position(|p| p.name == *n));
+        assert_eq!(names, expected);
+        // The scheduler recorded real work.
+        let sched = report.get("schedule:slack").unwrap();
+        assert!(sched.counters["central_iterations"] >= 1);
+        assert!(sched.counters["ii"] >= 1);
+    }
+
+    #[test]
+    fn parse_errors_carry_code_span_and_exit_code() {
+        let session = CompileSession::with_machine(huff_machine());
+        let err = session.compile_source("loop broken(").unwrap_err();
+        assert_eq!(err.stage, Stage::Parse);
+        assert_eq!(err.code, "E0101");
+        assert!(err.span.is_some());
+        assert_eq!(err.exit_code(), 4);
+    }
+
+    #[test]
+    fn evaluate_variants_matches_schedule_outcome() {
+        let session = CompileSession::with_machine(huff_machine());
+        let unit = session.compile_source(DAXPY).expect("compiles");
+        let eval = session
+            .evaluate_variants(&unit.loops[0], false)
+            .expect("evaluates");
+        assert_eq!(eval.mii, eval.res_mii.max(eval.rec_mii));
+        assert_eq!(eval.new.ii, Some(eval.mii));
+        let outcome = session.schedule_outcome(&unit.loops[0]).expect("schedules");
+        assert_eq!(outcome.ii, eval.new.ii);
+        // Fan-out is observably identical.
+        let fan = session
+            .evaluate_variants(&unit.loops[0], true)
+            .expect("evaluates");
+        assert_eq!(fan.new.ii, eval.new.ii);
+        assert_eq!(fan.old.ii, eval.old.ii);
+        assert_eq!(fan.decisions, eval.decisions);
+    }
+
+    #[test]
+    fn verify_rejects_incompatible_configs_as_usage_errors() {
+        let mut config = SessionConfig::new(huff_machine());
+        config.unroll = 2;
+        config.verify = Some(VerifySpec::with_trip(10));
+        let session = CompileSession::new(config);
+        let unit = session.compile_source(DAXPY).expect("compiles");
+        let err = session.run_loop(&unit.loops[0]).unwrap_err();
+        assert_eq!(err.stage, Stage::Usage);
+        assert_eq!(err.exit_code(), 2);
+    }
+
+    #[test]
+    fn backend_pass_names_are_stable() {
+        let slack = |d| {
+            SchedulerBackend::Slack(SlackConfig {
+                direction: d,
+                ..SlackConfig::default()
+            })
+            .pass_name()
+        };
+        assert_eq!(slack(DirectionPolicy::Bidirectional), "schedule:slack");
+        assert_eq!(slack(DirectionPolicy::AlwaysEarly), "schedule:early");
+        assert_eq!(slack(DirectionPolicy::AlwaysLate), "schedule:late");
+        assert_eq!(SchedulerBackend::Cydrome.pass_name(), "schedule:cydrome");
+    }
+}

@@ -1,0 +1,212 @@
+//! Per-pass observability: wall-clock timings and work counters,
+//! aggregated across every loop a session touches and serializable to
+//! JSON for `lsmsc --timings`.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use crate::passes::pass_order;
+
+/// Accumulated measurements for one named pass.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PassRecord {
+    /// The pass name (see [`crate::passes::PASSES`]).
+    pub name: String,
+    /// How many times the pass ran.
+    pub invocations: u64,
+    /// Total wall-clock time across invocations. Under parallel corpus
+    /// evaluation this sums per-thread time, so it can exceed elapsed
+    /// real time.
+    pub wall: Duration,
+    /// Named work counters, summed across invocations.
+    pub counters: BTreeMap<String, u64>,
+}
+
+/// Everything a session observed about the passes it ran.
+///
+/// Records keep canonical pipeline order regardless of the order loops
+/// and variants executed in, so reports are deterministic under `--jobs`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PassReport {
+    records: Vec<PassRecord>,
+}
+
+impl PassReport {
+    /// An empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one pass invocation: `wall` time plus its counter deltas.
+    pub fn record(&mut self, name: &str, wall: Duration, counters: &[(&'static str, u64)]) {
+        let record = match self.records.iter_mut().find(|r| r.name == name) {
+            Some(r) => r,
+            None => {
+                let at = self
+                    .records
+                    .iter()
+                    .position(|r| pass_order(&r.name) > pass_order(name))
+                    .unwrap_or(self.records.len());
+                self.records.insert(
+                    at,
+                    PassRecord {
+                        name: name.to_owned(),
+                        ..PassRecord::default()
+                    },
+                );
+                &mut self.records[at]
+            }
+        };
+        record.invocations += 1;
+        record.wall += wall;
+        for &(key, value) in counters {
+            *record.counters.entry(key.to_owned()).or_insert(0) += value;
+        }
+    }
+
+    /// Folds another report into this one.
+    pub fn merge(&mut self, other: &PassReport) {
+        for r in &other.records {
+            let mine = match self.records.iter_mut().position(|m| m.name == r.name) {
+                Some(i) => &mut self.records[i],
+                None => {
+                    let at = self
+                        .records
+                        .iter()
+                        .position(|m| pass_order(&m.name) > pass_order(&r.name))
+                        .unwrap_or(self.records.len());
+                    self.records.insert(
+                        at,
+                        PassRecord {
+                            name: r.name.clone(),
+                            ..PassRecord::default()
+                        },
+                    );
+                    &mut self.records[at]
+                }
+            };
+            mine.invocations += r.invocations;
+            mine.wall += r.wall;
+            for (k, v) in &r.counters {
+                *mine.counters.entry(k.clone()).or_insert(0) += v;
+            }
+        }
+    }
+
+    /// The recorded passes, in canonical pipeline order.
+    pub fn passes(&self) -> &[PassRecord] {
+        &self.records
+    }
+
+    /// The record for one pass, if it ran.
+    pub fn get(&self, name: &str) -> Option<&PassRecord> {
+        self.records.iter().find(|r| r.name == name)
+    }
+
+    /// True if no pass has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Serializes the report as JSON:
+    ///
+    /// ```json
+    /// {
+    ///   "passes": [
+    ///     {"name": "parse", "invocations": 1, "wall_us": 42,
+    ///      "counters": {"loops": 1}},
+    ///     ...
+    ///   ]
+    /// }
+    /// ```
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"passes\": [\n");
+        for (i, r) in self.records.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"name\": \"{}\", \"invocations\": {}, \"wall_us\": {}, \"counters\": {{",
+                r.name,
+                r.invocations,
+                r.wall.as_micros()
+            );
+            for (j, (k, v)) in r.counters.iter().enumerate() {
+                let _ = write!(out, "{}\"{k}\": {v}", if j == 0 { "" } else { ", " });
+            }
+            let _ = writeln!(
+                out,
+                "}}}}{}",
+                if i + 1 == self.records.len() { "" } else { "," }
+            );
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// A human-readable table of the report (used by `--explain-pass` and
+    /// handy in logs).
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{:<18} {:>6} {:>12}  counters", "pass", "runs", "wall");
+        for r in &self.records {
+            let mut counters: Vec<String> =
+                r.counters.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            if counters.is_empty() {
+                counters.push("-".to_owned());
+            }
+            let _ = writeln!(
+                out,
+                "{:<18} {:>6} {:>12.2?}  {}",
+                r.name,
+                r.invocations,
+                r.wall,
+                counters.join(" ")
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_keep_canonical_order() {
+        let mut report = PassReport::new();
+        report.record("regalloc", Duration::from_micros(5), &[("rr_regs", 4)]);
+        report.record("parse", Duration::from_micros(2), &[("loops", 1)]);
+        report.record("schedule:slack", Duration::from_micros(9), &[("ii", 3)]);
+        report.record("parse", Duration::from_micros(1), &[("loops", 2)]);
+        let names: Vec<&str> = report.passes().iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(names, ["parse", "schedule:slack", "regalloc"]);
+        let parse = report.get("parse").unwrap();
+        assert_eq!(parse.invocations, 2);
+        assert_eq!(parse.wall, Duration::from_micros(3));
+        assert_eq!(parse.counters["loops"], 3);
+    }
+
+    #[test]
+    fn merge_sums_everything() {
+        let mut a = PassReport::new();
+        a.record("parse", Duration::from_micros(2), &[("loops", 1)]);
+        let mut b = PassReport::new();
+        b.record("parse", Duration::from_micros(3), &[("loops", 4)]);
+        b.record("depgraph", Duration::from_micros(7), &[("arcs", 9)]);
+        a.merge(&b);
+        assert_eq!(a.get("parse").unwrap().invocations, 2);
+        assert_eq!(a.get("parse").unwrap().counters["loops"], 5);
+        assert_eq!(a.get("depgraph").unwrap().counters["arcs"], 9);
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let mut report = PassReport::new();
+        report.record("parse", Duration::from_micros(42), &[("loops", 1)]);
+        let json = report.to_json();
+        assert!(json.contains("\"name\": \"parse\""));
+        assert!(json.contains("\"wall_us\": 42"));
+        assert!(json.contains("\"loops\": 1"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

@@ -1,0 +1,627 @@
+//! The `CompileSession` pass manager: the one place the fixed pipeline
+//! (parse → sema → lower → depgraph → schedule → regalloc → codegen →
+//! simulate-verify) is wired together.
+//!
+//! The driver, the bench library, and every experiment binary build a
+//! session and call [`CompileSession::compile_source`],
+//! [`CompileSession::run_loop`], or
+//! [`CompileSession::evaluate_variants`]; the session owns stage order,
+//! `MinDistCache` sharing, error unification ([`LsmsError`]), and
+//! per-pass observability (the [`PassReport`]).
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+use lsms_codegen::{KernelCode, MveKernel};
+use lsms_front::{analyze, lex, lower_loop, parse, CompiledLoop, CompiledUnit, LoopDef};
+use lsms_ir::{LoopBody, RegClass};
+use lsms_machine::Machine;
+use lsms_regalloc::{allocate_rotating, RotatingAllocation, Strategy};
+use lsms_sched::pressure::{gpr_count, measure_cached, min_avg_cached};
+use lsms_sched::{
+    validate, CydromeScheduler, DecisionStats, DirectionPolicy, MinDistCache, PressureReport,
+    SchedProblem, SchedStats, Schedule, SlackConfig, SlackScheduler,
+};
+use lsms_sim::{check_equivalence, check_equivalence_mve, EquivReport, RunConfig};
+
+use crate::error::{LsmsError, Stage};
+use crate::report::PassReport;
+
+/// Which modulo scheduler a session runs.
+#[derive(Clone, Debug)]
+pub enum SchedulerBackend {
+    /// The slack scheduler (§4–§5) with the given configuration; the
+    /// direction policy picks the pass name (`schedule:slack`,
+    /// `schedule:early`, `schedule:late`).
+    Slack(SlackConfig),
+    /// The Cydrome-style baseline (`schedule:cydrome`).
+    Cydrome,
+}
+
+impl SchedulerBackend {
+    /// The backend's pass name in reports.
+    pub fn pass_name(&self) -> &'static str {
+        match self {
+            SchedulerBackend::Slack(config) => match config.direction {
+                DirectionPolicy::Bidirectional => "schedule:slack",
+                DirectionPolicy::AlwaysEarly => "schedule:early",
+                DirectionPolicy::AlwaysLate => "schedule:late",
+            },
+            SchedulerBackend::Cydrome => "schedule:cydrome",
+        }
+    }
+}
+
+/// Parameters of the simulate-verify pass.
+#[derive(Clone, Copy, Debug)]
+pub struct VerifySpec {
+    /// Loop trip count to simulate.
+    pub trip: u64,
+    /// Seed for the deterministic input generator.
+    pub seed: u64,
+}
+
+impl VerifySpec {
+    /// A verify spec with the driver's historical default seed.
+    pub fn with_trip(trip: u64) -> Self {
+        Self { trip, seed: 0x5eed }
+    }
+}
+
+/// Everything a [`CompileSession`] needs to know before running.
+#[derive(Clone, Debug)]
+pub struct SessionConfig {
+    /// Target machine description.
+    pub machine: Machine,
+    /// Scheduler backend (default: bidirectional slack).
+    pub backend: SchedulerBackend,
+    /// Unroll factor applied before scheduling (1 = off).
+    pub unroll: u32,
+    /// Schedule as a single basic block instead of a modulo pipeline.
+    pub straight_line: bool,
+    /// Run rotating register allocation (implied by `codegen`).
+    pub regalloc: bool,
+    /// Emit rotating-file kernel code.
+    pub codegen: bool,
+    /// Also emit the modulo-variable-expansion kernel, and (when
+    /// verifying) check it against the reference too.
+    pub mve: bool,
+    /// Run the simulate-verify pass with these parameters.
+    pub verify: Option<VerifySpec>,
+}
+
+impl SessionConfig {
+    /// The default pipeline for a machine: bidirectional slack
+    /// scheduling, no unrolling, no codegen, no verification.
+    pub fn new(machine: Machine) -> Self {
+        Self {
+            machine,
+            backend: SchedulerBackend::Slack(SlackConfig::default()),
+            unroll: 1,
+            straight_line: false,
+            regalloc: false,
+            codegen: false,
+            mve: false,
+            verify: None,
+        }
+    }
+}
+
+/// Owned results of running the pipeline on one loop.
+///
+/// [`SchedProblem`] borrows the loop body, so it is not stored; rebuild
+/// it deterministically with [`LoopArtifacts::problem`] when a consumer
+/// (report rendering, pressure measurement) needs it.
+#[derive(Clone, Debug)]
+pub struct LoopArtifacts {
+    /// The loop's name.
+    pub name: String,
+    /// The scheduled body — the unrolled one if the session unrolls.
+    pub body: LoopBody,
+    /// The schedule the configured backend produced.
+    pub schedule: Schedule,
+    /// RR-file rotating allocation, when the session ran regalloc.
+    pub rr: Option<RotatingAllocation>,
+    /// ICR-file rotating allocation, when the session ran regalloc.
+    pub icr: Option<RotatingAllocation>,
+    /// Rotating-file kernel, when the session ran codegen.
+    pub kernel: Option<KernelCode>,
+    /// Modulo-variable-expansion kernel, when requested.
+    pub mve: Option<MveKernel>,
+    /// Equivalence report, when the session ran simulate-verify.
+    pub equiv: Option<EquivReport>,
+}
+
+impl LoopArtifacts {
+    /// Rebuilds the scheduling problem for this body (cheap and
+    /// deterministic — the same problem the schedule was produced from).
+    pub fn problem<'a>(&'a self, machine: &'a Machine) -> Result<SchedProblem<'a>, LsmsError> {
+        Ok(SchedProblem::new(&self.body, machine)?)
+    }
+}
+
+/// One scheduler's result on one loop, with failure kept as data: a loop
+/// that fails to pipeline still reports the last II attempted and its
+/// work counters (Table 4's convention).
+#[derive(Clone, Debug)]
+pub struct SchedOutcome {
+    /// Achieved II, or `None` if the loop failed to pipeline.
+    pub ii: Option<u32>,
+    /// The last II attempted (equals `ii` on success).
+    pub last_ii: u32,
+    /// Register pressure of the final schedule, when one exists.
+    pub pressure: Option<PressureReport>,
+    /// Work counters.
+    pub stats: SchedStats,
+}
+
+impl SchedOutcome {
+    /// The II this loop contributes to ΣII: achieved or last-attempted.
+    pub fn counted_ii(&self) -> u64 {
+        u64::from(self.ii.unwrap_or(self.last_ii))
+    }
+}
+
+/// The three-scheduler evaluation of one loop (the paper's experimental
+/// unit): bidirectional slack, always-early ablation, Cydrome baseline,
+/// plus the schedule-independent bounds, all sharing one `MinDistCache`.
+#[derive(Clone, Debug)]
+pub struct LoopEvaluation {
+    /// Recurrence-constrained MII (§3.1).
+    pub rec_mii: u32,
+    /// Resource-constrained MII.
+    pub res_mii: u32,
+    /// `max(RecMII, ResMII)`.
+    pub mii: u32,
+    /// Schedule-independent `MinAvg` at MII.
+    pub min_avg_at_mii: u32,
+    /// Loop-invariant (GPR) count.
+    pub gprs: u32,
+    /// Bidirectional slack scheduler ("New Scheduler").
+    pub new: SchedOutcome,
+    /// Always-early slack ablation.
+    pub early: SchedOutcome,
+    /// Cydrome-style baseline ("Old Scheduler").
+    pub old: SchedOutcome,
+    /// §5.2 decision tallies from the bidirectional run.
+    pub decisions: DecisionStats,
+}
+
+/// The pass manager. See the [module docs](self).
+///
+/// A session is `Sync`: corpus evaluation calls
+/// [`evaluate_variants`](Self::evaluate_variants) from many worker
+/// threads against one session, and pass measurements accumulate into
+/// the shared report behind a mutex.
+#[derive(Debug)]
+pub struct CompileSession {
+    config: SessionConfig,
+    report: Mutex<PassReport>,
+}
+
+impl CompileSession {
+    /// A session over an explicit configuration.
+    pub fn new(config: SessionConfig) -> Self {
+        Self {
+            config,
+            report: Mutex::new(PassReport::new()),
+        }
+    }
+
+    /// A default-pipeline session for a machine (the common bench case).
+    pub fn with_machine(machine: Machine) -> Self {
+        Self::new(SessionConfig::new(machine))
+    }
+
+    /// The session's configuration.
+    pub fn config(&self) -> &SessionConfig {
+        &self.config
+    }
+
+    /// A snapshot of everything measured so far.
+    pub fn report(&self) -> PassReport {
+        self.report.lock().expect("report lock").clone()
+    }
+
+    fn record(&self, pass: &str, started: Instant, counters: &[(&'static str, u64)]) {
+        self.report
+            .lock()
+            .expect("report lock")
+            .record(pass, started.elapsed(), counters);
+    }
+
+    /// Runs `parse`: DSL source → loop definitions.
+    pub fn parse_source(&self, source: &str) -> Result<Vec<LoopDef>, LsmsError> {
+        let started = Instant::now();
+        let result = lex(source).and_then(|tokens| parse(&tokens));
+        let loops = result.as_ref().map_or(0, |l| l.len() as u64);
+        self.record("parse", started, &[("loops", loops)]);
+        result.map_err(|e| LsmsError::from_front(e, Stage::Parse))
+    }
+
+    /// Runs `parse`, `sema`, and `lower` (with its fused `if-convert`)
+    /// over every loop in the source.
+    pub fn compile_source(&self, source: &str) -> Result<CompiledUnit, LsmsError> {
+        let defs = self.parse_source(source)?;
+        let mut compiled = Vec::with_capacity(defs.len());
+        for def in defs {
+            let started = Instant::now();
+            let info = analyze(&def);
+            self.record("sema", started, &[("loops", 1)]);
+            let info = info.map_err(|e| LsmsError::from_front(e, Stage::Sema))?;
+
+            let started = Instant::now();
+            let lowered = lower_loop(def, &info);
+            let ops = lowered.as_ref().map_or(0, |l| l.body.num_ops() as u64);
+            self.record("lower", started, &[("ops", ops)]);
+            let lowered = lowered.map_err(|e| LsmsError::from_front(e, Stage::Lower))?;
+
+            // If-conversion happens inside the lowering walk; surface its
+            // work as the `if-convert` accounting entry.
+            let guarded = lowered
+                .body
+                .ops()
+                .iter()
+                .filter(|op| op.predicate.is_some())
+                .count() as u64;
+            let mut predicates: Vec<_> = lowered
+                .body
+                .ops()
+                .iter()
+                .filter_map(|op| op.predicate)
+                .collect();
+            predicates.sort_unstable();
+            predicates.dedup();
+            self.record(
+                "if-convert",
+                Instant::now(),
+                &[
+                    ("guarded_ops", guarded),
+                    ("predicates", predicates.len() as u64),
+                ],
+            );
+            compiled.push(lowered);
+        }
+        Ok(CompiledUnit { loops: compiled })
+    }
+
+    /// Reads a file and compiles it.
+    pub fn compile_file(&self, path: &str) -> Result<CompiledUnit, LsmsError> {
+        let source = std::fs::read_to_string(path)
+            .map_err(|e| LsmsError::io(format!("cannot read {path}: {e}")))?;
+        self.compile_source(&source)
+    }
+
+    /// Runs `depgraph`: body validation + dependence graph + bounds.
+    fn depgraph<'a>(&'a self, body: &'a LoopBody) -> Result<SchedProblem<'a>, LsmsError> {
+        let started = Instant::now();
+        let problem = SchedProblem::new(body, &self.config.machine);
+        let counters = match &problem {
+            Ok(p) => [
+                ("nodes", p.num_nodes() as u64),
+                ("arcs", p.arcs().len() as u64),
+                ("mii", u64::from(p.mii())),
+            ],
+            Err(_) => [("nodes", 0), ("arcs", 0), ("mii", 0)],
+        };
+        self.record("depgraph", started, &counters);
+        Ok(problem?)
+    }
+
+    /// Runs the configured schedule pass, keeping failure as data.
+    fn schedule(
+        &self,
+        problem: &SchedProblem<'_>,
+        cache: &MinDistCache,
+    ) -> Result<Schedule, lsms_sched::SchedFailure> {
+        let pass = self.config.backend.pass_name();
+        let started = Instant::now();
+        let result = match &self.config.backend {
+            SchedulerBackend::Slack(config) => {
+                let scheduler = SlackScheduler::with_config(config.clone());
+                if self.config.straight_line {
+                    scheduler.run_straight_line(problem)
+                } else {
+                    scheduler.run_cached(problem, cache)
+                }
+            }
+            SchedulerBackend::Cydrome => CydromeScheduler::new().run_cached(problem, cache),
+        };
+        let (stats, counters) = match &result {
+            Ok(s) => (&s.stats, [("ii", u64::from(s.ii)), ("failures", 0)]),
+            Err(f) => (&f.stats, [("ii", 0), ("failures", 1)]),
+        };
+        self.record(
+            pass,
+            started,
+            &[
+                counters[0],
+                ("central_iterations", stats.central_iterations),
+                ("step3_invocations", stats.step3_invocations),
+                ("ejected_ops", stats.ejected_ops),
+                ("step6_restarts", stats.step6_restarts),
+                ("attempts", u64::from(stats.attempts)),
+                counters[1],
+            ],
+        );
+        result
+    }
+
+    /// Runs `regalloc` for one register class.
+    fn regalloc(
+        &self,
+        problem: &SchedProblem<'_>,
+        schedule: &Schedule,
+        class: RegClass,
+    ) -> Result<RotatingAllocation, LsmsError> {
+        let started = Instant::now();
+        let alloc = allocate_rotating(problem, schedule, class, Strategy::default());
+        let counters = match (&alloc, class) {
+            (Ok(a), RegClass::Rr) => [
+                ("rr_regs", u64::from(a.num_regs)),
+                ("max_live", u64::from(a.max_live)),
+                ("excess", u64::from(a.excess())),
+            ],
+            (Ok(a), _) => [
+                ("icr_regs", u64::from(a.num_regs)),
+                ("max_live", u64::from(a.max_live)),
+                ("excess", u64::from(a.excess())),
+            ],
+            (Err(_), _) => [("rr_regs", 0), ("max_live", 0), ("excess", 0)],
+        };
+        self.record("regalloc", started, &counters);
+        Ok(alloc?)
+    }
+
+    /// Runs the full configured pipeline on one compiled loop.
+    ///
+    /// A schedule failure is an error here (`E0501`); use
+    /// [`schedule_outcome`](Self::schedule_outcome) or
+    /// [`evaluate_variants`](Self::evaluate_variants) when failure should
+    /// be recorded as data instead.
+    pub fn run_loop(&self, compiled: &CompiledLoop) -> Result<LoopArtifacts, LsmsError> {
+        let cfg = &self.config;
+        let body = if cfg.unroll > 1 {
+            let started = Instant::now();
+            let unrolled = lsms_ir::unroll(&compiled.body, cfg.unroll);
+            self.record(
+                "unroll",
+                started,
+                &[
+                    ("factor", u64::from(cfg.unroll)),
+                    ("ops", unrolled.num_ops() as u64),
+                ],
+            );
+            unrolled
+        } else {
+            compiled.body.clone()
+        };
+
+        let cache = MinDistCache::new();
+        let (schedule, rr, icr, kernel, mve) = {
+            let problem = self.depgraph(&body)?;
+            let schedule = self.schedule(&problem, &cache)?;
+            if !cfg.straight_line {
+                validate(&problem, &schedule)?;
+            }
+            let (rr, icr) = if cfg.regalloc || cfg.codegen {
+                (
+                    Some(self.regalloc(&problem, &schedule, RegClass::Rr)?),
+                    Some(self.regalloc(&problem, &schedule, RegClass::Icr)?),
+                )
+            } else {
+                (None, None)
+            };
+            let kernel = if cfg.codegen {
+                let started = Instant::now();
+                let kernel = lsms_codegen::emit(
+                    &problem,
+                    &schedule,
+                    rr.as_ref().expect("codegen implies regalloc"),
+                    icr.as_ref().expect("codegen implies regalloc"),
+                );
+                let insts = kernel.as_ref().map_or(0, |k| k.num_insts() as u64);
+                self.record("codegen", started, &[("kernel_insts", insts)]);
+                Some(kernel?)
+            } else {
+                None
+            };
+            let mve = if cfg.mve {
+                let started = Instant::now();
+                let kernel = lsms_codegen::emit_mve(&problem, &schedule);
+                let counters = match &kernel {
+                    Ok(k) => [
+                        ("mve_insts", k.total_insts() as u64),
+                        ("mve_unroll", u64::from(k.unroll)),
+                    ],
+                    Err(_) => [("mve_insts", 0), ("mve_unroll", 0)],
+                };
+                self.record("codegen", started, &counters);
+                Some(kernel?)
+            } else {
+                None
+            };
+            (schedule, rr, icr, kernel, mve)
+        };
+
+        let equiv = match &cfg.verify {
+            Some(spec) => Some(self.verify(compiled, *spec)?),
+            None => None,
+        };
+
+        Ok(LoopArtifacts {
+            name: compiled.def.name.clone(),
+            body,
+            schedule,
+            rr,
+            icr,
+            kernel,
+            mve,
+            equiv,
+        })
+    }
+
+    /// Runs `simulate-verify`: end-to-end execution of the generated code
+    /// checked bit for bit against the reference interpreter (and the MVE
+    /// kernel too, when the session emits one).
+    fn verify(&self, compiled: &CompiledLoop, spec: VerifySpec) -> Result<EquivReport, LsmsError> {
+        let cfg = &self.config;
+        if cfg.unroll > 1 || cfg.straight_line {
+            return Err(LsmsError::usage(
+                "simulate-verify applies to the plain modulo pipeline only \
+                 (drop --unroll / --straight-line)",
+            ));
+        }
+        let SchedulerBackend::Slack(slack) = &cfg.backend else {
+            return Err(LsmsError::usage(
+                "simulate-verify requires a slack scheduler backend",
+            ));
+        };
+        let run = RunConfig {
+            trip: spec.trip,
+            seed: spec.seed,
+            scheduler: slack.clone(),
+        };
+        let started = Instant::now();
+        let mut result =
+            check_equivalence(compiled, &cfg.machine, &run).map_err(LsmsError::verification);
+        if result.is_ok() && cfg.mve {
+            if let Err(e) = check_equivalence_mve(compiled, &cfg.machine, &run) {
+                result = Err(LsmsError::verification(format!("mve: {e}")));
+            }
+        }
+        let counters = match &result {
+            Ok(r) => [("cycles", r.cycles), ("elements", r.elements as u64)],
+            Err(_) => [("cycles", 0), ("elements", 0)],
+        };
+        self.record("simulate-verify", started, &counters);
+        result
+    }
+
+    /// Schedules one loop with the configured backend, keeping schedule
+    /// failure as data (`ii: None` plus the last II attempted) while
+    /// earlier-stage problems still propagate as errors.
+    pub fn schedule_outcome(&self, compiled: &CompiledLoop) -> Result<SchedOutcome, LsmsError> {
+        let cache = MinDistCache::new();
+        let problem = self.depgraph(&compiled.body)?;
+        Ok(outcome_of(
+            self.schedule(&problem, &cache),
+            &problem,
+            &cache,
+        ))
+    }
+
+    /// The paper's three-scheduler evaluation of one loop, sharing one
+    /// `MinDistCache` across the scheduler runs, both pressure
+    /// measurements, and the MinAvg bound (one Floyd–Warshall per
+    /// distinct II). With `fan_out` the three runs use scoped threads;
+    /// the result is identical either way.
+    ///
+    /// A malformed loop (invalid body, zero-ω circuit) returns an error
+    /// instead of panicking, so corpus runs can record the failure and
+    /// keep going.
+    pub fn evaluate_variants(
+        &self,
+        compiled: &CompiledLoop,
+        fan_out: bool,
+    ) -> Result<LoopEvaluation, LsmsError> {
+        let problem = self.depgraph(&compiled.body)?;
+        let mii = problem.mii();
+        let cache = MinDistCache::new();
+
+        let run_slack = |direction: DirectionPolicy| -> (SchedOutcome, DecisionStats) {
+            let pass = match direction {
+                DirectionPolicy::Bidirectional => "schedule:slack",
+                DirectionPolicy::AlwaysEarly => "schedule:early",
+                DirectionPolicy::AlwaysLate => "schedule:late",
+            };
+            let scheduler = SlackScheduler::with_config(SlackConfig {
+                direction,
+                ..SlackConfig::default()
+            });
+            let started = Instant::now();
+            let (result, decisions) = scheduler.run_with_decisions_cached(&problem, &cache);
+            let outcome = outcome_of(result, &problem, &cache);
+            self.record_outcome(pass, started, &outcome);
+            (outcome, decisions)
+        };
+        let run_old = || {
+            let started = Instant::now();
+            let outcome = outcome_of(
+                CydromeScheduler::new().run_cached(&problem, &cache),
+                &problem,
+                &cache,
+            );
+            self.record_outcome("schedule:cydrome", started, &outcome);
+            outcome
+        };
+
+        let ((new, decisions), (early, _), old) = if fan_out {
+            std::thread::scope(|s| {
+                let new = s.spawn(|| run_slack(DirectionPolicy::Bidirectional));
+                let early = s.spawn(|| run_slack(DirectionPolicy::AlwaysEarly));
+                let old = s.spawn(run_old);
+                (
+                    new.join().expect("bidirectional run panicked"),
+                    early.join().expect("always-early run panicked"),
+                    old.join().expect("baseline run panicked"),
+                )
+            })
+        } else {
+            (
+                run_slack(DirectionPolicy::Bidirectional),
+                run_slack(DirectionPolicy::AlwaysEarly),
+                run_old(),
+            )
+        };
+
+        Ok(LoopEvaluation {
+            rec_mii: problem.rec_mii(),
+            res_mii: problem.res_mii(),
+            mii,
+            min_avg_at_mii: min_avg_cached(&problem, mii, &cache),
+            gprs: gpr_count(&problem),
+            new,
+            early,
+            old,
+            decisions,
+        })
+    }
+
+    fn record_outcome(&self, pass: &str, started: Instant, outcome: &SchedOutcome) {
+        self.record(
+            pass,
+            started,
+            &[
+                ("ii", outcome.ii.map_or(0, u64::from)),
+                ("central_iterations", outcome.stats.central_iterations),
+                ("step3_invocations", outcome.stats.step3_invocations),
+                ("ejected_ops", outcome.stats.ejected_ops),
+                ("step6_restarts", outcome.stats.step6_restarts),
+                ("attempts", u64::from(outcome.stats.attempts)),
+                ("failures", u64::from(outcome.ii.is_none())),
+            ],
+        );
+    }
+}
+
+fn outcome_of(
+    result: Result<Schedule, lsms_sched::SchedFailure>,
+    problem: &SchedProblem<'_>,
+    cache: &MinDistCache,
+) -> SchedOutcome {
+    match result {
+        Ok(schedule) => SchedOutcome {
+            ii: Some(schedule.ii),
+            last_ii: schedule.ii,
+            pressure: Some(measure_cached(problem, &schedule, cache)),
+            stats: schedule.stats,
+        },
+        Err(failure) => SchedOutcome {
+            ii: None,
+            last_ii: failure.last_ii,
+            pressure: None,
+            stats: failure.stats,
+        },
+    }
+}

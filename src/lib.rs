@@ -20,7 +20,11 @@
 //! * [`codegen`] — kernel-only code emission with rotating specifiers;
 //! * [`sim`] — a VLIW simulator plus a reference interpreter for
 //!   end-to-end equivalence checking;
-//! * [`loops`] — the synthesized 1,525-loop benchmark corpus.
+//! * [`loops`] — the synthesized 1,525-loop benchmark corpus;
+//! * [`pipeline`] — the `CompileSession` pass manager wiring all of the
+//!   above together, with unified diagnostics
+//!   ([`pipeline::LsmsError`]) and per-pass observability
+//!   ([`pipeline::PassReport`]).
 //!
 //! # Quickstart
 //!
@@ -51,6 +55,7 @@ pub use lsms_front as front;
 pub use lsms_ir as ir;
 pub use lsms_loops as loops;
 pub use lsms_machine as machine;
+pub use lsms_pipeline as pipeline;
 pub use lsms_regalloc as regalloc;
 pub use lsms_sched as sched;
 pub use lsms_sim as sim;
