@@ -195,11 +195,15 @@ pub fn evaluate_loops_session(
     jobs: usize,
 ) -> CorpusReport {
     let jobs = jobs.max(1).min(loops.len().max(1));
+    // Each loop's evaluation gets a span so corpus traces show one B/E
+    // pair per loop per worker thread; the index arg links it back to
+    // the corpus order.
+    let eval_one = |i: usize| {
+        let _span = lsms_trace::span_with("corpus.loop", &[("index", i as i64)]);
+        LoopRecord::try_evaluate(session, &loops[i])
+    };
     let results: Vec<Result<LoopRecord, LsmsError>> = if jobs == 1 {
-        loops
-            .iter()
-            .map(|l| LoopRecord::try_evaluate(session, l))
-            .collect()
+        (0..loops.len()).map(eval_one).collect()
     } else {
         // Work-stealing by atomic counter; results are reassembled by
         // index so the order (and thus every downstream text report) is
@@ -210,12 +214,13 @@ pub fn evaluate_loops_session(
             for _ in 0..jobs {
                 let tx = tx.clone();
                 let next = &next;
+                let eval_one = &eval_one;
                 s.spawn(move || loop {
                     let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     if i >= loops.len() {
                         break;
                     }
-                    let result = LoopRecord::try_evaluate(session, &loops[i]);
+                    let result = eval_one(i);
                     if tx.send((i, result)).is_err() {
                         break;
                     }

@@ -12,6 +12,18 @@
 //!                                against the reference interpreter
 //!   --timings PATH               write the per-pass report as JSON to
 //!                                PATH ("-" = stdout)
+//!   --trace PATH                 write a Chrome trace-event JSON file
+//!                                (load it at https://ui.perfetto.dev);
+//!                                corpus runs merge all workers into one
+//!                                trace, one row per worker thread
+//!   --metrics PATH               write counters and histograms in
+//!                                Prometheus text exposition format
+//!                                ("-" = stdout); totals reconcile with
+//!                                --timings
+//!   --pass-budget NAME=MILLIS    per-invocation wall-clock deadline for
+//!                                a pass; overruns emit a
+//!                                `budget_exceeded` trace event and
+//!                                counter (repeatable, never aborts)
 //!   --explain-pass NAME          describe a pipeline pass; with a FILE
 //!                                or --eval-corpus, also print what the
 //!                                pass did on this invocation
@@ -41,7 +53,8 @@ use std::process::ExitCode;
 
 use lsms_machine::{huff_machine, short_latency_machine, wide_machine, Machine};
 use lsms_pipeline::{
-    pass_info, CompileSession, LsmsError, SchedulerBackend, SessionConfig, Stage, VerifySpec,
+    pass_info, CompileSession, LsmsError, PassBudget, SchedulerBackend, SessionConfig, Stage,
+    VerifySpec,
 };
 use lsms_sched::{explain, DirectionPolicy, SlackConfig};
 
@@ -59,6 +72,9 @@ struct Options {
     corpus_size: usize,
     jobs: usize,
     timings: Option<String>,
+    trace: Option<String>,
+    metrics: Option<String>,
+    budgets: Vec<PassBudget>,
     explain_pass: Option<String>,
 }
 
@@ -67,6 +83,7 @@ fn usage() -> ! {
         "usage: lsmsc FILE.loop [--machine huff|short|wide] [--policy bidir|early|late]\n\
          \x20             [--emit report|sched|list|asm|mve|dot|svg|all] [--unroll N]\n\
          \x20             [--straight-line] [--run TRIP] [--timings PATH|-]\n\
+         \x20             [--trace PATH] [--metrics PATH|-] [--pass-budget NAME=MILLIS]\n\
          \x20             [--explain-pass NAME]\n\
          \x20      lsmsc --eval-corpus [--corpus-size N] [--jobs N] [--machine ...]\n\
          \x20      lsmsc --explain-pass NAME"
@@ -88,6 +105,9 @@ fn parse_args() -> Options {
         corpus_size: lsms_bench::default_corpus_size(),
         jobs: lsms_bench::default_jobs(),
         timings: None,
+        trace: None,
+        metrics: None,
+        budgets: Vec::new(),
         explain_pass: None,
     };
     let need = |args: &mut dyn Iterator<Item = String>, flag: &str| -> String {
@@ -168,6 +188,17 @@ fn parse_args() -> Options {
                 }))
             }
             "--timings" => options.timings = Some(need(&mut args, "--timings")),
+            "--trace" => options.trace = Some(need(&mut args, "--trace")),
+            "--metrics" => options.metrics = Some(need(&mut args, "--metrics")),
+            "--pass-budget" => {
+                let spec = need(&mut args, "--pass-budget");
+                options
+                    .budgets
+                    .push(parse_budget(&spec).unwrap_or_else(|e| {
+                        eprintln!("{e}");
+                        usage();
+                    }));
+            }
             "--explain-pass" => options.explain_pass = Some(need(&mut args, "--explain-pass")),
             "--help" | "-h" => usage(),
             other if options.file.is_empty() && !other.starts_with('-') => {
@@ -185,6 +216,25 @@ fn parse_args() -> Options {
     options
 }
 
+/// Parses a `--pass-budget NAME=MILLIS` spec, resolving NAME to its
+/// interned entry in the pass registry so unknown names fail up front.
+fn parse_budget(spec: &str) -> Result<PassBudget, String> {
+    let (name, millis) = spec
+        .split_once('=')
+        .ok_or_else(|| format!("--pass-budget wants NAME=MILLIS, got `{spec}`"))?;
+    let info = pass_info(name).ok_or_else(|| {
+        let known: Vec<&str> = lsms_pipeline::PASSES.iter().map(|p| p.name).collect();
+        format!("unknown pass `{name}` (passes: {})", known.join(", "))
+    })?;
+    let millis: u64 = millis
+        .parse()
+        .map_err(|_| format!("--pass-budget wants an integer millisecond limit, got `{millis}`"))?;
+    Ok(PassBudget {
+        pass: info.name,
+        limit: std::time::Duration::from_millis(millis),
+    })
+}
+
 /// The session configuration an option set implies. The session runs
 /// codegen exactly when an emission needs the artifacts.
 fn session_config(options: &Options) -> SessionConfig {
@@ -198,6 +248,7 @@ fn session_config(options: &Options) -> SessionConfig {
     config.codegen = options.emit.iter().any(|e| e == "asm");
     config.mve = options.emit.iter().any(|e| e == "mve");
     config.verify = options.run.map(VerifySpec::with_trip);
+    config.budgets = options.budgets.clone();
     config
 }
 
@@ -326,8 +377,36 @@ fn write_timings(path: &str, session: &CompileSession) -> Result<(), LsmsError> 
     Ok(())
 }
 
+/// `--trace PATH` / `--metrics PATH`: drains the trace collector once
+/// and writes whichever exports were requested.
+fn write_trace_outputs(options: &Options) -> Result<(), LsmsError> {
+    let trace = lsms_trace::drain();
+    if let Some(path) = &options.trace {
+        let json = lsms_trace::to_chrome_json(&trace);
+        if path == "-" {
+            print!("{json}");
+        } else {
+            std::fs::write(path, json)
+                .map_err(|e| LsmsError::io(format!("cannot write {path}: {e}")))?;
+        }
+    }
+    if let Some(path) = &options.metrics {
+        let text = lsms_trace::to_prometheus(&trace);
+        if path == "-" {
+            print!("{text}");
+        } else {
+            std::fs::write(path, text)
+                .map_err(|e| LsmsError::io(format!("cannot write {path}: {e}")))?;
+        }
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let options = parse_args();
+    if options.trace.is_some() || options.metrics.is_some() {
+        lsms_trace::set_enabled(true);
+    }
     let session = CompileSession::new(session_config(&options));
 
     let mut code = 0u8;
@@ -352,6 +431,14 @@ fn main() -> ExitCode {
     }
     if let Some(path) = &options.timings {
         if let Err(e) = write_timings(path, &session) {
+            eprintln!("lsmsc: {}", e.render(None));
+            if code == 0 {
+                code = e.exit_code();
+            }
+        }
+    }
+    if options.trace.is_some() || options.metrics.is_some() {
+        if let Err(e) = write_trace_outputs(&options) {
             eprintln!("lsmsc: {}", e.render(None));
             if code == 0 {
                 code = e.exit_code();

@@ -45,8 +45,8 @@ pub use error::{LsmsError, Stage};
 pub use passes::{pass_info, PassInfo, PASSES};
 pub use report::{PassRecord, PassReport};
 pub use session::{
-    CompileSession, LoopArtifacts, LoopEvaluation, SchedOutcome, SchedulerBackend, SessionConfig,
-    VerifySpec,
+    CompileSession, LoopArtifacts, LoopEvaluation, PassBudget, SchedOutcome, SchedulerBackend,
+    SessionConfig, VerifySpec,
 };
 
 #[cfg(test)]
@@ -89,7 +89,7 @@ mod tests {
             assert!(record.invocations >= 1, "{pass}");
         }
         // Canonical ordering regardless of recording order.
-        let names: Vec<&str> = report.passes().iter().map(|r| r.name.as_str()).collect();
+        let names: Vec<&str> = report.passes().iter().map(|r| r.name).collect();
         let mut expected = names.clone();
         expected.sort_by_key(|n| passes::PASSES.iter().position(|p| p.name == *n));
         assert_eq!(names, expected);

@@ -11,16 +11,20 @@ use crate::passes::pass_order;
 /// Accumulated measurements for one named pass.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct PassRecord {
-    /// The pass name (see [`crate::passes::PASSES`]).
-    pub name: String,
+    /// The pass name (see [`crate::passes::PASSES`]). Pass names are
+    /// compile-time constants, so records hold `&'static str` and never
+    /// allocate for a name.
+    pub name: &'static str,
     /// How many times the pass ran.
     pub invocations: u64,
     /// Total wall-clock time across invocations. Under parallel corpus
     /// evaluation this sums per-thread time, so it can exceed elapsed
     /// real time.
     pub wall: Duration,
-    /// Named work counters, summed across invocations.
-    pub counters: BTreeMap<String, u64>,
+    /// Named work counters, summed across invocations. Counter keys are
+    /// `&'static str` (every caller passes literals), so the hot corpus
+    /// path records counters without any per-call allocation.
+    pub counters: BTreeMap<&'static str, u64>,
 }
 
 /// Everything a session observed about the passes it ran.
@@ -39,57 +43,50 @@ impl PassReport {
     }
 
     /// Adds one pass invocation: `wall` time plus its counter deltas.
-    pub fn record(&mut self, name: &str, wall: Duration, counters: &[(&'static str, u64)]) {
-        let record = match self.records.iter_mut().find(|r| r.name == name) {
-            Some(r) => r,
+    pub fn record(&mut self, name: &'static str, wall: Duration, counters: &[(&'static str, u64)]) {
+        let record = self.entry(name);
+        record.invocations += 1;
+        record.wall += wall;
+        for &(key, value) in counters {
+            *record.counters.entry(key).or_insert(0) += value;
+        }
+    }
+
+    /// Adds to one counter of a pass without counting an invocation
+    /// (used for out-of-band tallies such as `budget_exceeded`).
+    pub fn bump(&mut self, name: &'static str, key: &'static str, delta: u64) {
+        *self.entry(name).counters.entry(key).or_insert(0) += delta;
+    }
+
+    fn entry(&mut self, name: &'static str) -> &mut PassRecord {
+        match self.records.iter().position(|r| r.name == name) {
+            Some(i) => &mut self.records[i],
             None => {
                 let at = self
                     .records
                     .iter()
-                    .position(|r| pass_order(&r.name) > pass_order(name))
+                    .position(|r| pass_order(r.name) > pass_order(name))
                     .unwrap_or(self.records.len());
                 self.records.insert(
                     at,
                     PassRecord {
-                        name: name.to_owned(),
+                        name,
                         ..PassRecord::default()
                     },
                 );
                 &mut self.records[at]
             }
-        };
-        record.invocations += 1;
-        record.wall += wall;
-        for &(key, value) in counters {
-            *record.counters.entry(key.to_owned()).or_insert(0) += value;
         }
     }
 
     /// Folds another report into this one.
     pub fn merge(&mut self, other: &PassReport) {
         for r in &other.records {
-            let mine = match self.records.iter_mut().position(|m| m.name == r.name) {
-                Some(i) => &mut self.records[i],
-                None => {
-                    let at = self
-                        .records
-                        .iter()
-                        .position(|m| pass_order(&m.name) > pass_order(&r.name))
-                        .unwrap_or(self.records.len());
-                    self.records.insert(
-                        at,
-                        PassRecord {
-                            name: r.name.clone(),
-                            ..PassRecord::default()
-                        },
-                    );
-                    &mut self.records[at]
-                }
-            };
+            let mine = self.entry(r.name);
             mine.invocations += r.invocations;
             mine.wall += r.wall;
-            for (k, v) in &r.counters {
-                *mine.counters.entry(k.clone()).or_insert(0) += v;
+            for (&k, v) in &r.counters {
+                *mine.counters.entry(k).or_insert(0) += v;
             }
         }
     }
@@ -178,7 +175,7 @@ mod tests {
         report.record("parse", Duration::from_micros(2), &[("loops", 1)]);
         report.record("schedule:slack", Duration::from_micros(9), &[("ii", 3)]);
         report.record("parse", Duration::from_micros(1), &[("loops", 2)]);
-        let names: Vec<&str> = report.passes().iter().map(|r| r.name.as_str()).collect();
+        let names: Vec<&str> = report.passes().iter().map(|r| r.name).collect();
         assert_eq!(names, ["parse", "schedule:slack", "regalloc"]);
         let parse = report.get("parse").unwrap();
         assert_eq!(parse.invocations, 2);

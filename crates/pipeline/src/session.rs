@@ -52,6 +52,21 @@ impl SchedulerBackend {
     }
 }
 
+/// A wall-clock deadline for one pass. When an invocation overruns it,
+/// the session emits a `budget_exceeded` trace event and bumps the
+/// pass's `budget_exceeded` counter in the [`PassReport`] — it never
+/// aborts the pass. Groundwork for degrading to a cheaper backend when a
+/// latency budget is blown.
+#[derive(Clone, Copy, Debug)]
+pub struct PassBudget {
+    /// The pass the deadline applies to. Use
+    /// [`pass_info`](crate::pass_info) to resolve a user-supplied name to
+    /// its interned registry entry.
+    pub pass: &'static str,
+    /// The per-invocation wall-clock deadline.
+    pub limit: std::time::Duration,
+}
+
 /// Parameters of the simulate-verify pass.
 #[derive(Clone, Copy, Debug)]
 pub struct VerifySpec {
@@ -88,6 +103,8 @@ pub struct SessionConfig {
     pub mve: bool,
     /// Run the simulate-verify pass with these parameters.
     pub verify: Option<VerifySpec>,
+    /// Optional per-pass wall-clock deadlines (see [`PassBudget`]).
+    pub budgets: Vec<PassBudget>,
 }
 
 impl SessionConfig {
@@ -103,6 +120,7 @@ impl SessionConfig {
             codegen: false,
             mve: false,
             verify: None,
+            budgets: Vec::new(),
         }
     }
 }
@@ -223,17 +241,41 @@ impl CompileSession {
         self.report.lock().expect("report lock").clone()
     }
 
-    fn record(&self, pass: &str, started: Instant, counters: &[(&'static str, u64)]) {
-        self.report
-            .lock()
-            .expect("report lock")
-            .record(pass, started.elapsed(), counters);
+    /// Records one pass invocation everywhere it is observable: the
+    /// [`PassReport`], the trace metrics (scoped by pass name, so
+    /// `--metrics` totals reconcile with `--timings`), and — when the
+    /// invocation overran a configured [`PassBudget`] — a
+    /// `budget_exceeded` event and counter.
+    fn record(&self, pass: &'static str, started: Instant, counters: &[(&'static str, u64)]) {
+        let elapsed = started.elapsed();
+        lsms_trace::add_all(pass, counters);
+        lsms_trace::add(pass, "invocations", 1);
+        let over_budget = self
+            .config
+            .budgets
+            .iter()
+            .any(|b| b.pass == pass && elapsed > b.limit);
+        if over_budget {
+            lsms_trace::instant(
+                "budget_exceeded",
+                &[("wall_us", elapsed.as_micros().min(i64::MAX as u128) as i64)],
+            );
+            lsms_trace::add(pass, "budget_exceeded", 1);
+        }
+        let mut report = self.report.lock().expect("report lock");
+        report.record(pass, elapsed, counters);
+        if over_budget {
+            report.bump(pass, "budget_exceeded", 1);
+        }
     }
 
     /// Runs `parse`: DSL source → loop definitions.
     pub fn parse_source(&self, source: &str) -> Result<Vec<LoopDef>, LsmsError> {
         let started = Instant::now();
-        let result = lex(source).and_then(|tokens| parse(&tokens));
+        let result = {
+            let _span = lsms_trace::span("parse");
+            lex(source).and_then(|tokens| parse(&tokens))
+        };
         let loops = result.as_ref().map_or(0, |l| l.len() as u64);
         self.record("parse", started, &[("loops", loops)]);
         result.map_err(|e| LsmsError::from_front(e, Stage::Parse))
@@ -246,12 +288,18 @@ impl CompileSession {
         let mut compiled = Vec::with_capacity(defs.len());
         for def in defs {
             let started = Instant::now();
-            let info = analyze(&def);
+            let info = {
+                let _span = lsms_trace::span("sema");
+                analyze(&def)
+            };
             self.record("sema", started, &[("loops", 1)]);
             let info = info.map_err(|e| LsmsError::from_front(e, Stage::Sema))?;
 
             let started = Instant::now();
-            let lowered = lower_loop(def, &info);
+            let lowered = {
+                let _span = lsms_trace::span("lower");
+                lower_loop(def, &info)
+            };
             let ops = lowered.as_ref().map_or(0, |l| l.body.num_ops() as u64);
             self.record("lower", started, &[("ops", ops)]);
             let lowered = lowered.map_err(|e| LsmsError::from_front(e, Stage::Lower))?;
@@ -295,7 +343,10 @@ impl CompileSession {
     /// Runs `depgraph`: body validation + dependence graph + bounds.
     fn depgraph<'a>(&'a self, body: &'a LoopBody) -> Result<SchedProblem<'a>, LsmsError> {
         let started = Instant::now();
-        let problem = SchedProblem::new(body, &self.config.machine);
+        let problem = {
+            let _span = lsms_trace::span("depgraph");
+            SchedProblem::new(body, &self.config.machine)
+        };
         let counters = match &problem {
             Ok(p) => [
                 ("nodes", p.num_nodes() as u64),
@@ -316,6 +367,7 @@ impl CompileSession {
     ) -> Result<Schedule, lsms_sched::SchedFailure> {
         let pass = self.config.backend.pass_name();
         let started = Instant::now();
+        let _span = lsms_trace::span(pass);
         let result = match &self.config.backend {
             SchedulerBackend::Slack(config) => {
                 let scheduler = SlackScheduler::with_config(config.clone());
@@ -355,7 +407,10 @@ impl CompileSession {
         class: RegClass,
     ) -> Result<RotatingAllocation, LsmsError> {
         let started = Instant::now();
-        let alloc = allocate_rotating(problem, schedule, class, Strategy::default());
+        let alloc = {
+            let _span = lsms_trace::span("regalloc");
+            allocate_rotating(problem, schedule, class, Strategy::default())
+        };
         let counters = match (&alloc, class) {
             (Ok(a), RegClass::Rr) => [
                 ("rr_regs", u64::from(a.num_regs)),
@@ -383,7 +438,10 @@ impl CompileSession {
         let cfg = &self.config;
         let body = if cfg.unroll > 1 {
             let started = Instant::now();
-            let unrolled = lsms_ir::unroll(&compiled.body, cfg.unroll);
+            let unrolled = {
+                let _span = lsms_trace::span("unroll");
+                lsms_ir::unroll(&compiled.body, cfg.unroll)
+            };
             self.record(
                 "unroll",
                 started,
@@ -414,12 +472,15 @@ impl CompileSession {
             };
             let kernel = if cfg.codegen {
                 let started = Instant::now();
-                let kernel = lsms_codegen::emit(
-                    &problem,
-                    &schedule,
-                    rr.as_ref().expect("codegen implies regalloc"),
-                    icr.as_ref().expect("codegen implies regalloc"),
-                );
+                let kernel = {
+                    let _span = lsms_trace::span("codegen");
+                    lsms_codegen::emit(
+                        &problem,
+                        &schedule,
+                        rr.as_ref().expect("codegen implies regalloc"),
+                        icr.as_ref().expect("codegen implies regalloc"),
+                    )
+                };
                 let insts = kernel.as_ref().map_or(0, |k| k.num_insts() as u64);
                 self.record("codegen", started, &[("kernel_insts", insts)]);
                 Some(kernel?)
@@ -428,7 +489,10 @@ impl CompileSession {
             };
             let mve = if cfg.mve {
                 let started = Instant::now();
-                let kernel = lsms_codegen::emit_mve(&problem, &schedule);
+                let kernel = {
+                    let _span = lsms_trace::span("codegen");
+                    lsms_codegen::emit_mve(&problem, &schedule)
+                };
                 let counters = match &kernel {
                     Ok(k) => [
                         ("mve_insts", k.total_insts() as u64),
@@ -483,6 +547,7 @@ impl CompileSession {
             scheduler: slack.clone(),
         };
         let started = Instant::now();
+        let _span = lsms_trace::span("simulate-verify");
         let mut result =
             check_equivalence(compiled, &cfg.machine, &run).map_err(LsmsError::verification);
         if result.is_ok() && cfg.mve {
@@ -540,18 +605,24 @@ impl CompileSession {
                 ..SlackConfig::default()
             });
             let started = Instant::now();
-            let (result, decisions) = scheduler.run_with_decisions_cached(&problem, &cache);
+            let (result, decisions) = {
+                let _span = lsms_trace::span(pass);
+                scheduler.run_with_decisions_cached(&problem, &cache)
+            };
             let outcome = outcome_of(result, &problem, &cache);
             self.record_outcome(pass, started, &outcome);
             (outcome, decisions)
         };
         let run_old = || {
             let started = Instant::now();
-            let outcome = outcome_of(
-                CydromeScheduler::new().run_cached(&problem, &cache),
-                &problem,
-                &cache,
-            );
+            let outcome = {
+                let _span = lsms_trace::span("schedule:cydrome");
+                outcome_of(
+                    CydromeScheduler::new().run_cached(&problem, &cache),
+                    &problem,
+                    &cache,
+                )
+            };
             self.record_outcome("schedule:cydrome", started, &outcome);
             outcome
         };
@@ -588,7 +659,7 @@ impl CompileSession {
         })
     }
 
-    fn record_outcome(&self, pass: &str, started: Instant, outcome: &SchedOutcome) {
+    fn record_outcome(&self, pass: &'static str, started: Instant, outcome: &SchedOutcome) {
         self.record(
             pass,
             started,

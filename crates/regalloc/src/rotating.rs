@@ -196,6 +196,9 @@ pub fn allocate_rotating(
     let cap = start + 64;
     for n in start..=cap {
         if let Some(offsets) = try_size(&lives, ii, n, strategy.fit) {
+            lsms_trace::add("regalloc", "allocations", 1);
+            lsms_trace::observe("regalloc_regs", u64::from(n));
+            lsms_trace::observe("regalloc_excess", u64::from(n.saturating_sub(max_live)));
             return Ok(RotatingAllocation {
                 num_regs: n,
                 offsets,
@@ -203,6 +206,11 @@ pub fn allocate_rotating(
             });
         }
     }
+    lsms_trace::instant(
+        "regalloc.alloc_fail",
+        &[("max_live", i64::from(max_live)), ("cap", i64::from(cap))],
+    );
+    lsms_trace::add("regalloc", "alloc_failures", 1);
     Err(AllocError::CapExceeded { cap })
 }
 

@@ -376,6 +376,7 @@ fn attempt(
     let Some(mut st) = EngineState::new(problem, ii, straight_line, cache) else {
         return Attempt::InfeasibleIi;
     };
+    let _attempt_span = lsms_trace::span_with("sched.attempt", &[("ii", i64::from(ii))]);
     heuristic.begin_attempt(&st);
     let brtop = problem.brtop();
     let start = problem.start();
@@ -392,6 +393,14 @@ fn attempt(
         debug_assert!(st.unplaced[x]);
         // Step 2: search for an issue cycle within the bounds.
         let direction = heuristic.direction(&st, x, decisions);
+        lsms_trace::add(
+            "sched",
+            match direction {
+                Direction::Early => "dir_early",
+                Direction::Late => "dir_late",
+            },
+            1,
+        );
         let e = st.estart[x];
         let l = st.lstart[x];
         let mut found = None;
@@ -422,12 +431,24 @@ fn attempt(
         match found {
             Some(t) => {
                 // Step 4 & 5: place and tighten bounds.
+                lsms_trace::instant(
+                    "sched.place",
+                    &[
+                        ("op", x as i64),
+                        ("cycle", t),
+                        ("late", i64::from(direction == Direction::Late)),
+                        ("slack", l - e),
+                    ],
+                );
+                lsms_trace::add("sched", "placements", 1);
                 st.place(x, t);
                 st.tighten_bounds_after(x, t);
             }
             None => {
                 // Step 3: force the operation in, ejecting conflicts.
                 stats.step3_invocations += 1;
+                lsms_trace::instant("sched.mrt_conflict", &[("op", x as i64), ("estart", e)]);
+                lsms_trace::add("sched", "mrt_conflicts", 1);
                 let mut t = st.last_place[x].map_or(e, |last| e.max(last + 1));
                 // brtop cannot be ejected; search successive cycles to
                 // avoid resource conflicts with it (§4.4 footnote).
@@ -454,11 +475,21 @@ fn attempt(
                         &mut conflicts,
                     );
                     for &z in &conflicts {
+                        lsms_trace::instant(
+                            "sched.eject",
+                            &[("op", z.index() as i64), ("by", x as i64), ("cycle", t)],
+                        );
+                        lsms_trace::add("sched", "ejections", 1);
                         st.eject(z.index());
                         stats.ejected_ops += 1;
                     }
                     st.conflict_buf = conflicts;
                 }
+                lsms_trace::instant(
+                    "sched.place",
+                    &[("op", x as i64), ("cycle", t), ("forced", 1)],
+                );
+                lsms_trace::add_all("sched", &[("placements", 1), ("forced_placements", 1)]);
                 st.place(x, t);
                 // Eject every placed operation whose dependence constraints
                 // the forced placement violates. `MinDist` reflects the
@@ -480,6 +511,11 @@ fn attempt(
                             Some(z) != brtop,
                             "dependence conflict with brtop cannot be repaired"
                         );
+                        lsms_trace::instant(
+                            "sched.eject",
+                            &[("op", z as i64), ("by", x as i64), ("cycle", t)],
+                        );
+                        lsms_trace::add("sched", "ejections", 1);
                         st.eject(z);
                         stats.ejected_ops += 1;
                     }
@@ -565,13 +601,21 @@ pub(crate) fn run_framework_from(
                 stats.step6_restarts += 1;
                 if ii >= max_ii {
                     stats.elapsed = started.elapsed();
+                    lsms_trace::instant("sched.fail", &[("last_ii", i64::from(ii))]);
+                    lsms_trace::add("sched", "pipeline_failures", 1);
                     return Err(crate::SchedFailure { last_ii: ii, stats });
                 }
                 let step = match increment {
                     crate::IiIncrement::FourPercent => (ii * 4 / 100).max(1),
                     crate::IiIncrement::ByOne => 1,
                 };
-                ii = (ii + step).min(max_ii);
+                let next_ii = (ii + step).min(max_ii);
+                lsms_trace::instant(
+                    "sched.ii_escalate",
+                    &[("from", i64::from(ii)), ("to", i64::from(next_ii))],
+                );
+                lsms_trace::add("sched", "ii_escalations", 1);
+                ii = next_ii;
             }
         }
     }

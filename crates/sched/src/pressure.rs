@@ -226,6 +226,22 @@ pub fn measure_cached(
 
     let gprs = gpr_count(problem);
 
+    lsms_trace::instant(
+        "pressure.measured",
+        &[
+            ("ii", i64::from(ii)),
+            ("max_live", i64::from(rr_max_live)),
+            ("min_avg", i64::from(rr_min_avg)),
+            ("stages", i64::from(stages)),
+        ],
+    );
+    lsms_trace::add("pressure", "measurements", 1);
+    lsms_trace::observe("pressure_max_live", u64::from(rr_max_live));
+    lsms_trace::observe(
+        "pressure_excess",
+        u64::from(rr_max_live.saturating_sub(rr_min_avg)),
+    );
+
     PressureReport {
         ii,
         rr_live_vector,

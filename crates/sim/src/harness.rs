@@ -205,6 +205,15 @@ pub fn check_equivalence(
         for (idx, (g, w)) in got.iter().zip(want).enumerate() {
             elements += 1;
             if g != w {
+                lsms_trace::instant(
+                    "sim.verify_mismatch",
+                    &[
+                        ("array", a as i64),
+                        ("element", idx as i64),
+                        ("ii", i64::from(schedule.ii)),
+                    ],
+                );
+                lsms_trace::add("sim", "verify_mismatches", 1);
                 return Err(format!(
                     "array {} ({}) element {idx}: pipeline {:e} ({g:#x}) != reference {:e} ({w:#x}) \
                      [loop {}, II {}, trip {}]",
@@ -219,6 +228,7 @@ pub fn check_equivalence(
             }
         }
     }
+    lsms_trace::add("sim", "verified_elements", elements as u64);
     Ok(EquivReport {
         ii: schedule.ii,
         stages: schedule.stages(),

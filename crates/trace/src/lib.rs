@@ -1,0 +1,612 @@
+//! `lsms-trace`: structured span tracing, typed scheduler events, and
+//! exportable metrics for the whole compilation pipeline.
+//!
+//! The design goal is a collector cheap enough to leave compiled into
+//! every hot path: when tracing is disabled (the default) each
+//! instrumentation point costs one relaxed atomic load and a branch, and
+//! the corpus bench must not regress measurably. When enabled, every
+//! thread writes into its own buffer behind an uncontended mutex (locked
+//! cross-thread only at [`drain`] time), so the parallel corpus pool
+//! never serializes on a shared sink.
+//!
+//! Three kinds of data are collected:
+//!
+//! * **Spans** — hierarchical begin/end pairs ([`span`]), one per pass
+//!   invocation; they nest (a `sched.attempt` span sits inside its
+//!   `schedule:slack` pass span) and export as Chrome trace-event `B`/`E`
+//!   pairs per thread ([`chrome::to_chrome_json`]).
+//! * **Events** — typed instants ([`instant`]) with up to four integer
+//!   arguments: op placement, ejection, II escalation, MRT conflict,
+//!   allocation failure, verify mismatch.
+//! * **Metrics** — named counters ([`add`]) and fixed-bucket histograms
+//!   ([`observe`]), summed across threads at drain time; totals are
+//!   deterministic regardless of worker count because summation is
+//!   order-independent. Exported in Prometheus text exposition format
+//!   ([`prom::to_prometheus`]).
+//!
+//! # Example
+//!
+//! ```
+//! lsms_trace::set_enabled(true);
+//! {
+//!     let _pass = lsms_trace::span("parse");
+//!     lsms_trace::instant("sched.place", &[("op", 3), ("cycle", 7)]);
+//!     lsms_trace::add("sched", "placements", 1);
+//!     lsms_trace::observe("sched_slack", 5);
+//! }
+//! let trace = lsms_trace::drain();
+//! lsms_trace::set_enabled(false);
+//! assert_eq!(trace.metrics.counter("sched", "placements"), 1);
+//! let json = lsms_trace::chrome::to_chrome_json(&trace);
+//! assert!(json.contains("\"ph\": \"B\""));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod prom;
+
+pub use chrome::to_chrome_json;
+pub use prom::{metrics_to_prometheus, to_prometheus};
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// The largest finite histogram bucket boundary; values above it land in
+/// the `+Inf` overflow bucket.
+pub const HISTOGRAM_MAX_BOUND: u64 = 1 << 15;
+
+/// Finite bucket boundaries: powers of two from 1 to
+/// [`HISTOGRAM_MAX_BOUND`] (a value `v` lands in the first bucket whose
+/// boundary is `>= v`; zero lands in the first bucket).
+pub const HISTOGRAM_BOUNDS: [u64; 16] = [
+    1,
+    2,
+    4,
+    8,
+    16,
+    32,
+    64,
+    128,
+    256,
+    512,
+    1024,
+    2048,
+    4096,
+    8192,
+    16384,
+    HISTOGRAM_MAX_BOUND,
+];
+
+const NUM_BUCKETS: usize = HISTOGRAM_BOUNDS.len() + 1; // + overflow
+
+/// A fixed-bucket histogram: power-of-two boundaries plus an overflow
+/// bucket, with the running sum and count Prometheus expects.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Histogram {
+    /// Per-bucket observation counts (not cumulative; the exporters
+    /// cumulate). Index `i < 16` holds values `<= HISTOGRAM_BOUNDS[i]`
+    /// (and above the previous boundary); the last index is overflow.
+    pub buckets: [u64; NUM_BUCKETS],
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Number of observations.
+    pub count: u64,
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&mut self, value: u64) {
+        let idx = HISTOGRAM_BOUNDS
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(NUM_BUCKETS - 1);
+        self.buckets[idx] += 1;
+        self.sum += value;
+        self.count += 1;
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        self.sum += other.sum;
+        self.count += other.count;
+    }
+}
+
+/// Event phase, mirroring the Chrome trace-event `ph` field.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Phase {
+    /// Span begin (`B`).
+    Begin,
+    /// Span end (`E`).
+    End,
+    /// Thread-scoped instant (`i`).
+    Instant,
+}
+
+/// Maximum arguments an event carries (fixed so recording never
+/// allocates).
+pub const MAX_ARGS: usize = 4;
+
+/// One recorded event: a span boundary or a typed instant.
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    /// Event name (`sched.place`, `parse`, ...).
+    pub name: &'static str,
+    /// Span boundary or instant.
+    pub phase: Phase,
+    /// Microseconds since the process trace epoch.
+    pub ts_us: u64,
+    /// Argument key/value pairs; only the first `nargs` are meaningful.
+    pub args: [(&'static str, i64); MAX_ARGS],
+    /// Number of meaningful entries in `args`.
+    pub nargs: u8,
+}
+
+impl Event {
+    /// The meaningful argument pairs.
+    pub fn args(&self) -> &[(&'static str, i64)] {
+        &self.args[..usize::from(self.nargs)]
+    }
+}
+
+fn pack_args(args: &[(&'static str, i64)]) -> ([(&'static str, i64); MAX_ARGS], u8) {
+    let mut packed = [("", 0i64); MAX_ARGS];
+    let n = args.len().min(MAX_ARGS);
+    packed[..n].copy_from_slice(&args[..n]);
+    (packed, n as u8)
+}
+
+/// Counter key: a `(scope, name)` pair, e.g. `("sched", "placements")`
+/// or `("schedule:slack", "ii")`. Both halves are `&'static str`, so
+/// recording a counter never allocates.
+pub type CounterKey = (&'static str, &'static str);
+
+/// Aggregated metrics: counters and histograms summed across all
+/// threads. Totals are independent of thread count and drain order.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Metrics {
+    /// `(scope, key) → total`.
+    pub counters: BTreeMap<CounterKey, u64>,
+    /// `name → histogram`.
+    pub histograms: BTreeMap<&'static str, Histogram>,
+}
+
+impl Metrics {
+    /// The total for one counter (0 if never bumped).
+    pub fn counter(&self, scope: &str, key: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|((s, k), _)| *s == scope && *k == key)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// Folds another metrics set into this one.
+    pub fn merge(&mut self, other: &Metrics) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(*k).or_insert(0) += v;
+        }
+        for (name, h) in &other.histograms {
+            self.histograms.entry(name).or_default().merge(h);
+        }
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.histograms.is_empty()
+    }
+}
+
+/// The event stream of one thread, in recording order.
+#[derive(Clone, Debug, Default)]
+pub struct ThreadTrace {
+    /// Collector-assigned thread id (dense, in registration order).
+    pub tid: u32,
+    /// Events in the order the thread recorded them.
+    pub events: Vec<Event>,
+}
+
+/// Everything collected since the last [`drain`]: per-thread event
+/// streams plus the merged metrics.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    /// Per-thread event streams, sorted by thread id. Threads that
+    /// recorded nothing are omitted.
+    pub threads: Vec<ThreadTrace>,
+    /// Counters and histograms, summed across threads.
+    pub metrics: Metrics,
+}
+
+impl Trace {
+    /// Total number of events across all threads.
+    pub fn num_events(&self) -> usize {
+        self.threads.iter().map(|t| t.events.len()).sum()
+    }
+}
+
+#[derive(Debug, Default)]
+struct ThreadBuf {
+    events: Vec<Event>,
+    metrics: Metrics,
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static NEXT_TID: AtomicU32 = AtomicU32::new(0);
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+type SharedBuf = Arc<Mutex<ThreadBuf>>;
+
+fn registry() -> &'static Mutex<Vec<(u32, SharedBuf)>> {
+    static REGISTRY: OnceLock<Mutex<Vec<(u32, SharedBuf)>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+thread_local! {
+    static LOCAL: RefCell<Option<SharedBuf>> = const { RefCell::new(None) };
+}
+
+/// Turns collection on or off, process-wide. Off by default; every
+/// recording function is a near-free no-op while off.
+pub fn set_enabled(on: bool) {
+    if on {
+        // Fix the epoch before the first event so timestamps are
+        // monotone from here.
+        let _ = epoch();
+    }
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// True when collection is on.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+fn with_buf(f: impl FnOnce(&mut ThreadBuf)) {
+    LOCAL.with(|slot| {
+        let mut slot = slot.borrow_mut();
+        let arc = slot.get_or_insert_with(|| {
+            let arc = Arc::new(Mutex::new(ThreadBuf::default()));
+            let tid = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+            registry()
+                .lock()
+                .expect("trace registry")
+                .push((tid, Arc::clone(&arc)));
+            arc
+        });
+        f(&mut arc.lock().expect("thread trace buffer"));
+    });
+}
+
+fn now_us() -> u64 {
+    u64::try_from(epoch().elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+/// An RAII span: emits the begin event on creation and the end event on
+/// drop. Not `Send` — a span must end on the thread that started it, or
+/// the per-thread `B`/`E` pairing Chrome requires would break.
+#[must_use = "a span ends when the guard drops"]
+pub struct SpanGuard {
+    name: &'static str,
+    active: bool,
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if self.active {
+            let ts_us = now_us();
+            with_buf(|buf| {
+                buf.events.push(Event {
+                    name: self.name,
+                    phase: Phase::End,
+                    ts_us,
+                    args: [("", 0); MAX_ARGS],
+                    nargs: 0,
+                });
+            });
+        }
+    }
+}
+
+/// Opens a span; see [`span_with`] for arguments.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    span_with(name, &[])
+}
+
+/// Opens a span with arguments attached to its begin event. Inert (and
+/// free apart from one atomic load) while tracing is disabled; the guard
+/// remembers whether it emitted a begin, so toggling mid-span cannot
+/// imbalance the stream.
+pub fn span_with(name: &'static str, args: &[(&'static str, i64)]) -> SpanGuard {
+    let active = enabled();
+    if active {
+        let ts_us = now_us();
+        let (packed, nargs) = pack_args(args);
+        with_buf(|buf| {
+            buf.events.push(Event {
+                name,
+                phase: Phase::Begin,
+                ts_us,
+                args: packed,
+                nargs,
+            });
+        });
+    }
+    SpanGuard {
+        name,
+        active,
+        _not_send: std::marker::PhantomData,
+    }
+}
+
+/// Records a typed instant event (at most [`MAX_ARGS`] arguments are
+/// kept).
+#[inline]
+pub fn instant(name: &'static str, args: &[(&'static str, i64)]) {
+    if !enabled() {
+        return;
+    }
+    let ts_us = now_us();
+    let (packed, nargs) = pack_args(args);
+    with_buf(|buf| {
+        buf.events.push(Event {
+            name,
+            phase: Phase::Instant,
+            ts_us,
+            args: packed,
+            nargs,
+        });
+    });
+}
+
+/// Bumps the `(scope, key)` counter by `delta`.
+#[inline]
+pub fn add(scope: &'static str, key: &'static str, delta: u64) {
+    if !enabled() || delta == 0 {
+        return;
+    }
+    with_buf(|buf| {
+        *buf.metrics.counters.entry((scope, key)).or_insert(0) += delta;
+    });
+}
+
+/// Bumps several counters under one scope (one thread-local access).
+pub fn add_all(scope: &'static str, counters: &[(&'static str, u64)]) {
+    if !enabled() {
+        return;
+    }
+    with_buf(|buf| {
+        for &(key, delta) in counters {
+            *buf.metrics.counters.entry((scope, key)).or_insert(0) += delta;
+        }
+    });
+}
+
+/// Records one observation into the named histogram.
+#[inline]
+pub fn observe(name: &'static str, value: u64) {
+    if !enabled() {
+        return;
+    }
+    with_buf(|buf| {
+        buf.metrics
+            .histograms
+            .entry(name)
+            .or_default()
+            .observe(value);
+    });
+}
+
+/// Takes everything collected since the last drain, clearing the
+/// per-thread buffers (thread registrations persist). Metrics totals are
+/// summed across threads, so they do not depend on how work was spread
+/// over the pool.
+pub fn drain() -> Trace {
+    let registry = registry().lock().expect("trace registry");
+    let mut trace = Trace::default();
+    for (tid, buf) in registry.iter() {
+        let mut buf = buf.lock().expect("thread trace buffer");
+        trace.metrics.merge(&buf.metrics);
+        buf.metrics = Metrics::default();
+        if !buf.events.is_empty() {
+            trace.threads.push(ThreadTrace {
+                tid: *tid,
+                events: std::mem::take(&mut buf.events),
+            });
+        }
+    }
+    trace.threads.sort_by_key(|t| t.tid);
+    trace
+}
+
+/// Discards everything collected since the last drain (test helper).
+pub fn reset() {
+    let _ = drain();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tracing state is process-global; tests that enable it serialize
+    /// on this lock so `cargo test`'s parallel runner cannot interleave
+    /// their streams.
+    fn guard() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        match LOCK.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    #[test]
+    fn disabled_collection_records_nothing() {
+        let _g = guard();
+        reset();
+        set_enabled(false);
+        let _span = span("parse");
+        instant("sched.place", &[("op", 1)]);
+        add("sched", "placements", 1);
+        observe("sched_slack", 3);
+        drop(_span);
+        let trace = drain();
+        assert_eq!(trace.num_events(), 0);
+        assert!(trace.metrics.is_empty());
+    }
+
+    #[test]
+    fn spans_nest_and_balance() {
+        let _g = guard();
+        reset();
+        set_enabled(true);
+        {
+            let _outer = span("schedule:slack");
+            {
+                let _inner = span_with("sched.attempt", &[("ii", 3)]);
+                instant("sched.place", &[("op", 0), ("cycle", 2)]);
+            }
+        }
+        set_enabled(false);
+        let trace = drain();
+        assert_eq!(trace.threads.len(), 1);
+        let events = &trace.threads[0].events;
+        let names: Vec<(&str, Phase)> = events.iter().map(|e| (e.name, e.phase)).collect();
+        assert_eq!(
+            names,
+            [
+                ("schedule:slack", Phase::Begin),
+                ("sched.attempt", Phase::Begin),
+                ("sched.place", Phase::Instant),
+                ("sched.attempt", Phase::End),
+                ("schedule:slack", Phase::End),
+            ]
+        );
+        // Timestamps are monotone within the thread.
+        assert!(events.windows(2).all(|w| w[0].ts_us <= w[1].ts_us));
+        // The attempt span carried its II argument.
+        assert_eq!(events[1].args(), [("ii", 3)]);
+    }
+
+    #[test]
+    fn toggling_mid_span_cannot_imbalance() {
+        let _g = guard();
+        reset();
+        set_enabled(false);
+        let dark = span("never-begun");
+        set_enabled(true);
+        drop(dark); // must NOT emit a dangling E
+        let lit = span("begun");
+        set_enabled(false);
+        drop(lit); // must still emit its E
+        let trace = drain();
+        let mut depth = 0i64;
+        for t in &trace.threads {
+            for e in &t.events {
+                match e.phase {
+                    Phase::Begin => depth += 1,
+                    Phase::End => {
+                        depth -= 1;
+                        assert!(depth >= 0, "E before B");
+                    }
+                    Phase::Instant => {}
+                }
+            }
+        }
+        assert_eq!(depth, 0, "unbalanced spans");
+        assert!(trace
+            .threads
+            .iter()
+            .flat_map(|t| &t.events)
+            .all(|e| e.name != "never-begun"));
+    }
+
+    #[test]
+    fn histogram_bucketing_is_exact() {
+        let mut h = Histogram::default();
+        h.observe(0); // first bucket (le 1)
+        h.observe(1); // le 1
+        h.observe(2); // le 2
+        h.observe(3); // le 4
+        h.observe(16); // le 16
+        h.observe(17); // le 32
+        h.observe(HISTOGRAM_MAX_BOUND); // last finite bucket
+        h.observe(HISTOGRAM_MAX_BOUND + 1); // overflow
+        assert_eq!(h.buckets[0], 2);
+        assert_eq!(h.buckets[1], 1);
+        assert_eq!(h.buckets[2], 1);
+        assert_eq!(h.buckets[4], 1);
+        assert_eq!(h.buckets[5], 1);
+        assert_eq!(h.buckets[HISTOGRAM_BOUNDS.len() - 1], 1);
+        assert_eq!(h.buckets[NUM_BUCKETS - 1], 1);
+        assert_eq!(h.count, 8);
+        assert_eq!(h.sum, 1 + 2 + 3 + 16 + 17 + 2 * HISTOGRAM_MAX_BOUND + 1);
+    }
+
+    #[test]
+    fn metrics_merge_is_order_independent() {
+        let mut a = Metrics::default();
+        *a.counters.entry(("sched", "placements")).or_insert(0) += 3;
+        a.histograms.entry("h").or_default().observe(5);
+        let mut b = Metrics::default();
+        *b.counters.entry(("sched", "placements")).or_insert(0) += 4;
+        *b.counters.entry(("sim", "mismatches")).or_insert(0) += 1;
+        b.histograms.entry("h").or_default().observe(100);
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.counter("sched", "placements"), 7);
+        assert_eq!(ab.counter("sim", "mismatches"), 1);
+        assert_eq!(ab.histograms["h"].count, 2);
+    }
+
+    #[test]
+    fn cross_thread_counters_sum_deterministically() {
+        let _g = guard();
+        reset();
+        set_enabled(true);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..100 {
+                        add("sched", "placements", 1);
+                    }
+                    observe("sched_slack", 7);
+                });
+            }
+        });
+        set_enabled(false);
+        let trace = drain();
+        assert_eq!(trace.metrics.counter("sched", "placements"), 400);
+        assert_eq!(trace.metrics.histograms["sched_slack"].count, 4);
+    }
+
+    #[test]
+    fn drain_clears_but_keeps_collecting() {
+        let _g = guard();
+        reset();
+        set_enabled(true);
+        add("a", "b", 1);
+        let first = drain();
+        add("a", "b", 2);
+        let second = drain();
+        set_enabled(false);
+        assert_eq!(first.metrics.counter("a", "b"), 1);
+        assert_eq!(second.metrics.counter("a", "b"), 2);
+    }
+}

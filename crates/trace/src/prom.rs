@@ -1,0 +1,105 @@
+//! Prometheus text-exposition exporter for the collected metrics.
+//!
+//! Counters export as `lsms_<scope>_<key>_total`; histograms as
+//! `lsms_<name>` with the standard `_bucket{le="..."}` / `_sum` /
+//! `_count` series (buckets cumulated per the exposition format). Names
+//! are sanitized (`schedule:slack` → `schedule_slack`), and the output
+//! is deterministic: series appear in sorted key order and contain no
+//! timestamps, so two runs that did the same work produce byte-identical
+//! expositions regardless of worker count.
+
+use std::fmt::Write as _;
+
+use crate::{Metrics, Trace, HISTOGRAM_BOUNDS};
+
+/// Serializes a drained trace's metrics in Prometheus text exposition
+/// format.
+pub fn to_prometheus(trace: &Trace) -> String {
+    metrics_to_prometheus(&trace.metrics)
+}
+
+/// Serializes a metrics set in Prometheus text exposition format.
+pub fn metrics_to_prometheus(metrics: &Metrics) -> String {
+    let mut out = String::new();
+    for ((scope, key), value) in &metrics.counters {
+        let name = format!("lsms_{}_{}_total", sanitize(scope), sanitize(key));
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {value}");
+    }
+    for (name, h) in &metrics.histograms {
+        let name = format!("lsms_{}", sanitize(name));
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let mut cumulative = 0u64;
+        for (bound, count) in HISTOGRAM_BOUNDS.iter().zip(h.buckets.iter()) {
+            cumulative += count;
+            let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cumulative}");
+        }
+        cumulative += h.buckets[HISTOGRAM_BOUNDS.len()];
+        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+        let _ = writeln!(out, "{name}_sum {}", h.sum);
+        let _ = writeln!(out, "{name}_count {}", h.count);
+    }
+    out
+}
+
+/// Maps a name onto the Prometheus metric-name alphabet
+/// (`[a-zA-Z0-9_]`); every other character becomes `_`.
+fn sanitize(s: &str) -> String {
+    s.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Histogram;
+
+    #[test]
+    fn counters_and_histograms_export() {
+        let mut m = Metrics::default();
+        m.counters.insert(("schedule:slack", "ii"), 42);
+        m.counters.insert(("sched", "placements"), 7);
+        let mut h = Histogram::default();
+        h.observe(3);
+        h.observe(5000);
+        m.histograms.insert("sched_slack", h);
+
+        let text = metrics_to_prometheus(&m);
+        assert!(text.contains("# TYPE lsms_schedule_slack_ii_total counter"));
+        assert!(text.contains("lsms_schedule_slack_ii_total 42"));
+        assert!(text.contains("lsms_sched_placements_total 7"));
+        // Buckets are cumulative: the value 3 lands in le=4 and stays
+        // counted in every later bucket.
+        assert!(text.contains("lsms_sched_slack_bucket{le=\"2\"} 0"));
+        assert!(text.contains("lsms_sched_slack_bucket{le=\"4\"} 1"));
+        assert!(text.contains("lsms_sched_slack_bucket{le=\"4096\"} 1"));
+        assert!(text.contains("lsms_sched_slack_bucket{le=\"8192\"} 2"));
+        assert!(text.contains("lsms_sched_slack_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("lsms_sched_slack_sum 5003"));
+        assert!(text.contains("lsms_sched_slack_count 2"));
+    }
+
+    #[test]
+    fn exposition_is_deterministic() {
+        let build = || {
+            let mut m = Metrics::default();
+            m.counters.insert(("b", "y"), 1);
+            m.counters.insert(("a", "x"), 2);
+            metrics_to_prometheus(&m)
+        };
+        assert_eq!(build(), build());
+        // Sorted key order regardless of insertion order.
+        let text = build();
+        let a = text.find("lsms_a_x_total").unwrap();
+        let b = text.find("lsms_b_y_total").unwrap();
+        assert!(a < b);
+    }
+
+    #[test]
+    fn sanitize_maps_punctuation() {
+        assert_eq!(sanitize("schedule:slack"), "schedule_slack");
+        assert_eq!(sanitize("if-convert"), "if_convert");
+        assert_eq!(sanitize("sched.place"), "sched_place");
+    }
+}

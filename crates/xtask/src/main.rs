@@ -1,0 +1,215 @@
+//! `cargo xtask` — repo maintenance tasks.
+//!
+//! ```text
+//! cargo run -p xtask -- timings-diff OLD.json NEW.json [--max-ratio R] [--floor-us N]
+//! ```
+//!
+//! `timings-diff` is the CI perf gate: it compares two `lsmsc --timings`
+//! JSON reports pass by pass and fails (exit 1) when any pass's
+//! wall-clock regressed by more than `--max-ratio` (default 2.0×).
+//! Passes whose new wall time is under `--floor-us` (default 10 ms) are
+//! ignored — at that scale the numbers are scheduler-noise, not
+//! regressions. A missing OLD file is a clean skip (exit 0), so the
+//! first run of a fresh cache passes.
+
+use std::process::ExitCode;
+
+/// One pass's wall time out of a `lsmsc --timings` report.
+#[derive(Debug, PartialEq)]
+struct PassWall {
+    name: String,
+    wall_us: u64,
+}
+
+/// Extracts `(name, wall_us)` per pass from the timings JSON. The format
+/// is the driver's own fixed emission, so a targeted scan beats a full
+/// JSON parser here; unknown surroundings are ignored.
+fn parse_timings(json: &str) -> Vec<PassWall> {
+    let mut out = Vec::new();
+    for record in json.split("{\"name\": \"").skip(1) {
+        let Some(name) = record.split('"').next() else {
+            continue;
+        };
+        let Some(wall) = record
+            .split("\"wall_us\": ")
+            .nth(1)
+            .and_then(|r| r.split(|c: char| !c.is_ascii_digit()).next())
+            .and_then(|n| n.parse().ok())
+        else {
+            continue;
+        };
+        out.push(PassWall {
+            name: name.to_owned(),
+            wall_us: wall,
+        });
+    }
+    out
+}
+
+/// A pass that got slower than the gate allows.
+#[derive(Debug, PartialEq)]
+struct Regression {
+    name: String,
+    old_us: u64,
+    new_us: u64,
+}
+
+/// The gate: every pass present in both reports whose new wall time
+/// exceeds both `floor_us` and `max_ratio × old` is a regression.
+fn diff(old: &[PassWall], new: &[PassWall], max_ratio: f64, floor_us: u64) -> Vec<Regression> {
+    new.iter()
+        .filter(|n| n.wall_us >= floor_us)
+        .filter_map(|n| {
+            let o = old.iter().find(|o| o.name == n.name)?;
+            (n.wall_us as f64 > o.wall_us as f64 * max_ratio).then(|| Regression {
+                name: n.name.clone(),
+                old_us: o.wall_us,
+                new_us: n.wall_us,
+            })
+        })
+        .collect()
+}
+
+fn timings_diff(args: &[String]) -> ExitCode {
+    let mut paths = Vec::new();
+    let mut max_ratio = 2.0f64;
+    let mut floor_us = 10_000u64;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--max-ratio" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(r) => max_ratio = r,
+                None => return usage("--max-ratio needs a number"),
+            },
+            "--floor-us" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(f) => floor_us = f,
+                None => return usage("--floor-us needs an integer"),
+            },
+            other => paths.push(other.to_owned()),
+        }
+    }
+    let [old_path, new_path] = paths.as_slice() else {
+        return usage("timings-diff wants exactly OLD.json and NEW.json");
+    };
+
+    let Ok(old_json) = std::fs::read_to_string(old_path) else {
+        println!("timings-diff: no previous report at {old_path}; skipping (first run)");
+        return ExitCode::SUCCESS;
+    };
+    let new_json = match std::fs::read_to_string(new_path) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("timings-diff: cannot read {new_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let old = parse_timings(&old_json);
+    let new = parse_timings(&new_json);
+    if new.is_empty() {
+        eprintln!("timings-diff: {new_path} contains no passes");
+        return ExitCode::FAILURE;
+    }
+    let regressions = diff(&old, &new, max_ratio, floor_us);
+    for r in &regressions {
+        eprintln!(
+            "timings-diff: pass {} regressed {:.2}x ({} us -> {} us, gate {max_ratio}x)",
+            r.name,
+            r.new_us as f64 / (r.old_us.max(1)) as f64,
+            r.old_us,
+            r.new_us
+        );
+    }
+    if regressions.is_empty() {
+        println!(
+            "timings-diff: {} passes compared, none above {max_ratio}x (floor {floor_us} us)",
+            new.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(message: &str) -> ExitCode {
+    eprintln!("xtask: {message}");
+    eprintln!("usage: cargo run -p xtask -- timings-diff OLD.json NEW.json [--max-ratio R] [--floor-us N]");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("timings-diff") => timings_diff(&args[1..]),
+        _ => usage("known tasks: timings-diff"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const REPORT: &str = r#"{
+  "passes": [
+    {"name": "parse", "invocations": 1, "wall_us": 120, "counters": {"loops": 1}},
+    {"name": "schedule:slack", "invocations": 1, "wall_us": 50000, "counters": {"ii": 4}}
+  ]
+}
+"#;
+
+    #[test]
+    fn parses_the_driver_timings_format() {
+        let passes = parse_timings(REPORT);
+        assert_eq!(
+            passes,
+            vec![
+                PassWall {
+                    name: "parse".into(),
+                    wall_us: 120
+                },
+                PassWall {
+                    name: "schedule:slack".into(),
+                    wall_us: 50_000
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn flags_only_large_real_regressions() {
+        let old = parse_timings(REPORT);
+        // parse blew up 100x but sits under the floor; slack is 3x over.
+        let new = vec![
+            PassWall {
+                name: "parse".into(),
+                wall_us: 9_999,
+            },
+            PassWall {
+                name: "schedule:slack".into(),
+                wall_us: 150_001,
+            },
+        ];
+        let regressions = diff(&old, &new, 2.0, 10_000);
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].name, "schedule:slack");
+        assert_eq!(regressions[0].old_us, 50_000);
+    }
+
+    #[test]
+    fn new_passes_and_shrinkage_are_fine() {
+        let old = parse_timings(REPORT);
+        let new = vec![
+            // Not in the old report: no baseline, no verdict.
+            PassWall {
+                name: "regalloc".into(),
+                wall_us: 900_000,
+            },
+            // Faster than before.
+            PassWall {
+                name: "schedule:slack".into(),
+                wall_us: 20_000,
+            },
+        ];
+        assert!(diff(&old, &new, 2.0, 10_000).is_empty());
+    }
+}
