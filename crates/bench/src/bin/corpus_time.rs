@@ -17,7 +17,49 @@ struct Timing {
     p50_ms: f64,
     p90_ms: f64,
     p99_ms: f64,
+    mindist: MinDistCounters,
     records: Vec<LoopRecord>,
+}
+
+/// The session's `mindist` accounting entry: how the shared MinDist
+/// caches served this run's matrix requests.
+#[derive(Clone, Copy, Default)]
+struct MinDistCounters {
+    hits: u64,
+    misses: u64,
+    fw_computes: u64,
+    parametric_builds: u64,
+    materialized: u64,
+}
+
+/// Snapshot of the session's cumulative `mindist` counters (the session's
+/// report accumulates across runs, so per-run numbers are a difference of
+/// two snapshots).
+fn mindist_snapshot(session: &CompileSession) -> MinDistCounters {
+    let report = session.report();
+    let Some(record) = report.get("mindist") else {
+        return MinDistCounters::default();
+    };
+    let get = |key| record.counters.get(key).copied().unwrap_or(0);
+    MinDistCounters {
+        hits: get("hits"),
+        misses: get("misses"),
+        fw_computes: get("fw_computes"),
+        parametric_builds: get("parametric_builds"),
+        materialized: get("materialized"),
+    }
+}
+
+impl MinDistCounters {
+    fn since(self, before: MinDistCounters) -> MinDistCounters {
+        MinDistCounters {
+            hits: self.hits - before.hits,
+            misses: self.misses - before.misses,
+            fw_computes: self.fw_computes - before.fw_computes,
+            parametric_builds: self.parametric_builds - before.parametric_builds,
+            materialized: self.materialized - before.materialized,
+        }
+    }
 }
 
 fn percentile_ms(sorted: &[f64], p: f64) -> f64 {
@@ -32,9 +74,11 @@ fn run(count: usize, session: &CompileSession, jobs: usize) -> Timing {
     // Per-loop latencies come from the scheduler's own elapsed counters
     // (summed over the three runs), so they are meaningful even when the
     // loops ran concurrently.
+    let before = mindist_snapshot(session);
     let started = Instant::now();
     let corpus = evaluate_corpus_session(session, count, CORPUS_SEED, jobs);
     let total_secs = started.elapsed().as_secs_f64();
+    let mindist = mindist_snapshot(session).since(before);
     corpus.warn_failures();
     let records = corpus.records;
     let mut per_loop: Vec<f64> = records
@@ -50,14 +94,18 @@ fn run(count: usize, session: &CompileSession, jobs: usize) -> Timing {
         p50_ms: percentile_ms(&per_loop, 0.50),
         p90_ms: percentile_ms(&per_loop, 0.90),
         p99_ms: percentile_ms(&per_loop, 0.99),
+        mindist,
         records,
     }
 }
 
 fn json_entry(t: &Timing) -> String {
+    let m = &t.mindist;
     format!(
-        "{{\"jobs\": {}, \"total_secs\": {:.6}, \"per_loop_ms\": {{\"p50\": {:.4}, \"p90\": {:.4}, \"p99\": {:.4}}}}}",
-        t.jobs, t.total_secs, t.p50_ms, t.p90_ms, t.p99_ms
+        "{{\"jobs\": {}, \"total_secs\": {:.6}, \"per_loop_ms\": {{\"p50\": {:.4}, \"p90\": {:.4}, \"p99\": {:.4}}}, \
+         \"mindist\": {{\"hits\": {}, \"misses\": {}, \"fw_computes\": {}, \"parametric_builds\": {}, \"materialized\": {}}}}}",
+        t.jobs, t.total_secs, t.p50_ms, t.p90_ms, t.p99_ms,
+        m.hits, m.misses, m.fw_computes, m.parametric_builds, m.materialized
     )
 }
 
@@ -81,6 +129,11 @@ fn main() {
     );
     let speedup = single.total_secs / multi.total_secs.max(1e-9);
     println!("  speedup {speedup:.2}x");
+    let m = &multi.mindist;
+    println!(
+        "  mindist: {} hits / {} misses ({} FW, {} materialized from {} parametric builds)",
+        m.hits, m.misses, m.fw_computes, m.materialized, m.parametric_builds
+    );
 
     // Cross-check determinism while we have both runs in hand.
     assert_eq!(single.records.len(), multi.records.len());

@@ -61,6 +61,28 @@ impl Mrt {
         self.ii
     }
 
+    /// Re-initializes the table in place for a (possibly different) II,
+    /// reusing the arena allocations — the II-escalation equivalent of
+    /// [`new`](Self::new) without the three fresh `Vec`s per attempt.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ii` is zero.
+    pub fn reset(&mut self, machine: &Machine, ii: u32) {
+        assert!(ii > 0, "II must be positive");
+        self.ii = ii;
+        self.class_base.clear();
+        let mut total = 0usize;
+        for c in machine.classes() {
+            self.class_base.push(total);
+            total += c.count as usize * ii as usize;
+        }
+        self.occupant.clear();
+        self.occupant.resize(total, None);
+        self.occupied.clear();
+        self.occupied.resize(total.div_ceil(64), 0);
+    }
+
     #[inline]
     fn idx(&self, desc: &OpDesc, instance: u32, time: i64, offset: u32) -> usize {
         debug_assert!(time >= 0, "operations issue at non-negative cycles");
@@ -240,6 +262,27 @@ mod tests {
         assert_eq!(mrt.conflicts(b, &desc, 0, 6), vec![a]);
         assert!(mrt.conflicts_contain(b, &desc, 0, 6, a));
         assert!(!mrt.conflicts_contain(b, &desc, 0, 3, a));
+    }
+
+    #[test]
+    fn reset_matches_a_fresh_table() {
+        let m = huff_machine();
+        let desc = m.desc(OpKind::FAdd).clone();
+        let mut recycled = Mrt::new(&m, 3);
+        recycled.place(OpId::new(0), &desc, 0, 1);
+        // Reset to a different II: same observable behavior as Mrt::new.
+        recycled.reset(&m, 5);
+        let fresh = Mrt::new(&m, 5);
+        assert_eq!(recycled.ii(), fresh.ii());
+        for t in 0..10 {
+            assert_eq!(
+                recycled.fits(OpId::new(1), &desc, 0, t),
+                fresh.fits(OpId::new(1), &desc, 0, t),
+                "cycle {t}"
+            );
+        }
+        recycled.place(OpId::new(2), &desc, 0, 2);
+        assert!(!recycled.fits(OpId::new(3), &desc, 0, 7), "2 ≡ 7 mod 5");
     }
 
     #[test]

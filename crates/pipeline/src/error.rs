@@ -298,6 +298,7 @@ mod tests {
         let f: LsmsError = SchedFailure {
             last_ii: 40,
             stats: Default::default(),
+            deadline_capped: false,
         }
         .into();
         assert_eq!((f.stage, f.code), (Stage::Schedule, "E0501"));

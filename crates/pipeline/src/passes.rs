@@ -83,6 +83,23 @@ pub const PASSES: &[PassInfo] = &[
         ],
     },
     PassInfo {
+        name: "mindist",
+        summary: "MinDist cache accounting: Floyd-Warshall vs parametric",
+        details: "Accounting view of the shared MinDist cache (the wall \
+                  clock of each matrix lives inside the scheduling pass \
+                  that requested it): how many matrix requests hit the \
+                  cache, how many misses paid a fixed-II Floyd-Warshall, \
+                  and how many were materialized from the once-per-problem \
+                  parametric envelope that an II-escalation sweep builds.",
+        counters: &[
+            ("hits", "requests answered from an already-built matrix"),
+            ("misses", "requests that built a new matrix"),
+            ("fw_computes", "misses served by fixed-II Floyd-Warshall"),
+            ("parametric_builds", "parametric envelope constructions"),
+            ("materialized", "misses served by envelope evaluation"),
+        ],
+    },
+    PassInfo {
         name: "schedule:slack",
         summary: "bidirectional slack modulo scheduling (§4-§5)",
         details: "The paper's lifetime-sensitive scheduler: operations are \
@@ -165,6 +182,14 @@ const SCHED_COUNTERS: &[(&str, &str)] = &[
     ("step6_restarts", "II increments (Step 6)"),
     ("attempts", "II values attempted"),
     ("failures", "loops that failed to pipeline"),
+    (
+        "budget_capped",
+        "escalations cut short by a blown --pass-budget",
+    ),
+    (
+        "degraded",
+        "loops this backend scheduled as a budget fallback",
+    ),
 ];
 
 /// Looks up a pass by name.

@@ -360,12 +360,24 @@ impl CompileSession {
     }
 
     /// Runs the configured schedule pass, keeping failure as data.
+    ///
+    /// When a [`PassBudget`] covers the scheduling pass, its limit becomes
+    /// a wall-clock deadline on II escalation; a deadline-capped failure
+    /// degrades to the cheap Cydrome baseline (recorded under
+    /// `schedule:cydrome` with a `degraded` counter) instead of failing
+    /// the loop.
     fn schedule(
         &self,
         problem: &SchedProblem<'_>,
         cache: &MinDistCache,
     ) -> Result<Schedule, lsms_sched::SchedFailure> {
         let pass = self.config.backend.pass_name();
+        let deadline = self
+            .config
+            .budgets
+            .iter()
+            .find(|b| b.pass == pass)
+            .map(|b| Instant::now() + b.limit);
         let started = Instant::now();
         let _span = lsms_trace::span(pass);
         let result = match &self.config.backend {
@@ -374,17 +386,51 @@ impl CompileSession {
                 if self.config.straight_line {
                     scheduler.run_straight_line(problem)
                 } else {
-                    scheduler.run_cached(problem, cache)
+                    scheduler.run_cached_with_deadline(problem, cache, deadline)
                 }
             }
             SchedulerBackend::Cydrome => CydromeScheduler::new().run_cached(problem, cache),
         };
+        let capped = matches!(&result, Err(f) if f.deadline_capped);
         let (stats, counters) = match &result {
+            Ok(s) => (&s.stats, [("ii", u64::from(s.ii)), ("failures", 0)]),
+            // A capped run is not a pipeline failure: the fallback below
+            // decides whether the loop compiles.
+            Err(f) => (&f.stats, [("ii", 0), ("failures", u64::from(!capped))]),
+        };
+        let mut all = vec![
+            counters[0],
+            ("central_iterations", stats.central_iterations),
+            ("step3_invocations", stats.step3_invocations),
+            ("ejected_ops", stats.ejected_ops),
+            ("step6_restarts", stats.step6_restarts),
+            ("attempts", u64::from(stats.attempts)),
+            counters[1],
+        ];
+        if capped {
+            all.push(("budget_capped", 1));
+        }
+        self.record(pass, started, &all);
+        if !capped {
+            return result;
+        }
+
+        // Budget-driven degradation: the configured backend blew its
+        // wall-clock budget mid-escalation. Retry with the cheapest
+        // backend rather than reporting the loop unschedulable.
+        let last_ii = result.as_ref().err().map_or(0, |f| f.last_ii);
+        lsms_trace::instant("sched.degrade", &[("last_ii", i64::from(last_ii))]);
+        let started = Instant::now();
+        let fallback = {
+            let _span = lsms_trace::span("schedule:cydrome");
+            CydromeScheduler::new().run_cached(problem, cache)
+        };
+        let (stats, counters) = match &fallback {
             Ok(s) => (&s.stats, [("ii", u64::from(s.ii)), ("failures", 0)]),
             Err(f) => (&f.stats, [("ii", 0), ("failures", 1)]),
         };
         self.record(
-            pass,
+            "schedule:cydrome",
             started,
             &[
                 counters[0],
@@ -394,9 +440,31 @@ impl CompileSession {
                 ("step6_restarts", stats.step6_restarts),
                 ("attempts", u64::from(stats.attempts)),
                 counters[1],
+                ("degraded", 1),
             ],
         );
-        result
+        fallback
+    }
+
+    /// Folds the shared MinDist cache's counters into the report under
+    /// the `mindist` accounting entry (wall ≈ 0 — the compute time lives
+    /// inside whichever pass triggered each matrix).
+    fn record_mindist(&self, cache: &MinDistCache) {
+        let stats = cache.stats();
+        if stats.hits == 0 && stats.misses == 0 {
+            return;
+        }
+        self.record(
+            "mindist",
+            Instant::now(),
+            &[
+                ("hits", stats.hits),
+                ("misses", stats.misses),
+                ("fw_computes", stats.fw_computes),
+                ("parametric_builds", stats.parametric_builds),
+                ("materialized", stats.materializations),
+            ],
+        );
     }
 
     /// Runs `regalloc` for one register class.
@@ -458,7 +526,9 @@ impl CompileSession {
         let cache = MinDistCache::new();
         let (schedule, rr, icr, kernel, mve) = {
             let problem = self.depgraph(&body)?;
-            let schedule = self.schedule(&problem, &cache)?;
+            let schedule = self.schedule(&problem, &cache);
+            self.record_mindist(&cache);
+            let schedule = schedule?;
             if !cfg.straight_line {
                 validate(&problem, &schedule)?;
             }
@@ -569,11 +639,9 @@ impl CompileSession {
     pub fn schedule_outcome(&self, compiled: &CompiledLoop) -> Result<SchedOutcome, LsmsError> {
         let cache = MinDistCache::new();
         let problem = self.depgraph(&compiled.body)?;
-        Ok(outcome_of(
-            self.schedule(&problem, &cache),
-            &problem,
-            &cache,
-        ))
+        let outcome = outcome_of(self.schedule(&problem, &cache), &problem, &cache);
+        self.record_mindist(&cache);
+        Ok(outcome)
     }
 
     /// The paper's three-scheduler evaluation of one loop, sharing one
@@ -646,11 +714,13 @@ impl CompileSession {
             )
         };
 
+        let min_avg_at_mii = min_avg_cached(&problem, mii, &cache);
+        self.record_mindist(&cache);
         Ok(LoopEvaluation {
             rec_mii: problem.rec_mii(),
             res_mii: problem.res_mii(),
             mii,
-            min_avg_at_mii: min_avg_cached(&problem, mii, &cache),
+            min_avg_at_mii,
             gprs: gpr_count(&problem),
             new,
             early,

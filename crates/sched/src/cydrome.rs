@@ -95,6 +95,7 @@ impl CydromeScheduler {
             self.budget_factor.max(1),
             max_ii,
             crate::IiIncrement::default(),
+            None,
             cache,
             &mut decisions,
         )

@@ -47,6 +47,34 @@ pub(crate) trait Heuristic {
     ) -> Direction;
 }
 
+/// Recycled allocations carried across II attempts of one escalation run
+/// (the warm start): every `Vec` and the modulo resource table survive a
+/// failed attempt and are re-initialized in place for the next II.
+///
+/// Reuse is *allocation-only* by design. All contents — bounds, unit
+/// assignments, placement history — are recomputed from scratch each
+/// attempt, so a warm-started run produces schedules byte-identical to a
+/// cold-started one; what escalation no longer pays is the dozen fresh
+/// allocations per attempt (the MinDist matrix itself is the
+/// [`MinDistCache`]'s two-tier job).
+#[derive(Default)]
+pub(crate) struct EngineWorkspace {
+    time: Vec<Option<i64>>,
+    estart: Vec<i64>,
+    lstart: Vec<i64>,
+    last_place: Vec<Option<i64>>,
+    critical: Vec<bool>,
+    minlt: Vec<Option<i64>>,
+    assignments: Vec<UnitAssignment>,
+    unplaced: Vec<bool>,
+    conflict_buf: Vec<OpId>,
+    /// Scratch for the per-attempt unit-assignment ordering.
+    order: Vec<usize>,
+    /// Scratch for the per-class round-robin cursors.
+    next_instance: Vec<u32>,
+    mrt: Option<Mrt>,
+}
+
 /// Mutable scheduling state for one II attempt, visible to heuristics.
 pub(crate) struct EngineState<'p, 'a> {
     pub problem: &'p SchedProblem<'a>,
@@ -85,11 +113,33 @@ pub(crate) struct EngineState<'p, 'a> {
 }
 
 impl<'p, 'a> EngineState<'p, 'a> {
+    /// Cold-start construction (used by unit tests): a throwaway
+    /// workspace, so every vector is freshly allocated.
+    #[cfg(test)]
     fn new(
         problem: &'p SchedProblem<'a>,
         ii: u32,
         straight_line: bool,
         cache: &MinDistCache,
+    ) -> Option<Self> {
+        Self::new_in(
+            problem,
+            ii,
+            straight_line,
+            cache,
+            &mut EngineWorkspace::default(),
+        )
+    }
+
+    /// Builds the state for one II attempt, drawing every allocation from
+    /// `ws` (see [`EngineWorkspace`]: contents are recomputed, only the
+    /// capacity is reused).
+    fn new_in(
+        problem: &'p SchedProblem<'a>,
+        ii: u32,
+        straight_line: bool,
+        cache: &MinDistCache,
+        ws: &mut EngineWorkspace,
     ) -> Option<Self> {
         let md = cache.get(problem, ii);
         if !md.is_feasible() {
@@ -102,10 +152,14 @@ impl<'p, 'a> EngineState<'p, 'a> {
         let machine = problem.machine();
         let contended = problem.res_mii() > 1;
 
-        let mut time = vec![None; n];
+        let mut time = std::mem::take(&mut ws.time);
+        time.clear();
+        time.resize(n, None);
         time[start] = Some(0);
 
-        let estart: Vec<i64> = (0..n).map(|x| md.get(start, x).max(0)).collect();
+        let mut estart = std::mem::take(&mut ws.estart);
+        estart.clear();
+        estart.extend((0..n).map(|x| md.get(start, x).max(0)));
         // §4.2: with no resource contention the loop can always meet its
         // critical path; otherwise provide extra slack by rounding
         // Lstart(Stop) up to a multiple of II. In straight-line mode the
@@ -120,30 +174,39 @@ impl<'p, 'a> EngineState<'p, 'a> {
         } else {
             estart[stop]
         };
-        let lstart: Vec<i64> = (0..n).map(|x| lstart_stop - md.get(x, stop)).collect();
+        let mut lstart = std::mem::take(&mut ws.lstart);
+        lstart.clear();
+        lstart.extend((0..n).map(|x| lstart_stop - md.get(x, stop)));
 
         let class_critical = critical_classes(machine, body, ii);
-        let critical: Vec<bool> = (0..n)
-            .map(|x| {
-                x < problem.num_real_ops()
-                    && class_critical[machine.desc(body.ops()[x].kind).class.index()]
-            })
-            .collect();
+        let mut critical = std::mem::take(&mut ws.critical);
+        critical.clear();
+        critical.extend((0..n).map(|x| {
+            x < problem.num_real_ops()
+                && class_critical[machine.desc(body.ops()[x].kind).class.index()]
+        }));
 
         // MinLT(v) = max over flow deps (d -> u, omega) of omega*II +
         // MinDist(d, u) (§5.1).
-        let minlt = crate::pressure::min_lifetimes(problem, &md);
+        let mut minlt = std::mem::take(&mut ws.minlt);
+        crate::pressure::min_lifetimes_into(problem, &md, &mut minlt);
 
         // Bind operations to unit instances for this attempt. Estart mod
         // II approximates the kernel cycle an operation will want, so
         // spreading congruent operations across instances avoids
         // avoidable modulo collisions on tight recurrence circuits.
         let n_real = problem.num_real_ops();
-        let mut order: Vec<usize> = (0..n_real).collect();
+        let mut order = std::mem::take(&mut ws.order);
+        order.clear();
+        order.extend(0..n_real);
         order.sort_by_key(|&x| (estart[x].rem_euclid(i64::from(ii)), estart[x], x));
-        let mut next = vec![0u32; machine.classes().len()];
-        let mut assignments = vec![UnitAssignment::default(); n_real];
-        for x in order {
+        let mut next = std::mem::take(&mut ws.next_instance);
+        next.clear();
+        next.resize(machine.classes().len(), 0);
+        let mut assignments = std::mem::take(&mut ws.assignments);
+        assignments.clear();
+        assignments.resize(n_real, UnitAssignment::default());
+        for &x in &order {
             let class = machine.desc(body.ops()[x].kind).class;
             let count = machine.classes()[class.index()].count;
             assignments[x] = UnitAssignment {
@@ -152,10 +215,27 @@ impl<'p, 'a> EngineState<'p, 'a> {
             };
             next[class.index()] += 1;
         }
+        ws.order = order;
+        ws.next_instance = next;
 
-        let mut unplaced = vec![true; n];
+        let mrt = match ws.mrt.take() {
+            Some(mut mrt) => {
+                mrt.reset(machine, ii);
+                mrt
+            }
+            None => Mrt::new(machine, ii),
+        };
+
+        let mut last_place = std::mem::take(&mut ws.last_place);
+        last_place.clear();
+        last_place.resize(n, None);
+        let mut unplaced = std::mem::take(&mut ws.unplaced);
+        unplaced.clear();
+        unplaced.resize(n, true);
         unplaced[start] = false;
         let unplaced_count = n - 1;
+        let mut conflict_buf = std::mem::take(&mut ws.conflict_buf);
+        conflict_buf.clear();
         Some(Self {
             problem,
             ii,
@@ -164,17 +244,31 @@ impl<'p, 'a> EngineState<'p, 'a> {
             estart,
             lstart,
             lstart_stop,
-            last_place: vec![None; n],
+            last_place,
             critical,
             minlt,
             contended,
             straight_line,
             assignments,
-            mrt: Mrt::new(machine, ii),
+            mrt,
             unplaced,
             unplaced_count,
-            conflict_buf: Vec::new(),
+            conflict_buf,
         })
+    }
+
+    /// Returns every allocation to `ws` for the next attempt to reuse.
+    fn recycle(self, ws: &mut EngineWorkspace) {
+        ws.time = self.time;
+        ws.estart = self.estart;
+        ws.lstart = self.lstart;
+        ws.last_place = self.last_place;
+        ws.critical = self.critical;
+        ws.minlt = self.minlt;
+        ws.assignments = self.assignments;
+        ws.unplaced = self.unplaced;
+        ws.conflict_buf = self.conflict_buf;
+        ws.mrt = Some(self.mrt);
     }
 
     /// Iterates over the indices of unplaced nodes.
@@ -362,6 +456,7 @@ enum Attempt {
 }
 
 /// Runs one II attempt: the §4.2 central loop under an iteration budget.
+/// Failed attempts return their allocations to `ws` for the next II.
 #[allow(clippy::too_many_arguments)]
 fn attempt(
     problem: &SchedProblem<'_>,
@@ -370,10 +465,11 @@ fn attempt(
     budget: u64,
     straight_line: bool,
     cache: &MinDistCache,
+    ws: &mut EngineWorkspace,
     stats: &mut SchedStats,
     decisions: &mut DecisionStats,
 ) -> Attempt {
-    let Some(mut st) = EngineState::new(problem, ii, straight_line, cache) else {
+    let Some(mut st) = EngineState::new_in(problem, ii, straight_line, cache, ws) else {
         return Attempt::InfeasibleIi;
     };
     let _attempt_span = lsms_trace::span_with("sched.attempt", &[("ii", i64::from(ii))]);
@@ -386,6 +482,7 @@ fn attempt(
         iterations += 1;
         stats.central_iterations += 1;
         if iterations > budget {
+            st.recycle(ws);
             return Attempt::BudgetExhausted;
         }
         // Step 1: choose an operation.
@@ -532,13 +629,18 @@ fn attempt(
 
 /// The II escalation loop shared by both schedulers: start at `MII` and on
 /// failure increment per the policy (§4.2 and its footnote 6) up to
-/// `max_ii`.
+/// `max_ii`. An optional wall-clock `deadline` caps escalation: once it
+/// has passed, a failed attempt fails the run with
+/// [`deadline_capped`](crate::SchedFailure::deadline_capped) set instead
+/// of trying larger IIs.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_framework(
     problem: &SchedProblem<'_>,
     heuristic: &mut dyn Heuristic,
     budget_factor: u64,
     max_ii: u32,
     increment: crate::IiIncrement,
+    deadline: Option<std::time::Instant>,
     cache: &MinDistCache,
     decisions: &mut DecisionStats,
 ) -> Result<Schedule, crate::SchedFailure> {
@@ -550,6 +652,7 @@ pub(crate) fn run_framework(
         max_ii,
         increment,
         false,
+        deadline,
         cache,
         decisions,
     )
@@ -567,6 +670,7 @@ pub(crate) fn run_framework_from(
     max_ii: u32,
     increment: crate::IiIncrement,
     straight_line: bool,
+    deadline: Option<std::time::Instant>,
     cache: &MinDistCache,
     decisions: &mut DecisionStats,
 ) -> Result<Schedule, crate::SchedFailure> {
@@ -574,6 +678,8 @@ pub(crate) fn run_framework_from(
     let mut stats = SchedStats::default();
     let budget = budget_factor * (problem.num_real_ops() as u64 + 1);
     let mut ii = start_ii.max(1);
+    // The warm-start workspace: allocations survive failed attempts.
+    let mut ws = EngineWorkspace::default();
     loop {
         stats.attempts += 1;
         match attempt(
@@ -583,6 +689,7 @@ pub(crate) fn run_framework_from(
             budget,
             straight_line,
             cache,
+            &mut ws,
             &mut stats,
             decisions,
         ) {
@@ -603,18 +710,46 @@ pub(crate) fn run_framework_from(
                     stats.elapsed = started.elapsed();
                     lsms_trace::instant("sched.fail", &[("last_ii", i64::from(ii))]);
                     lsms_trace::add("sched", "pipeline_failures", 1);
-                    return Err(crate::SchedFailure { last_ii: ii, stats });
+                    return Err(crate::SchedFailure {
+                        last_ii: ii,
+                        stats,
+                        deadline_capped: false,
+                    });
+                }
+                if let Some(d) = deadline {
+                    if std::time::Instant::now() >= d {
+                        stats.elapsed = started.elapsed();
+                        lsms_trace::instant("sched.budget_capped", &[("last_ii", i64::from(ii))]);
+                        lsms_trace::add("sched", "budget_capped", 1);
+                        return Err(crate::SchedFailure {
+                            last_ii: ii,
+                            stats,
+                            deadline_capped: true,
+                        });
+                    }
                 }
                 let step = match increment {
                     crate::IiIncrement::FourPercent => (ii * 4 / 100).max(1),
                     crate::IiIncrement::ByOne => 1,
                 };
                 let next_ii = (ii + step).min(max_ii);
-                lsms_trace::instant(
-                    "sched.ii_escalate",
-                    &[("from", i64::from(ii)), ("to", i64::from(next_ii))],
-                );
-                lsms_trace::add("sched", "ii_escalations", 1);
+                // `warm` reports whether the next attempt reuses this
+                // one's allocations; `parametric` whether MinDist at
+                // next_ii will be an envelope evaluation rather than a
+                // fresh Floyd–Warshall. Gated so the untraced hot path
+                // does not take the cache lock just to build arguments.
+                if lsms_trace::enabled() {
+                    lsms_trace::instant(
+                        "sched.ii_escalate",
+                        &[
+                            ("from", i64::from(ii)),
+                            ("to", i64::from(next_ii)),
+                            ("warm", i64::from(ws.mrt.is_some())),
+                            ("parametric", i64::from(cache.has_parametric())),
+                        ],
+                    );
+                    lsms_trace::add("sched", "ii_escalations", 1);
+                }
                 ii = next_ii;
             }
         }

@@ -11,7 +11,8 @@
 //!   independently by elementary-circuit enumeration and by the minimum
 //!   cost-to-time-ratio method), and `MII = max(ResMII, RecMII)`;
 //! * the [`MinDist`] relation — all-pairs longest paths with arc weight
-//!   `latency − ω·II`;
+//!   `latency − ω·II` — and its parametric form [`ParametricMinDist`],
+//!   one envelope computation per problem serving every II of a sweep;
 //! * the [slack-scheduling framework](slack) (§4) with the bidirectional
 //!   lifetime heuristic (§5), and the [Cydrome baseline](cydrome) (§8);
 //! * schedule-independent and schedule-dependent register-pressure measures
@@ -60,7 +61,7 @@ pub mod svg;
 
 pub use bounds::{mii, rec_mii, rec_mii_min_ratio, res_mii};
 pub use cydrome::CydromeScheduler;
-pub use mindist::{MinDist, MinDistCache};
+pub use mindist::{MinDist, MinDistCache, MinDistCacheStats, ParametricMinDist};
 pub use pressure::PressureReport;
 pub use problem::{Arc, ProblemError, SchedProblem};
 pub use schedule::{validate, Schedule, ScheduleError};

@@ -61,9 +61,18 @@ impl PressureReport {
 /// of `ω·II + MinDist(d, u)` (§5.1); `None` for values without register
 /// flow uses.
 pub fn min_lifetimes(problem: &SchedProblem<'_>, md: &MinDist) -> Vec<Option<i64>> {
+    let mut minlt = Vec::new();
+    min_lifetimes_into(problem, md, &mut minlt);
+    minlt
+}
+
+/// As [`min_lifetimes`], recycling `out` as the result storage so the
+/// scheduling engine's II escalation does not allocate per attempt.
+pub fn min_lifetimes_into(problem: &SchedProblem<'_>, md: &MinDist, out: &mut Vec<Option<i64>>) {
     let body = problem.body();
     let ii = i64::from(md.ii());
-    let mut minlt = vec![None; body.values().len()];
+    out.clear();
+    out.resize(body.values().len(), None);
     for dep in body.deps() {
         if !dep.is_register_flow() {
             continue;
@@ -74,10 +83,9 @@ pub fn min_lifetimes(problem: &SchedProblem<'_>, md: &MinDist) -> Vec<Option<i64
             continue;
         }
         let lt = i64::from(dep.omega) * ii + dist;
-        let slot = &mut minlt[v.index()];
+        let slot = &mut out[v.index()];
         *slot = Some(slot.map_or(lt, |old: i64| old.max(lt)));
     }
-    minlt
 }
 
 /// The schedule-independent `MinAvg` lower bound on RR pressure at a

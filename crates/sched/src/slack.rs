@@ -73,6 +73,12 @@ pub struct SchedFailure {
     pub last_ii: u32,
     /// Work counters accumulated across all attempts.
     pub stats: SchedStats,
+    /// True when a wall-clock deadline (not the II cap) stopped the
+    /// escalation — see
+    /// [`run_cached_with_deadline`](SlackScheduler::run_cached_with_deadline).
+    /// Larger IIs were still available; callers may degrade to a cheaper
+    /// backend instead of reporting the loop unschedulable.
+    pub deadline_capped: bool,
 }
 
 impl fmt::Display for SchedFailure {
@@ -212,9 +218,30 @@ impl SlackScheduler {
             horizon.saturating_mul(4),
             self.config.increment,
             true,
+            None,
             &MinDistCache::new(),
             &mut decisions,
         )
+    }
+
+    /// As [`run_cached`](Self::run_cached), with an optional wall-clock
+    /// deadline checked at every II escalation. Past the deadline a failed
+    /// attempt gives up with
+    /// [`deadline_capped`](SchedFailure::deadline_capped) set rather than
+    /// trying larger IIs — the mechanism behind the session's
+    /// budget-driven backend degradation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchedFailure`] if no feasible schedule is found before
+    /// the II cap or the deadline.
+    pub fn run_cached_with_deadline(
+        &self,
+        problem: &SchedProblem<'_>,
+        cache: &MinDistCache,
+        deadline: Option<std::time::Instant>,
+    ) -> Result<Schedule, SchedFailure> {
+        self.run_core(problem, cache, deadline).0
     }
 
     /// Like [`run`](Self::run), also returning the §5.2 heuristic decision
@@ -233,6 +260,15 @@ impl SlackScheduler {
         problem: &SchedProblem<'_>,
         cache: &MinDistCache,
     ) -> (Result<Schedule, SchedFailure>, DecisionStats) {
+        self.run_core(problem, cache, None)
+    }
+
+    fn run_core(
+        &self,
+        problem: &SchedProblem<'_>,
+        cache: &MinDistCache,
+        deadline: Option<std::time::Instant>,
+    ) -> (Result<Schedule, SchedFailure>, DecisionStats) {
         let mut decisions = DecisionStats::default();
         let max_ii = self
             .config
@@ -248,6 +284,7 @@ impl SlackScheduler {
             self.config.budget_factor,
             max_ii,
             self.config.increment,
+            deadline,
             cache,
             &mut decisions,
         );

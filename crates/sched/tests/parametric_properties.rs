@@ -1,0 +1,187 @@
+//! The parametric MinDist envelope against the fixed-II Floyd–Warshall
+//! oracle, over seeded random dependence graphs.
+//!
+//! The envelope is one all-pairs computation per problem; this suite
+//! checks it reproduces the per-II oracle **entry for entry** across an
+//! II sweep straddling RecMII — including the infeasible IIs below it,
+//! where only the oracle's positive-diagonal verdict is defined and the
+//! cache must fall back to Floyd–Warshall.
+
+use lsms_ir::{LoopBody, LoopBuilder, OpKind, ValueType};
+use lsms_machine::huff_machine;
+use lsms_prng::SmallRng;
+use lsms_sched::mindist::NO_PATH;
+use lsms_sched::{MinDist, MinDistCache, ParametricMinDist, SchedProblem};
+
+/// A random DAG-with-back-arcs body (same construction as the main
+/// MinDist property suite).
+fn body_from(arcs: &[(u8, u8, u8)], n: usize) -> LoopBody {
+    let mut b = LoopBuilder::new("g");
+    let fin = b.invariant(ValueType::Float, "fin");
+    let ops: Vec<_> = (0..n)
+        .map(|_| {
+            let v = b.new_value(ValueType::Float);
+            b.op(OpKind::FMul, &[fin, fin], Some(v))
+        })
+        .collect();
+    for &(from, to, omega) in arcs {
+        let (f, t) = (from as usize % n, to as usize % n);
+        // Keep zero-omega arcs forward so no zero-omega cycle forms.
+        let omega = if t <= f {
+            u32::from(omega % 3) + 1
+        } else {
+            u32::from(omega % 3)
+        };
+        b.flow_dep(ops[f], ops[t], omega);
+    }
+    b.finish()
+}
+
+/// 1..`max_arcs` random arcs of (from, to, omega) with small endpoints.
+fn random_arcs(rng: &mut SmallRng, ends: u8, max_arcs: usize) -> Vec<(u8, u8, u8)> {
+    let count = rng.gen_range(1..=max_arcs);
+    (0..count)
+        .map(|_| {
+            (
+                rng.gen_range(0..ends),
+                rng.gen_range(0..ends),
+                rng.gen_range(0..3u8),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn envelope_matches_the_floyd_warshall_oracle_across_an_ii_sweep() {
+    for case in 0u64..96 {
+        let mut rng = SmallRng::seed_from_u64(0x9a7a + case);
+        let arcs = random_arcs(&mut rng, 12, 23);
+        let body = body_from(&arcs, 12);
+        let machine = huff_machine();
+        let problem = SchedProblem::new(&body, &machine).expect("buildable");
+        let Some(p) = ParametricMinDist::compute(&problem) else {
+            panic!("case {case}: envelope overflow on a 12-node graph");
+        };
+        let rec = problem.rec_mii();
+        assert_eq!(
+            p.rec_mii(),
+            rec,
+            "case {case}: analytic RecMII disagrees with the problem's"
+        );
+        let n = problem.num_nodes();
+        for ii in rec.max(2) - 1..=rec + 8 {
+            let oracle = MinDist::compute(&problem, ii);
+            if ii < rec {
+                // Below RecMII the envelope is not a valid MinDist (walks
+                // beat simple paths); the oracle must flag infeasibility.
+                assert!(!oracle.is_feasible(), "case {case}: II {ii} feasible?");
+                continue;
+            }
+            assert!(oracle.is_feasible(), "case {case}: II {ii} infeasible?");
+            for x in 0..n {
+                for y in 0..n {
+                    assert_eq!(
+                        p.eval(x, y, ii),
+                        oracle.get(x, y),
+                        "case {case}: MinDist({x},{y}) at II {ii}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn materialized_views_are_entrywise_identical_to_the_oracle() {
+    for case in 0u64..96 {
+        let mut rng = SmallRng::seed_from_u64(0x3a7e + case);
+        let arcs = random_arcs(&mut rng, 10, 19);
+        let body = body_from(&arcs, 10);
+        let machine = huff_machine();
+        let problem = SchedProblem::new(&body, &machine).expect("buildable");
+        let p = ParametricMinDist::compute(&problem).expect("envelope builds");
+        let rec = problem.rec_mii();
+        let n = problem.num_nodes();
+        for ii in rec..=rec + 8 {
+            let view = p.materialize_into(ii, Vec::new());
+            let oracle = MinDist::compute(&problem, ii);
+            assert_eq!(view.ii(), ii);
+            assert!(view.is_feasible());
+            for x in 0..n {
+                for y in 0..n {
+                    assert_eq!(
+                        view.get(x, y),
+                        oracle.get(x, y),
+                        "case {case}: materialized ({x},{y}) at II {ii}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn cache_served_matrices_match_the_oracle_feasible_or_not() {
+    for case in 0u64..64 {
+        let mut rng = SmallRng::seed_from_u64(0xcace + case);
+        let arcs = random_arcs(&mut rng, 10, 19);
+        let body = body_from(&arcs, 10);
+        let machine = huff_machine();
+        let problem = SchedProblem::new(&body, &machine).expect("buildable");
+        let rec = problem.rec_mii();
+        let cache = MinDistCache::new();
+        let n = problem.num_nodes();
+        // The sweep starts below RecMII when possible, so the cache must
+        // route those requests to Floyd–Warshall even once the
+        // parametric envelope exists.
+        for ii in rec.max(2) - 1..=rec + 8 {
+            let served = cache.get(&problem, ii);
+            let oracle = MinDist::compute(&problem, ii);
+            assert_eq!(
+                served.is_feasible(),
+                oracle.is_feasible(),
+                "case {case}: feasibility at II {ii}"
+            );
+            if !oracle.is_feasible() {
+                continue;
+            }
+            for x in 0..n {
+                for y in 0..n {
+                    assert_eq!(
+                        served.get(x, y),
+                        oracle.get(x, y),
+                        "case {case}: cache-served ({x},{y}) at II {ii}"
+                    );
+                }
+            }
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.misses, stats.fw_computes + stats.materializations);
+        assert_eq!(stats.parametric_builds, 1, "case {case}");
+    }
+}
+
+#[test]
+fn envelopes_never_report_paths_the_oracle_lacks() {
+    for case in 0u64..64 {
+        let mut rng = SmallRng::seed_from_u64(0x70a7 + case);
+        let arcs = random_arcs(&mut rng, 12, 15);
+        let body = body_from(&arcs, 12);
+        let machine = huff_machine();
+        let problem = SchedProblem::new(&body, &machine).expect("buildable");
+        let p = ParametricMinDist::compute(&problem).expect("envelope builds");
+        let rec = problem.rec_mii();
+        let oracle = MinDist::compute(&problem, rec);
+        let n = problem.num_nodes();
+        for x in 0..n {
+            for y in 0..n {
+                let reachable = oracle.get(x, y) != NO_PATH;
+                assert_eq!(
+                    !p.envelope(x, y).is_empty(),
+                    reachable,
+                    "case {case}: reachability of ({x},{y})"
+                );
+            }
+        }
+    }
+}

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! cargo run -p xtask -- timings-diff OLD.json NEW.json [--max-ratio R] [--floor-us N]
+//! cargo run -p xtask -- bench-diff OLD.json NEW.json [--max-ratio R] [--floor-ms F]
 //! ```
 //!
 //! `timings-diff` is the CI perf gate: it compares two `lsmsc --timings`
@@ -11,6 +12,13 @@
 //! ignored — at that scale the numbers are scheduler-noise, not
 //! regressions. A missing OLD file is a clean skip (exit 0), so the
 //! first run of a fresh cache passes.
+//!
+//! `bench-diff` gates the corpus benchmark the same way, on the p99
+//! per-loop latency out of two `corpus_time` reports (`BENCH_corpus.json`
+//! shape). Each report's p99 is the best across its runs — both runs
+//! evaluate the same corpus, so the minimum is the least noisy estimate.
+//! New p99s under `--floor-ms` (default 1 ms) are ignored, and a missing
+//! OLD file is again a clean skip.
 
 use std::process::ExitCode;
 
@@ -131,9 +139,89 @@ fn timings_diff(args: &[String]) -> ExitCode {
     }
 }
 
+/// Pulls the p99 per-loop latency out of a `corpus_time` report: the
+/// minimum across the report's runs (same corpus, so the best run is the
+/// least noisy measurement). The format is the bench binary's own fixed
+/// emission, so a targeted scan suffices, as in [`parse_timings`].
+fn parse_bench_p99(json: &str) -> Option<f64> {
+    json.split("\"p99\": ")
+        .skip(1)
+        .filter_map(|rest| {
+            rest.split(|c: char| !c.is_ascii_digit() && c != '.')
+                .next()
+                .and_then(|n| n.parse::<f64>().ok())
+        })
+        .min_by(f64::total_cmp)
+}
+
+/// The bench gate: a new p99 is a regression when it clears both the
+/// noise floor and `max_ratio ×` the old p99.
+fn bench_regressed(old_p99: f64, new_p99: f64, max_ratio: f64, floor_ms: f64) -> bool {
+    new_p99 > floor_ms && new_p99 > old_p99 * max_ratio
+}
+
+fn bench_diff(args: &[String]) -> ExitCode {
+    let mut paths = Vec::new();
+    let mut max_ratio = 2.0f64;
+    let mut floor_ms = 1.0f64;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--max-ratio" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(r) => max_ratio = r,
+                None => return usage("--max-ratio needs a number"),
+            },
+            "--floor-ms" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(f) => floor_ms = f,
+                None => return usage("--floor-ms needs a number"),
+            },
+            other => paths.push(other.to_owned()),
+        }
+    }
+    let [old_path, new_path] = paths.as_slice() else {
+        return usage("bench-diff wants exactly OLD.json and NEW.json");
+    };
+
+    let Ok(old_json) = std::fs::read_to_string(old_path) else {
+        println!("bench-diff: no previous report at {old_path}; skipping (first run)");
+        return ExitCode::SUCCESS;
+    };
+    let new_json = match std::fs::read_to_string(new_path) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("bench-diff: cannot read {new_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let Some(old_p99) = parse_bench_p99(&old_json) else {
+        eprintln!("bench-diff: {old_path} contains no p99 samples");
+        return ExitCode::FAILURE;
+    };
+    let Some(new_p99) = parse_bench_p99(&new_json) else {
+        eprintln!("bench-diff: {new_path} contains no p99 samples");
+        return ExitCode::FAILURE;
+    };
+    if bench_regressed(old_p99, new_p99, max_ratio, floor_ms) {
+        eprintln!(
+            "bench-diff: corpus p99 regressed {:.2}x ({old_p99:.4} ms -> {new_p99:.4} ms, gate {max_ratio}x)",
+            new_p99 / old_p99.max(1e-9)
+        );
+        ExitCode::FAILURE
+    } else {
+        println!(
+            "bench-diff: corpus p99 {old_p99:.4} ms -> {new_p99:.4} ms, within {max_ratio}x (floor {floor_ms} ms)"
+        );
+        ExitCode::SUCCESS
+    }
+}
+
 fn usage(message: &str) -> ExitCode {
     eprintln!("xtask: {message}");
     eprintln!("usage: cargo run -p xtask -- timings-diff OLD.json NEW.json [--max-ratio R] [--floor-us N]");
+    eprintln!(
+        "       cargo run -p xtask -- bench-diff OLD.json NEW.json [--max-ratio R] [--floor-ms F]"
+    );
     ExitCode::FAILURE
 }
 
@@ -141,7 +229,8 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("timings-diff") => timings_diff(&args[1..]),
-        _ => usage("known tasks: timings-diff"),
+        Some("bench-diff") => bench_diff(&args[1..]),
+        _ => usage("known tasks: timings-diff, bench-diff"),
     }
 }
 
@@ -211,5 +300,33 @@ mod tests {
             },
         ];
         assert!(diff(&old, &new, 2.0, 10_000).is_empty());
+    }
+
+    const BENCH: &str = r#"{
+  "benchmark": "corpus_time",
+  "corpus_size": 1525,
+  "runs": [
+    {"jobs": 1, "total_secs": 3.5, "per_loop_ms": {"p50": 0.0357, "p90": 1.1457, "p99": 23.3062}},
+    {"jobs": 4, "total_secs": 1.2, "per_loop_ms": {"p50": 0.0348, "p90": 1.1567, "p99": 25.1881}}
+  ]
+}
+"#;
+
+    #[test]
+    fn bench_p99_is_the_best_run() {
+        assert_eq!(parse_bench_p99(BENCH), Some(23.3062));
+        assert_eq!(parse_bench_p99("{}"), None);
+    }
+
+    #[test]
+    fn bench_gate_respects_ratio_and_floor() {
+        let old = parse_bench_p99(BENCH).unwrap();
+        // 3x over the baseline trips the 2x gate; improvement never does.
+        assert!(bench_regressed(old, old * 3.0, 2.0, 1.0));
+        assert!(!bench_regressed(old, old * 1.9, 2.0, 1.0));
+        assert!(!bench_regressed(old, old / 2.0, 2.0, 1.0));
+        // A p99 under the floor never regresses, however large the
+        // ratio: sub-floor numbers are noise, not regressions.
+        assert!(!bench_regressed(0.01, 0.9, 2.0, 1.0));
     }
 }

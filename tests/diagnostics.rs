@@ -132,6 +132,7 @@ fn schedule_diagnostics() {
             attempts: 5,
             ..SchedStats::default()
         },
+        deadline_capped: false,
     }
     .into();
     check(
