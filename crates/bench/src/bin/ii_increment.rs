@@ -9,8 +9,7 @@
 use std::time::Duration;
 
 use lsms_machine::huff_machine;
-use lsms_pipeline::{CompileSession, SchedulerBackend, SessionConfig};
-use lsms_sched::{IiIncrement, SlackConfig};
+use lsms_pipeline::{BackendSelection, CompileSession, SessionConfig};
 
 fn main() {
     let count = std::env::var("LSMS_CORPUS")
@@ -25,15 +24,10 @@ fn main() {
         "policy", "Sum II", "failures", "II attempts", "sched time"
     );
     let mut results: Vec<(u64, Duration)> = Vec::new();
-    for (name, increment) in [
-        ("4% steps", IiIncrement::FourPercent),
-        ("by one", IiIncrement::ByOne),
-    ] {
+    for (name, increment) in [("4% steps", "four-percent"), ("by one", "by-one")] {
         let mut config = SessionConfig::new(machine.clone());
-        config.backend = SchedulerBackend::Slack(SlackConfig {
-            increment,
-            ..SlackConfig::default()
-        });
+        config.backend = BackendSelection::parse(&format!("slack:increment={increment}"))
+            .expect("static backend spec");
         let session = CompileSession::new(config);
         let mut sum_ii = 0u64;
         let mut failures = 0usize;

@@ -8,8 +8,7 @@
 //! ```
 
 use lsms_machine::huff_machine;
-use lsms_pipeline::{CompileSession, SchedulerBackend, SessionConfig, Stage, VerifySpec};
-use lsms_sched::{DirectionPolicy, SlackConfig};
+use lsms_pipeline::{BackendSelection, CompileSession, SessionConfig, Stage, VerifySpec};
 
 fn env(name: &str, default: u64) -> u64 {
     std::env::var(name)
@@ -36,19 +35,12 @@ fn main() {
                 continue;
             }
         };
-        for (trip, policy) in [
-            (1, DirectionPolicy::Bidirectional),
-            (7, DirectionPolicy::AlwaysLate),
-            (23, DirectionPolicy::AlwaysEarly),
-        ] {
+        for (trip, policy) in [(1, "slack"), (7, "late"), (23, "early")] {
             // One session per configuration: full codegen (rotating and
             // MVE kernels) plus the simulate-verify pass, which checks
             // both kernels against the reference interpreter.
             let mut config = SessionConfig::new(machine.clone());
-            config.backend = SchedulerBackend::Slack(SlackConfig {
-                direction: policy,
-                ..Default::default()
-            });
+            config.backend = BackendSelection::named(policy);
             config.codegen = true;
             config.mve = true;
             config.verify = Some(VerifySpec {

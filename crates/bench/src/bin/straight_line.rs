@@ -9,9 +9,8 @@
 
 use lsms_ir::RegClass;
 use lsms_machine::huff_machine;
-use lsms_pipeline::{CompileSession, SchedulerBackend, SessionConfig};
+use lsms_pipeline::{BackendSelection, CompileSession, SessionConfig};
 use lsms_sched::pressure::{lifetimes, live_vector};
-use lsms_sched::{DirectionPolicy, SlackConfig};
 
 fn main() {
     let count = std::env::var("LSMS_CORPUS")
@@ -20,19 +19,15 @@ fn main() {
         .unwrap_or(400);
     let machine = huff_machine();
     // One straight-line session per direction policy.
-    let sessions: Vec<CompileSession> =
-        [DirectionPolicy::Bidirectional, DirectionPolicy::AlwaysEarly]
-            .into_iter()
-            .map(|direction| {
-                let mut config = SessionConfig::new(machine.clone());
-                config.straight_line = true;
-                config.backend = SchedulerBackend::Slack(SlackConfig {
-                    direction,
-                    ..SlackConfig::default()
-                });
-                CompileSession::new(config)
-            })
-            .collect();
+    let sessions: Vec<CompileSession> = ["slack", "early"]
+        .into_iter()
+        .map(|backend| {
+            let mut config = SessionConfig::new(machine.clone());
+            config.straight_line = true;
+            config.backend = BackendSelection::named(backend);
+            CompileSession::new(config)
+        })
+        .collect();
     let corpus = lsms_loops::corpus(count, lsms_bench::CORPUS_SEED);
     let mut rows = 0usize;
     let mut len = [0u64; 2];

@@ -4,7 +4,13 @@
 //! lsmsc FILE.loop [options]
 //!
 //!   --machine huff|short|wide    target machine (default: huff)
-//!   --policy  bidir|early|late   direction policy (default: bidir)
+//!   --policy  bidir|early|late   direction policy (default: bidir);
+//!                                sugar for --backend slack|early|late
+//!   --backend NAME[:key=val,...] scheduler backend from the registry,
+//!                                with backend-specific options
+//!                                (default: slack)
+//!   --list-backends              list registered backends with their
+//!                                capability flags and exit
 //!   --emit    report|sched|asm|mve|dot|all   what to print (default: report)
 //!   --unroll  N                  unroll the loop N times before scheduling
 //!   --straight-line              schedule as a basic block (no overlap)
@@ -53,17 +59,18 @@ use std::process::ExitCode;
 
 use lsms_machine::{huff_machine, short_latency_machine, wide_machine, Machine};
 use lsms_pipeline::{
-    pass_info, CompileSession, LsmsError, PassBudget, SchedulerBackend, SessionConfig, Stage,
-    VerifySpec,
+    list_backends_text, lookup_backend, pass_info, registered_backends, BackendSelection,
+    CompileSession, LsmsError, PassBudget, SessionConfig, Stage, VerifySpec,
 };
-use lsms_sched::{explain, DirectionPolicy, SlackConfig};
+use lsms_sched::explain;
 
 const EMITS: &[&str] = &["report", "sched", "list", "asm", "mve", "dot", "svg"];
 
 struct Options {
     file: String,
     machine: Machine,
-    policy: DirectionPolicy,
+    backend: BackendSelection,
+    list_backends: bool,
     emit: Vec<String>,
     unroll: u32,
     straight_line: bool,
@@ -81,12 +88,13 @@ struct Options {
 fn usage() -> ! {
     eprintln!(
         "usage: lsmsc FILE.loop [--machine huff|short|wide] [--policy bidir|early|late]\n\
-         \x20             [--emit report|sched|list|asm|mve|dot|svg|all] [--unroll N]\n\
-         \x20             [--straight-line] [--run TRIP] [--timings PATH|-]\n\
+         \x20             [--backend NAME[:key=val,...]] [--emit report|sched|list|asm|mve|dot|svg|all]\n\
+         \x20             [--unroll N] [--straight-line] [--run TRIP] [--timings PATH|-]\n\
          \x20             [--trace PATH] [--metrics PATH|-] [--pass-budget NAME=MILLIS]\n\
          \x20             [--explain-pass NAME]\n\
          \x20      lsmsc --eval-corpus [--corpus-size N] [--jobs N] [--machine ...]\n\
-         \x20      lsmsc --explain-pass NAME"
+         \x20      lsmsc --explain-pass NAME\n\
+         \x20      lsmsc --list-backends"
     );
     std::process::exit(2);
 }
@@ -96,7 +104,8 @@ fn parse_args() -> Options {
     let mut options = Options {
         file: String::new(),
         machine: huff_machine(),
-        policy: DirectionPolicy::Bidirectional,
+        backend: BackendSelection::default(),
+        list_backends: false,
         emit: vec!["report".to_owned()],
         unroll: 1,
         straight_line: false,
@@ -130,16 +139,25 @@ fn parse_args() -> Options {
                 }
             }
             "--policy" => {
-                options.policy = match need(&mut args, "--policy").as_str() {
-                    "bidir" => DirectionPolicy::Bidirectional,
-                    "early" => DirectionPolicy::AlwaysEarly,
-                    "late" => DirectionPolicy::AlwaysLate,
+                // Sugar for the slack-family backend names.
+                options.backend = match need(&mut args, "--policy").as_str() {
+                    "bidir" => BackendSelection::named("slack"),
+                    "early" => BackendSelection::named("early"),
+                    "late" => BackendSelection::named("late"),
                     other => {
                         eprintln!("unknown policy `{other}`");
                         usage();
                     }
                 }
             }
+            "--backend" => {
+                let spec = need(&mut args, "--backend");
+                options.backend = BackendSelection::parse(&spec).unwrap_or_else(|e| {
+                    eprintln!("lsmsc: {}", e.render(None));
+                    std::process::exit(e.exit_code().into());
+                });
+            }
+            "--list-backends" => options.list_backends = true,
             "--emit" => {
                 let what = need(&mut args, "--emit");
                 options.emit = if what == "all" {
@@ -210,10 +228,39 @@ fn parse_args() -> Options {
             }
         }
     }
-    if options.file.is_empty() && !options.eval_corpus && options.explain_pass.is_none() {
+    if options.file.is_empty()
+        && !options.eval_corpus
+        && options.explain_pass.is_none()
+        && !options.list_backends
+    {
         usage();
     }
     options
+}
+
+/// Every pass name this invocation could run: the static registry plus
+/// the `schedule:*` labels of runtime-registered backends.
+fn known_pass_names() -> Vec<&'static str> {
+    let mut known: Vec<&'static str> = lsms_pipeline::PASSES.iter().map(|p| p.name).collect();
+    for entry in registered_backends() {
+        if !known.contains(&entry.pass) {
+            known.push(entry.pass);
+        }
+    }
+    known
+}
+
+/// Resolves a user-supplied pass name to its interned `&'static` label,
+/// consulting both the static pass registry and the backend registry (so
+/// runtime-registered backends can be budgeted and explained).
+fn interned_pass_name(name: &str) -> Option<&'static str> {
+    if let Some(info) = pass_info(name) {
+        return Some(info.name);
+    }
+    registered_backends()
+        .iter()
+        .find(|e| e.pass == name)
+        .map(|e| e.pass)
 }
 
 /// Parses a `--pass-budget NAME=MILLIS` spec, resolving NAME to its
@@ -222,15 +269,17 @@ fn parse_budget(spec: &str) -> Result<PassBudget, String> {
     let (name, millis) = spec
         .split_once('=')
         .ok_or_else(|| format!("--pass-budget wants NAME=MILLIS, got `{spec}`"))?;
-    let info = pass_info(name).ok_or_else(|| {
-        let known: Vec<&str> = lsms_pipeline::PASSES.iter().map(|p| p.name).collect();
-        format!("unknown pass `{name}` (passes: {})", known.join(", "))
+    let pass = interned_pass_name(name).ok_or_else(|| {
+        format!(
+            "unknown pass `{name}` (passes: {})",
+            known_pass_names().join(", ")
+        )
     })?;
     let millis: u64 = millis
         .parse()
         .map_err(|_| format!("--pass-budget wants an integer millisecond limit, got `{millis}`"))?;
     Ok(PassBudget {
-        pass: info.name,
+        pass,
         limit: std::time::Duration::from_millis(millis),
     })
 }
@@ -239,10 +288,7 @@ fn parse_budget(spec: &str) -> Result<PassBudget, String> {
 /// codegen exactly when an emission needs the artifacts.
 fn session_config(options: &Options) -> SessionConfig {
     let mut config = SessionConfig::new(options.machine.clone());
-    config.backend = SchedulerBackend::Slack(SlackConfig {
-        direction: options.policy,
-        ..SlackConfig::default()
-    });
+    config.backend = options.backend.clone();
     config.unroll = options.unroll;
     config.straight_line = options.straight_line;
     config.codegen = options.emit.iter().any(|e| e == "asm");
@@ -286,13 +332,17 @@ fn compile_and_emit(options: &Options, session: &CompileSession) -> Result<(), L
     if unit.loops.is_empty() {
         return Err(LsmsError::usage(format!("no loops in {}", options.file)));
     }
+    let backend = session.backend()?.clone();
     for compiled in &unit.loops {
         let artifacts = session.run_loop(compiled)?;
         let problem = artifacts.problem(&session.config().machine)?;
         let schedule = &artifacts.schedule;
         for emit in &options.emit {
             match emit.as_str() {
-                "report" => print!("{}", explain::report(&problem, schedule)),
+                "report" => print!(
+                    "{}",
+                    explain::report_for_backend(&problem, schedule, backend.scheduler.as_ref())
+                ),
                 "sched" => {
                     println!("loop {}: II = {}", artifacts.name, schedule.ii);
                     for op in artifacts.body.ops() {
@@ -301,7 +351,14 @@ fn compile_and_emit(options: &Options, session: &CompileSession) -> Result<(), L
                 }
                 "dot" => print!("{}", lsms_ir::to_dot(&artifacts.body)),
                 "list" => print!("{}", lsms_ir::to_listing(&artifacts.body)),
-                "svg" => println!("{}", lsms_sched::svg::to_svg(&problem, schedule)),
+                "svg" => println!(
+                    "{}",
+                    lsms_sched::svg::to_svg_for_backend(
+                        &problem,
+                        schedule,
+                        backend.scheduler.as_ref()
+                    )
+                ),
                 "asm" => {
                     let kernel = artifacts.kernel.as_ref().expect("--emit asm ran codegen");
                     print!("{}", lsms_codegen::to_asm(kernel, &problem));
@@ -326,22 +383,46 @@ fn compile_and_emit(options: &Options, session: &CompileSession) -> Result<(), L
 
 /// `--explain-pass NAME`: static documentation for the pass plus, when
 /// this invocation ran it, the measured work.
+///
+/// `schedule:*` names resolve through the backend registry's
+/// [`describe`](lsms_sched::ModuloScheduler::describe), so runtime-registered
+/// backends are explainable too; a backend with empty details gets a
+/// graceful "no explanation available" instead of an error.
 fn explain_pass(name: &str, session: &CompileSession) -> Result<(), LsmsError> {
-    let info = pass_info(name).ok_or_else(|| {
-        let known: Vec<&str> = lsms_pipeline::PASSES.iter().map(|p| p.name).collect();
-        LsmsError::usage(format!(
-            "unknown pass `{name}` (passes: {})",
-            known.join(", ")
-        ))
-    })?;
-    println!("pass {}: {}", info.name, info.summary);
-    println!();
-    println!("{}", info.details);
-    if !info.counters.is_empty() {
+    let registry_backend = name
+        .strip_prefix("schedule:")
+        .and_then(lookup_backend)
+        .filter(|entry| entry.pass == name);
+    if let Some(entry) = &registry_backend {
+        let info = entry.scheduler.describe();
+        println!("pass {}: {}", entry.pass, info.summary);
+        println!();
+        if info.details.is_empty() {
+            println!("no explanation available");
+        } else {
+            println!("{}", info.details);
+        }
         println!();
         println!("counters:");
-        for (key, meaning) in info.counters {
+        for (key, meaning) in lsms_pipeline::SCHED_COUNTERS {
             println!("  {key:<20} {meaning}");
+        }
+    } else {
+        let info = pass_info(name).ok_or_else(|| {
+            LsmsError::usage(format!(
+                "unknown pass `{name}` (passes: {})",
+                known_pass_names().join(", ")
+            ))
+        })?;
+        println!("pass {}: {}", info.name, info.summary);
+        println!();
+        println!("{}", info.details);
+        if !info.counters.is_empty() {
+            println!();
+            println!("counters:");
+            for (key, meaning) in info.counters {
+                println!("  {key:<20} {meaning}");
+            }
         }
     }
     let report = session.report();
@@ -404,10 +485,18 @@ fn write_trace_outputs(options: &Options) -> Result<(), LsmsError> {
 
 fn main() -> ExitCode {
     let options = parse_args();
+    if options.list_backends {
+        print!("{}", list_backends_text());
+        return ExitCode::SUCCESS;
+    }
     if options.trace.is_some() || options.metrics.is_some() {
         lsms_trace::set_enabled(true);
     }
     let session = CompileSession::new(session_config(&options));
+    if let Err(e) = session.validate() {
+        eprintln!("lsmsc: {}", e.render(None));
+        return ExitCode::from(e.exit_code());
+    }
 
     let mut code = 0u8;
     if options.eval_corpus {

@@ -109,6 +109,77 @@ fn machine_and_policy_flags_are_honoured() {
 }
 
 #[test]
+fn list_backends_names_every_builtin_with_flags() {
+    let out = lsmsc().arg("--list-backends").output().expect("runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    for name in ["slack", "early", "late", "cydrome"] {
+        assert!(text.contains(name), "{text}");
+    }
+    assert!(text.contains("capabilities ["), "{text}");
+    assert!(text.contains("warm-start"), "{text}");
+}
+
+#[test]
+fn backend_flag_selects_and_configures_a_backend() {
+    let path = write_loop("lsmsc_daxpy_backend.loop", DAXPY);
+    let out = lsmsc()
+        .arg(&path)
+        .args(["--backend", "cydrome", "--emit", "sched"])
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let out = lsmsc()
+        .arg(&path)
+        .args(["--backend", "slack:increment=by-one", "--emit", "sched"])
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn unknown_backend_is_a_stable_usage_error() {
+    let path = write_loop("lsmsc_daxpy_badbackend.loop", DAXPY);
+    let out = lsmsc()
+        .arg(&path)
+        .args(["--backend", "quantum"])
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("error[E0003]"), "{err}");
+    assert!(err.contains("unknown backend `quantum`"), "{err}");
+    assert!(err.contains("slack"), "lists registered names: {err}");
+}
+
+#[test]
+fn explain_pass_describes_backends_from_the_registry() {
+    let out = lsmsc()
+        .args(["--explain-pass", "schedule:cydrome"])
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("Cydrome-style baseline"), "{text}");
+}
+
+#[test]
 fn compile_errors_are_reported_with_location() {
     let path = write_loop("lsmsc_bad.loop", "loop b(i = 1..9) { real x[]; x[i] = q; }");
     let out = lsmsc().arg(&path).output().expect("runs");

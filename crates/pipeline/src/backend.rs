@@ -1,0 +1,310 @@
+//! The scheduler-backend registry: the process-wide table of
+//! [`ModuloScheduler`] trait objects a [`CompileSession`](crate::CompileSession)
+//! dispatches through.
+//!
+//! The registry is seeded with the four built-in backends (`slack`,
+//! `early`, `late`, `cydrome`) and is extensible: any crate may call
+//! [`register_backend`] before building a session, and the new backend is
+//! immediately selectable by name, listed by `--list-backends`, timed
+//! under its derived `schedule:<name>` pass label, and usable as a
+//! degradation target — with no edits to the session's dispatch code.
+//!
+//! Pass labels for runtime-registered backends are interned (leaked once
+//! per distinct name) because [`PassReport`](crate::PassReport) and the
+//! trace layer key on `&'static str`; the built-ins reuse the string
+//! literals already in [`PASSES`](crate::PASSES), so their report rows
+//! sort in canonical pipeline order exactly as before.
+
+use std::sync::{Arc, OnceLock, RwLock};
+
+use lsms_sched::{CydromeBackend, ModuloScheduler, SlackBackend};
+
+use crate::error::LsmsError;
+
+/// One resolved registry entry: the shared backend object plus the
+/// interned pass label every report row and trace span for it uses.
+#[derive(Clone, Debug)]
+pub struct BackendEntry {
+    /// The backend, shared across the session's worker threads.
+    pub scheduler: Arc<dyn ModuloScheduler>,
+    /// The interned `schedule:<name>` pass label.
+    pub pass: &'static str,
+}
+
+/// Which backend a session runs, by registry name, plus the `key=value`
+/// options forwarded to [`ModuloScheduler::configure`]. Replaces the
+/// closed `SchedulerBackend` enum of earlier revisions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BackendSelection {
+    /// The registry name (`slack`, `cydrome`, ...).
+    pub name: String,
+    /// Backend-specific options, applied in order.
+    pub options: Vec<(String, String)>,
+}
+
+impl Default for BackendSelection {
+    fn default() -> Self {
+        Self::named("slack")
+    }
+}
+
+impl BackendSelection {
+    /// Selects a backend by name with no options.
+    pub fn named(name: &str) -> Self {
+        Self {
+            name: name.to_owned(),
+            options: Vec::new(),
+        }
+    }
+
+    /// Parses a `NAME[:key=val,...]` spec, the `--backend` syntax.
+    ///
+    /// # Errors
+    ///
+    /// `E0003` when the name is empty or an option is not `key=value`.
+    /// Whether the name exists is checked at resolution time, against
+    /// whatever is registered then.
+    pub fn parse(spec: &str) -> Result<Self, LsmsError> {
+        let (name, opts) = match spec.split_once(':') {
+            Some((name, opts)) => (name, Some(opts)),
+            None => (spec, None),
+        };
+        if name.is_empty() {
+            return Err(LsmsError::backend(format!(
+                "empty backend name in `{spec}` (want NAME[:key=val,...])"
+            )));
+        }
+        let mut options = Vec::new();
+        if let Some(opts) = opts {
+            for part in opts.split(',') {
+                let pair = part.split_once('=');
+                let Some((key, value)) = pair.filter(|(k, v)| !k.is_empty() && !v.is_empty())
+                else {
+                    return Err(LsmsError::backend(format!(
+                        "malformed backend option `{part}` (want key=value)"
+                    )));
+                };
+                options.push((key.to_owned(), value.to_owned()));
+            }
+        }
+        Ok(Self {
+            name: name.to_owned(),
+            options,
+        })
+    }
+}
+
+static REGISTRY: OnceLock<RwLock<Vec<BackendEntry>>> = OnceLock::new();
+
+fn registry() -> &'static RwLock<Vec<BackendEntry>> {
+    REGISTRY.get_or_init(|| {
+        RwLock::new(vec![
+            BackendEntry {
+                scheduler: Arc::new(SlackBackend::bidirectional()),
+                pass: "schedule:slack",
+            },
+            BackendEntry {
+                scheduler: Arc::new(SlackBackend::early()),
+                pass: "schedule:early",
+            },
+            BackendEntry {
+                scheduler: Arc::new(SlackBackend::late()),
+                pass: "schedule:late",
+            },
+            BackendEntry {
+                scheduler: Arc::new(CydromeBackend::new()),
+                pass: "schedule:cydrome",
+            },
+        ])
+    })
+}
+
+/// Registers a backend process-wide, making it selectable by
+/// [`BackendSelection`] and visible to `--list-backends`. Call before
+/// building the sessions that should see it.
+///
+/// The backend's `schedule:<name>` pass label is interned here — matched
+/// to the static [`PASSES`](crate::PASSES) literal when one exists, leaked
+/// once otherwise — so its report rows and trace spans carry a `'static`
+/// name like every built-in pass.
+///
+/// # Errors
+///
+/// `E0003` when the name is empty, contains `:`/`,`/`=`/whitespace, or is
+/// already registered.
+pub fn register_backend(scheduler: Arc<dyn ModuloScheduler>) -> Result<(), LsmsError> {
+    let name = scheduler.name().to_owned();
+    if name.is_empty()
+        || name
+            .chars()
+            .any(|c| matches!(c, ':' | ',' | '=') || c.is_whitespace())
+    {
+        return Err(LsmsError::backend(format!(
+            "invalid backend name `{name}` (must be non-empty and free of \
+             `:`, `,`, `=`, and whitespace)"
+        )));
+    }
+    let mut entries = registry().write().expect("backend registry lock");
+    if entries.iter().any(|e| e.scheduler.name() == name) {
+        return Err(LsmsError::backend(format!(
+            "backend `{name}` is already registered"
+        )));
+    }
+    let label = format!("schedule:{name}");
+    let pass = match crate::passes::pass_info(&label) {
+        Some(info) => info.name,
+        None => Box::leak(label.into_boxed_str()),
+    };
+    entries.push(BackendEntry { scheduler, pass });
+    Ok(())
+}
+
+/// A snapshot of every registered backend, in registration order
+/// (built-ins first).
+pub fn registered_backends() -> Vec<BackendEntry> {
+    registry().read().expect("backend registry lock").clone()
+}
+
+/// Looks up one backend by registry name.
+pub fn lookup_backend(name: &str) -> Option<BackendEntry> {
+    registry()
+        .read()
+        .expect("backend registry lock")
+        .iter()
+        .find(|e| e.scheduler.name() == name)
+        .cloned()
+}
+
+/// The names of every registered backend, in registration order.
+pub fn backend_names() -> Vec<String> {
+    registry()
+        .read()
+        .expect("backend registry lock")
+        .iter()
+        .map(|e| e.scheduler.name().to_owned())
+        .collect()
+}
+
+/// Resolves a selection against the registry, applying its options.
+///
+/// # Errors
+///
+/// `E0003` naming the registered backends when the name is unknown, or
+/// relaying the backend's complaint when an option is rejected.
+pub fn resolve_backend(selection: &BackendSelection) -> Result<BackendEntry, LsmsError> {
+    let Some(entry) = lookup_backend(&selection.name) else {
+        return Err(LsmsError::backend(format!(
+            "unknown backend `{}` (backends: {})",
+            selection.name,
+            backend_names().join(", ")
+        )));
+    };
+    if selection.options.is_empty() {
+        return Ok(entry);
+    }
+    let scheduler = entry
+        .scheduler
+        .configure(&selection.options)
+        .map_err(|msg| LsmsError::backend(format!("backend `{}`: {msg}", selection.name)))?;
+    Ok(BackendEntry {
+        scheduler,
+        pass: entry.pass,
+    })
+}
+
+/// The `--list-backends` text: one block per backend with its capability
+/// flags and one-line summary. `xtask backend-audit` asserts this stays
+/// consistent with the [`PASSES`](crate::PASSES) registry.
+pub fn list_backends_text() -> String {
+    let mut out = String::from("registered backends (--backend NAME[:key=val,...]):\n");
+    for entry in registered_backends() {
+        out.push_str(&format!(
+            "  {:<10} {}\n  {:<10} capabilities {}\n",
+            entry.scheduler.name(),
+            entry.scheduler.describe().summary,
+            "",
+            entry.scheduler.capabilities().flags(),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtins_are_seeded_with_canonical_pass_labels() {
+        for (name, pass) in [
+            ("slack", "schedule:slack"),
+            ("early", "schedule:early"),
+            ("late", "schedule:late"),
+            ("cydrome", "schedule:cydrome"),
+        ] {
+            let entry = lookup_backend(name).expect(name);
+            assert_eq!(entry.pass, pass);
+            assert_eq!(entry.scheduler.name(), name);
+            assert!(crate::passes::pass_info(entry.pass).is_some());
+        }
+        assert!(lookup_backend("quantum").is_none());
+    }
+
+    #[test]
+    fn selection_parsing_round_trips_and_rejects_garbage() {
+        assert_eq!(
+            BackendSelection::parse("slack").unwrap(),
+            BackendSelection::named("slack")
+        );
+        let sel = BackendSelection::parse("slack:increment=by-one,budget-factor=3").unwrap();
+        assert_eq!(sel.name, "slack");
+        assert_eq!(
+            sel.options,
+            vec![
+                ("increment".to_owned(), "by-one".to_owned()),
+                ("budget-factor".to_owned(), "3".to_owned()),
+            ]
+        );
+        for bad in ["", ":x=y", "slack:increment", "slack:=y", "slack:k="] {
+            let err = BackendSelection::parse(bad).unwrap_err();
+            assert_eq!(err.code, "E0003", "{bad}");
+        }
+    }
+
+    #[test]
+    fn resolution_applies_options_and_reports_unknown_names() {
+        let entry =
+            resolve_backend(&BackendSelection::parse("slack:budget-factor=7").unwrap()).unwrap();
+        assert_eq!(entry.scheduler.verify_config().unwrap().budget_factor, 7);
+        assert_eq!(entry.pass, "schedule:slack");
+
+        let err = resolve_backend(&BackendSelection::named("quantum")).unwrap_err();
+        assert_eq!(err.code, "E0003");
+        assert!(err.message.contains("slack"), "{}", err.message);
+        assert!(err.message.contains("cydrome"), "{}", err.message);
+
+        let err = resolve_backend(&BackendSelection::parse("cydrome:increment=by-one").unwrap())
+            .unwrap_err();
+        assert_eq!(err.code, "E0003");
+        assert!(err.message.contains("unknown option"), "{}", err.message);
+    }
+
+    #[test]
+    fn registration_rejects_bad_and_duplicate_names() {
+        let err = register_backend(Arc::new(SlackBackend::bidirectional())).unwrap_err();
+        assert_eq!(err.code, "E0003");
+        assert!(
+            err.message.contains("already registered"),
+            "{}",
+            err.message
+        );
+    }
+
+    #[test]
+    fn listing_names_every_backend_with_flags() {
+        let text = list_backends_text();
+        for name in backend_names() {
+            assert!(text.contains(&name), "{text}");
+        }
+        assert!(text.contains("capabilities ["), "{text}");
+    }
+}

@@ -127,6 +127,13 @@ impl LsmsError {
         Self::new(Stage::Usage, "E0002", message)
     }
 
+    /// An unknown or malformed scheduler-backend selection (`E0003`):
+    /// a `--backend` name absent from the registry, or an option its
+    /// backend rejects.
+    pub fn backend(message: impl Into<String>) -> Self {
+        Self::new(Stage::Usage, "E0003", message)
+    }
+
     /// A front-end error attributed to an explicit stage: the front end
     /// reports lexical, syntactic, and semantic problems with one type,
     /// so the session tags each with the pass that raised it.

@@ -36,17 +36,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 mod error;
 pub mod passes;
 mod report;
 mod session;
 
+pub use backend::{
+    list_backends_text, lookup_backend, register_backend, registered_backends, resolve_backend,
+    BackendEntry, BackendSelection,
+};
 pub use error::{LsmsError, Stage};
-pub use passes::{pass_info, PassInfo, PASSES};
+pub use passes::{pass_info, PassInfo, PASSES, SCHED_COUNTERS};
 pub use report::{PassRecord, PassReport};
 pub use session::{
-    CompileSession, LoopArtifacts, LoopEvaluation, PassBudget, SchedOutcome, SchedulerBackend,
-    SessionConfig, VerifySpec,
+    CompileSession, LoopArtifacts, LoopEvaluation, PassBudget, SchedOutcome, SessionConfig,
+    VerifySpec,
 };
 
 #[cfg(test)]
@@ -143,16 +148,43 @@ mod tests {
 
     #[test]
     fn backend_pass_names_are_stable() {
-        let slack = |d| {
-            SchedulerBackend::Slack(SlackConfig {
-                direction: d,
-                ..SlackConfig::default()
-            })
-            .pass_name()
-        };
-        assert_eq!(slack(DirectionPolicy::Bidirectional), "schedule:slack");
-        assert_eq!(slack(DirectionPolicy::AlwaysEarly), "schedule:early");
-        assert_eq!(slack(DirectionPolicy::AlwaysLate), "schedule:late");
-        assert_eq!(SchedulerBackend::Cydrome.pass_name(), "schedule:cydrome");
+        for (name, pass) in [
+            ("slack", "schedule:slack"),
+            ("early", "schedule:early"),
+            ("late", "schedule:late"),
+            ("cydrome", "schedule:cydrome"),
+        ] {
+            let entry = lookup_backend(name).expect(name);
+            assert_eq!(entry.pass, pass);
+        }
+        // Backend directions line up with the passes they're named after.
+        let early = lookup_backend("early").unwrap();
+        assert_eq!(
+            early.scheduler.verify_config().unwrap().direction,
+            DirectionPolicy::AlwaysEarly
+        );
+        let _ = SlackConfig::default();
+    }
+
+    #[test]
+    fn sessions_surface_backend_errors_lazily() {
+        let mut config = SessionConfig::new(huff_machine());
+        config.backend = BackendSelection::named("quantum");
+        let session = CompileSession::new(config);
+        let err = session.validate().unwrap_err();
+        assert_eq!((err.stage, err.code), (Stage::Usage, "E0003"));
+        let unit = session.compile_source(DAXPY).expect("compiles");
+        let err = session.run_loop(&unit.loops[0]).unwrap_err();
+        assert_eq!(err.code, "E0003");
+
+        // Straight-line on a backend without the capability is a usage
+        // error surfaced by the same accessor.
+        let mut config = SessionConfig::new(huff_machine());
+        config.backend = BackendSelection::named("cydrome");
+        config.straight_line = true;
+        let session = CompileSession::new(config);
+        let err = session.validate().unwrap_err();
+        assert_eq!(err.code, "E0002");
+        assert!(err.message.contains("straight-line"), "{}", err.message);
     }
 }

@@ -174,7 +174,11 @@ pub const PASSES: &[PassInfo] = &[
     },
 ];
 
-const SCHED_COUNTERS: &[(&str, &str)] = &[
+/// The counters every `schedule:*` pass records — shared by the built-in
+/// backends and, by convention, by runtime-registered ones (the
+/// `backend-audit` xtask checks the built-ins keep using exactly this
+/// set).
+pub const SCHED_COUNTERS: &[(&str, &str)] = &[
     ("ii", "sum of achieved IIs"),
     ("central_iterations", "central-loop iterations (§4.2)"),
     ("step3_invocations", "ejection (Step 3) invocations"),

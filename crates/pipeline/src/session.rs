@@ -19,38 +19,14 @@ use lsms_machine::Machine;
 use lsms_regalloc::{allocate_rotating, RotatingAllocation, Strategy};
 use lsms_sched::pressure::{gpr_count, measure_cached, min_avg_cached};
 use lsms_sched::{
-    validate, CydromeScheduler, DecisionStats, DirectionPolicy, MinDistCache, PressureReport,
-    SchedProblem, SchedStats, Schedule, SlackConfig, SlackScheduler,
+    validate, DecisionStats, EngineWorkspace, MinDistCache, PressureReport, SchedContext,
+    SchedProblem, SchedStats, Schedule,
 };
 use lsms_sim::{check_equivalence, check_equivalence_mve, EquivReport, RunConfig};
 
+use crate::backend::{lookup_backend, resolve_backend, BackendEntry, BackendSelection};
 use crate::error::{LsmsError, Stage};
 use crate::report::PassReport;
-
-/// Which modulo scheduler a session runs.
-#[derive(Clone, Debug)]
-pub enum SchedulerBackend {
-    /// The slack scheduler (§4–§5) with the given configuration; the
-    /// direction policy picks the pass name (`schedule:slack`,
-    /// `schedule:early`, `schedule:late`).
-    Slack(SlackConfig),
-    /// The Cydrome-style baseline (`schedule:cydrome`).
-    Cydrome,
-}
-
-impl SchedulerBackend {
-    /// The backend's pass name in reports.
-    pub fn pass_name(&self) -> &'static str {
-        match self {
-            SchedulerBackend::Slack(config) => match config.direction {
-                DirectionPolicy::Bidirectional => "schedule:slack",
-                DirectionPolicy::AlwaysEarly => "schedule:early",
-                DirectionPolicy::AlwaysLate => "schedule:late",
-            },
-            SchedulerBackend::Cydrome => "schedule:cydrome",
-        }
-    }
-}
 
 /// A wall-clock deadline for one pass. When an invocation overruns it,
 /// the session emits a `budget_exceeded` trace event and bumps the
@@ -88,8 +64,14 @@ impl VerifySpec {
 pub struct SessionConfig {
     /// Target machine description.
     pub machine: Machine,
-    /// Scheduler backend (default: bidirectional slack).
-    pub backend: SchedulerBackend,
+    /// Scheduler backend, by registry name with `key=value` options
+    /// (default: bidirectional slack). Resolved against the
+    /// [backend registry](crate::backend) when the session is built.
+    pub backend: BackendSelection,
+    /// The backend a budget-capped schedule pass degrades to, by registry
+    /// name (default `cydrome`). Only consulted when a [`PassBudget`]
+    /// covers the primary scheduling pass.
+    pub degrade_to: String,
     /// Unroll factor applied before scheduling (1 = off).
     pub unroll: u32,
     /// Schedule as a single basic block instead of a modulo pipeline.
@@ -113,7 +95,8 @@ impl SessionConfig {
     pub fn new(machine: Machine) -> Self {
         Self {
             machine,
-            backend: SchedulerBackend::Slack(SlackConfig::default()),
+            backend: BackendSelection::default(),
+            degrade_to: "cydrome".to_owned(),
             unroll: 1,
             straight_line: false,
             regalloc: false,
@@ -214,14 +197,40 @@ pub struct LoopEvaluation {
 #[derive(Debug)]
 pub struct CompileSession {
     config: SessionConfig,
+    /// The configured backend, resolved once at build time so every
+    /// worker thread shares one `Arc`; resolution failure is kept as data
+    /// and surfaced by [`backend`](Self::backend) / [`validate`](Self::validate).
+    primary: Result<BackendEntry, LsmsError>,
+    /// The degradation target (`config.degrade_to`), resolved likewise.
+    fallback: Result<BackendEntry, LsmsError>,
+    /// The three-scheduler evaluation trio (`slack`, `early`, `cydrome`),
+    /// resolved once so the parallel corpus pool shares the `Arc`s.
+    eval: [BackendEntry; 3],
     report: Mutex<PassReport>,
 }
 
 impl CompileSession {
     /// A session over an explicit configuration.
+    ///
+    /// Building never fails: an unknown backend name is carried as a
+    /// deferred diagnostic that [`validate`](Self::validate) or the first
+    /// scheduling call surfaces.
     pub fn new(config: SessionConfig) -> Self {
+        let primary = resolve_backend(&config.backend);
+        let fallback = lookup_backend(&config.degrade_to).ok_or_else(|| {
+            LsmsError::backend(format!(
+                "unknown degradation backend `{}` (backends: {})",
+                config.degrade_to,
+                crate::backend::backend_names().join(", ")
+            ))
+        });
+        let eval = ["slack", "early", "cydrome"]
+            .map(|name| lookup_backend(name).expect("built-in backend registered"));
         Self {
             config,
+            primary,
+            fallback,
+            eval,
             report: Mutex::new(PassReport::new()),
         }
     }
@@ -234,6 +243,38 @@ impl CompileSession {
     /// The session's configuration.
     pub fn config(&self) -> &SessionConfig {
         &self.config
+    }
+
+    /// The resolved primary backend.
+    ///
+    /// # Errors
+    ///
+    /// `E0003` when the configured name is unknown or its options were
+    /// rejected; `E0002` when the configuration asks for straight-line
+    /// scheduling from a backend without that capability.
+    pub fn backend(&self) -> Result<&BackendEntry, LsmsError> {
+        let entry = self.primary.as_ref().map_err(Clone::clone)?;
+        if self.config.straight_line && !entry.scheduler.capabilities().straight_line {
+            return Err(LsmsError::usage(format!(
+                "backend `{}` does not support --straight-line",
+                entry.scheduler.name()
+            )));
+        }
+        Ok(entry)
+    }
+
+    /// Checks the whole backend configuration eagerly — primary backend,
+    /// capability requirements, degradation target — so drivers can fail
+    /// fast instead of erroring on the first loop.
+    ///
+    /// # Errors
+    ///
+    /// As [`backend`](Self::backend), plus `E0003` for an unknown
+    /// `degrade_to` name.
+    pub fn validate(&self) -> Result<(), LsmsError> {
+        self.backend()?;
+        self.fallback.as_ref().map_err(Clone::clone)?;
+        Ok(())
     }
 
     /// A snapshot of everything measured so far.
@@ -359,19 +400,22 @@ impl CompileSession {
         Ok(problem?)
     }
 
-    /// Runs the configured schedule pass, keeping failure as data.
+    /// Runs the schedule pass through one registry entry, keeping failure
+    /// as data.
     ///
-    /// When a [`PassBudget`] covers the scheduling pass, its limit becomes
-    /// a wall-clock deadline on II escalation; a deadline-capped failure
-    /// degrades to the cheap Cydrome baseline (recorded under
-    /// `schedule:cydrome` with a `degraded` counter) instead of failing
-    /// the loop.
+    /// When a [`PassBudget`] covers the entry's pass, its limit becomes a
+    /// wall-clock deadline on II escalation; a deadline-capped failure
+    /// degrades to the registry backend named by
+    /// [`SessionConfig::degrade_to`] (recorded under that backend's own
+    /// pass label with a `degraded` counter) instead of failing the loop.
     fn schedule(
         &self,
+        entry: &BackendEntry,
         problem: &SchedProblem<'_>,
         cache: &MinDistCache,
+        ws: &mut EngineWorkspace,
     ) -> Result<Schedule, lsms_sched::SchedFailure> {
-        let pass = self.config.backend.pass_name();
+        let pass = entry.pass;
         let deadline = self
             .config
             .budgets
@@ -379,17 +423,14 @@ impl CompileSession {
             .find(|b| b.pass == pass)
             .map(|b| Instant::now() + b.limit);
         let started = Instant::now();
-        let _span = lsms_trace::span(pass);
-        let result = match &self.config.backend {
-            SchedulerBackend::Slack(config) => {
-                let scheduler = SlackScheduler::with_config(config.clone());
-                if self.config.straight_line {
-                    scheduler.run_straight_line(problem)
-                } else {
-                    scheduler.run_cached_with_deadline(problem, cache, deadline)
-                }
-            }
-            SchedulerBackend::Cydrome => CydromeScheduler::new().run_cached(problem, cache),
+        let result = {
+            let _span = lsms_trace::span(pass);
+            let ctx = SchedContext {
+                pass,
+                deadline,
+                straight_line: self.config.straight_line,
+            };
+            entry.scheduler.run(problem, cache, ws, &ctx).result
         };
         let capped = matches!(&result, Err(f) if f.deadline_capped);
         let (stats, counters) = match &result {
@@ -414,23 +455,31 @@ impl CompileSession {
         if !capped {
             return result;
         }
+        let Ok(fallback_entry) = &self.fallback else {
+            // Unknown degrade_to name and validate() was skipped: surface
+            // the capped failure rather than degrade to nothing.
+            return result;
+        };
 
         // Budget-driven degradation: the configured backend blew its
-        // wall-clock budget mid-escalation. Retry with the cheapest
-        // backend rather than reporting the loop unschedulable.
+        // wall-clock budget mid-escalation. Retry with the configured
+        // fallback backend rather than reporting the loop unschedulable.
         let last_ii = result.as_ref().err().map_or(0, |f| f.last_ii);
         lsms_trace::instant("sched.degrade", &[("last_ii", i64::from(last_ii))]);
         let started = Instant::now();
         let fallback = {
-            let _span = lsms_trace::span("schedule:cydrome");
-            CydromeScheduler::new().run_cached(problem, cache)
+            let _span = lsms_trace::span(fallback_entry.pass);
+            fallback_entry
+                .scheduler
+                .run(problem, cache, ws, &SchedContext::new(fallback_entry.pass))
+                .result
         };
         let (stats, counters) = match &fallback {
             Ok(s) => (&s.stats, [("ii", u64::from(s.ii)), ("failures", 0)]),
             Err(f) => (&f.stats, [("ii", 0), ("failures", 1)]),
         };
         self.record(
-            "schedule:cydrome",
+            fallback_entry.pass,
             started,
             &[
                 counters[0],
@@ -523,10 +572,11 @@ impl CompileSession {
             compiled.body.clone()
         };
 
+        let backend = self.backend()?.clone();
         let cache = MinDistCache::new();
         let (schedule, rr, icr, kernel, mve) = {
             let problem = self.depgraph(&body)?;
-            let schedule = self.schedule(&problem, &cache);
+            let schedule = self.schedule(&backend, &problem, &cache, &mut EngineWorkspace::new());
             self.record_mindist(&cache);
             let schedule = schedule?;
             if !cfg.straight_line {
@@ -606,7 +656,8 @@ impl CompileSession {
                  (drop --unroll / --straight-line)",
             ));
         }
-        let SchedulerBackend::Slack(slack) = &cfg.backend else {
+        let backend = self.backend()?;
+        let Some(slack) = backend.scheduler.verify_config() else {
             return Err(LsmsError::usage(
                 "simulate-verify requires a slack scheduler backend",
             ));
@@ -614,7 +665,7 @@ impl CompileSession {
         let run = RunConfig {
             trip: spec.trip,
             seed: spec.seed,
-            scheduler: slack.clone(),
+            scheduler: slack,
         };
         let started = Instant::now();
         let _span = lsms_trace::span("simulate-verify");
@@ -637,9 +688,14 @@ impl CompileSession {
     /// failure as data (`ii: None` plus the last II attempted) while
     /// earlier-stage problems still propagate as errors.
     pub fn schedule_outcome(&self, compiled: &CompiledLoop) -> Result<SchedOutcome, LsmsError> {
+        let backend = self.backend()?.clone();
         let cache = MinDistCache::new();
         let problem = self.depgraph(&compiled.body)?;
-        let outcome = outcome_of(self.schedule(&problem, &cache), &problem, &cache);
+        let outcome = outcome_of(
+            self.schedule(&backend, &problem, &cache, &mut EngineWorkspace::new()),
+            &problem,
+            &cache,
+        );
         self.record_mindist(&cache);
         Ok(outcome)
     }
@@ -662,44 +718,30 @@ impl CompileSession {
         let mii = problem.mii();
         let cache = MinDistCache::new();
 
-        let run_slack = |direction: DirectionPolicy| -> (SchedOutcome, DecisionStats) {
-            let pass = match direction {
-                DirectionPolicy::Bidirectional => "schedule:slack",
-                DirectionPolicy::AlwaysEarly => "schedule:early",
-                DirectionPolicy::AlwaysLate => "schedule:late",
-            };
-            let scheduler = SlackScheduler::with_config(SlackConfig {
-                direction,
-                ..SlackConfig::default()
-            });
+        // The trio entries were resolved once at session build, so the
+        // parallel corpus workers all share the same backend `Arc`s.
+        let run_entry = |entry: &BackendEntry| -> (SchedOutcome, DecisionStats) {
             let started = Instant::now();
-            let (result, decisions) = {
-                let _span = lsms_trace::span(pass);
-                scheduler.run_with_decisions_cached(&problem, &cache)
-            };
-            let outcome = outcome_of(result, &problem, &cache);
-            self.record_outcome(pass, started, &outcome);
-            (outcome, decisions)
-        };
-        let run_old = || {
-            let started = Instant::now();
-            let outcome = {
-                let _span = lsms_trace::span("schedule:cydrome");
-                outcome_of(
-                    CydromeScheduler::new().run_cached(&problem, &cache),
+            let run = {
+                let _span = lsms_trace::span(entry.pass);
+                entry.scheduler.run(
                     &problem,
                     &cache,
+                    &mut EngineWorkspace::new(),
+                    &SchedContext::new(entry.pass),
                 )
             };
-            self.record_outcome("schedule:cydrome", started, &outcome);
-            outcome
+            let outcome = outcome_of(run.result, &problem, &cache);
+            self.record_outcome(entry.pass, started, &outcome);
+            (outcome, run.decisions)
         };
+        let [slack, early_entry, cydrome] = &self.eval;
 
-        let ((new, decisions), (early, _), old) = if fan_out {
+        let ((new, decisions), (early, _), (old, _)) = if fan_out {
             std::thread::scope(|s| {
-                let new = s.spawn(|| run_slack(DirectionPolicy::Bidirectional));
-                let early = s.spawn(|| run_slack(DirectionPolicy::AlwaysEarly));
-                let old = s.spawn(run_old);
+                let new = s.spawn(|| run_entry(slack));
+                let early = s.spawn(|| run_entry(early_entry));
+                let old = s.spawn(|| run_entry(cydrome));
                 (
                     new.join().expect("bidirectional run panicked"),
                     early.join().expect("always-early run panicked"),
@@ -707,11 +749,7 @@ impl CompileSession {
                 )
             })
         } else {
-            (
-                run_slack(DirectionPolicy::Bidirectional),
-                run_slack(DirectionPolicy::AlwaysEarly),
-                run_old(),
-            )
+            (run_entry(slack), run_entry(early_entry), run_entry(cydrome))
         };
 
         let min_avg_at_mii = min_avg_cached(&problem, mii, &cache);

@@ -16,7 +16,7 @@
 
 use lsms_ir::tarjan_scc;
 
-use crate::engine::{run_framework, Direction, EngineState, Heuristic};
+use crate::engine::{run_framework, Direction, EngineState, EngineWorkspace, Heuristic};
 use crate::{DecisionStats, MinDistCache, SchedFailure, SchedProblem, Schedule};
 
 /// The baseline scheduler reproducing Cydrome's behaviour as described in
@@ -83,6 +83,23 @@ impl CydromeScheduler {
         problem: &SchedProblem<'_>,
         cache: &MinDistCache,
     ) -> Result<Schedule, SchedFailure> {
+        self.run_cached_in(problem, cache, &mut EngineWorkspace::new())
+    }
+
+    /// As [`run_cached`](Self::run_cached), drawing every per-attempt
+    /// allocation from a caller-owned [`EngineWorkspace`] (reuse is
+    /// allocation-only: results are byte-identical). This is the entry
+    /// point [`ModuloScheduler`](crate::ModuloScheduler) adapters use.
+    ///
+    /// # Errors
+    ///
+    /// As [`run_cached`](Self::run_cached).
+    pub fn run_cached_in(
+        &self,
+        problem: &SchedProblem<'_>,
+        cache: &MinDistCache,
+        ws: &mut EngineWorkspace,
+    ) -> Result<Schedule, SchedFailure> {
         let mut decisions = DecisionStats::default();
         let max_ii = self
             .max_ii
@@ -98,6 +115,7 @@ impl CydromeScheduler {
             None,
             cache,
             &mut decisions,
+            ws,
         )
     }
 }

@@ -57,8 +57,13 @@ pub(crate) trait Heuristic {
 /// cold-started one; what escalation no longer pays is the dozen fresh
 /// allocations per attempt (the MinDist matrix itself is the
 /// [`MinDistCache`]'s two-tier job).
-#[derive(Default)]
-pub(crate) struct EngineWorkspace {
+///
+/// The workspace is public (with opaque contents) so that callers outside
+/// this crate — notably [`ModuloScheduler`](crate::ModuloScheduler)
+/// implementations and the pipeline's backend registry — can own one and
+/// thread it through repeated scheduler runs.
+#[derive(Debug, Default)]
+pub struct EngineWorkspace {
     time: Vec<Option<i64>>,
     estart: Vec<i64>,
     lstart: Vec<i64>,
@@ -73,6 +78,14 @@ pub(crate) struct EngineWorkspace {
     /// Scratch for the per-class round-robin cursors.
     next_instance: Vec<u32>,
     mrt: Option<Mrt>,
+}
+
+impl EngineWorkspace {
+    /// An empty workspace; allocations grow on first use and are recycled
+    /// by every subsequent run that borrows it.
+    pub fn new() -> Self {
+        Self::default()
+    }
 }
 
 /// Mutable scheduling state for one II attempt, visible to heuristics.
@@ -643,6 +656,7 @@ pub(crate) fn run_framework(
     deadline: Option<std::time::Instant>,
     cache: &MinDistCache,
     decisions: &mut DecisionStats,
+    ws: &mut EngineWorkspace,
 ) -> Result<Schedule, crate::SchedFailure> {
     run_framework_from(
         problem,
@@ -655,6 +669,7 @@ pub(crate) fn run_framework(
         deadline,
         cache,
         decisions,
+        ws,
     )
 }
 
@@ -673,13 +688,14 @@ pub(crate) fn run_framework_from(
     deadline: Option<std::time::Instant>,
     cache: &MinDistCache,
     decisions: &mut DecisionStats,
+    // The warm-start workspace: allocations survive failed attempts (and,
+    // when the caller keeps the workspace, whole runs).
+    ws: &mut EngineWorkspace,
 ) -> Result<Schedule, crate::SchedFailure> {
     let started = std::time::Instant::now();
     let mut stats = SchedStats::default();
     let budget = budget_factor * (problem.num_real_ops() as u64 + 1);
     let mut ii = start_ii.max(1);
-    // The warm-start workspace: allocations survive failed attempts.
-    let mut ws = EngineWorkspace::default();
     loop {
         stats.attempts += 1;
         match attempt(
@@ -689,7 +705,7 @@ pub(crate) fn run_framework_from(
             budget,
             straight_line,
             cache,
-            &mut ws,
+            ws,
             &mut stats,
             decisions,
         ) {

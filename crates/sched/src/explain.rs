@@ -102,6 +102,23 @@ pub fn live_vector_chart(problem: &SchedProblem<'_>, schedule: &Schedule) -> Str
     out
 }
 
+/// As [`report`], prefixed with the identity of the backend that produced
+/// the schedule — the driver uses this so `--emit report` names whichever
+/// registered backend ran, not just the built-in slack scheduler.
+pub fn report_for_backend(
+    problem: &SchedProblem<'_>,
+    schedule: &Schedule,
+    backend: &dyn crate::ModuloScheduler,
+) -> String {
+    let mut out = format!(
+        "backend `{}`: {}\n",
+        backend.name(),
+        backend.describe().summary
+    );
+    out.push_str(&report(problem, schedule));
+    out
+}
+
 /// A one-stop textual report: bounds, timeline, lifetimes, pressure.
 pub fn report(problem: &SchedProblem<'_>, schedule: &Schedule) -> String {
     // One cache spans both MinDist consumers (pressure, lifetime table).

@@ -47,6 +47,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod bounds;
 pub mod cydrome;
 mod engine;
@@ -59,8 +60,13 @@ pub mod slack;
 pub mod stats;
 pub mod svg;
 
+pub use backend::{
+    BackendCaps, BackendInfo, BackendRun, CydromeBackend, ModuloScheduler, SchedContext,
+    SlackBackend,
+};
 pub use bounds::{mii, rec_mii, rec_mii_min_ratio, res_mii};
 pub use cydrome::CydromeScheduler;
+pub use engine::EngineWorkspace;
 pub use mindist::{MinDist, MinDistCache, MinDistCacheStats, ParametricMinDist};
 pub use pressure::PressureReport;
 pub use problem::{Arc, ProblemError, SchedProblem};

@@ -4,7 +4,7 @@ use std::fmt;
 
 use lsms_ir::ValueId;
 
-use crate::engine::{run_framework, Direction, EngineState, Heuristic};
+use crate::engine::{run_framework, Direction, EngineState, EngineWorkspace, Heuristic};
 use crate::{DecisionStats, MinDistCache, SchedProblem, SchedStats, Schedule};
 
 /// How the scheduler decides which end of an operation's slack window to
@@ -180,6 +180,21 @@ impl SlackScheduler {
     /// serial length fails — which would indicate a framework bug rather
     /// than a hard instance.
     pub fn run_straight_line(&self, problem: &SchedProblem<'_>) -> Result<Schedule, SchedFailure> {
+        self.run_straight_line_in(problem, &mut EngineWorkspace::new())
+    }
+
+    /// As [`run_straight_line`](Self::run_straight_line), drawing every
+    /// per-attempt allocation from a caller-owned [`EngineWorkspace`]
+    /// (reuse is allocation-only: results are byte-identical).
+    ///
+    /// # Errors
+    ///
+    /// As [`run_straight_line`](Self::run_straight_line).
+    pub fn run_straight_line_in(
+        &self,
+        problem: &SchedProblem<'_>,
+        ws: &mut EngineWorkspace,
+    ) -> Result<Schedule, SchedFailure> {
         // A horizon no schedule needs to exceed: every operation run
         // back to back.
         let serial: u64 = problem
@@ -221,6 +236,7 @@ impl SlackScheduler {
             None,
             &MinDistCache::new(),
             &mut decisions,
+            ws,
         )
     }
 
@@ -269,6 +285,21 @@ impl SlackScheduler {
         cache: &MinDistCache,
         deadline: Option<std::time::Instant>,
     ) -> (Result<Schedule, SchedFailure>, DecisionStats) {
+        self.run_in(problem, cache, deadline, &mut EngineWorkspace::new())
+    }
+
+    /// The workspace-reusing entry point behind every other `run_*`
+    /// method, used directly by [`ModuloScheduler`](crate::ModuloScheduler)
+    /// adapters: schedules with an optional escalation deadline, drawing
+    /// allocations from `ws`, and returns the result together with the
+    /// §5.2 decision tallies.
+    pub fn run_in(
+        &self,
+        problem: &SchedProblem<'_>,
+        cache: &MinDistCache,
+        deadline: Option<std::time::Instant>,
+        ws: &mut EngineWorkspace,
+    ) -> (Result<Schedule, SchedFailure>, DecisionStats) {
         let mut decisions = DecisionStats::default();
         let max_ii = self
             .config
@@ -287,8 +318,14 @@ impl SlackScheduler {
             deadline,
             cache,
             &mut decisions,
+            ws,
         );
         (result, decisions)
+    }
+
+    /// The scheduler's configuration.
+    pub fn config(&self) -> &SlackConfig {
+        &self.config
     }
 }
 

@@ -38,6 +38,20 @@ fn label(out: &mut String, x: i64, y: i64, text: &str) {
 /// (II) boundaries, so values spilling across them are exactly the ones
 /// that need rotating registers.
 pub fn to_svg(problem: &SchedProblem<'_>, schedule: &Schedule) -> String {
+    to_svg_impl(problem, schedule, None)
+}
+
+/// As [`to_svg`], with the producing backend's name in the header label so
+/// charts from different registered backends are distinguishable.
+pub fn to_svg_for_backend(
+    problem: &SchedProblem<'_>,
+    schedule: &Schedule,
+    backend: &dyn crate::ModuloScheduler,
+) -> String {
+    to_svg_impl(problem, schedule, Some(backend.name()))
+}
+
+fn to_svg_impl(problem: &SchedProblem<'_>, schedule: &Schedule, backend: Option<&str>) -> String {
     let body = problem.body();
     let machine = problem.machine();
     let length = schedule.length().max(1);
@@ -64,11 +78,12 @@ pub fn to_svg(problem: &SchedProblem<'_>, schedule: &Schedule) -> String {
         LEFT,
         TOP - 12,
         &format!(
-            "loop {} — II {} ({} stages), MaxLive {}",
+            "loop {} — II {} ({} stages), MaxLive {}{}",
             body.name(),
             schedule.ii,
             schedule.stages(),
-            crate::pressure::measure(problem, schedule).rr_max_live
+            crate::pressure::measure(problem, schedule).rr_max_live,
+            backend.map(|b| format!(" — {b}")).unwrap_or_default(),
         ),
     );
 

@@ -1,12 +1,13 @@
 //! Budget-driven degradation: a blown `--pass-budget` on the scheduling
-//! pass caps II escalation and falls back to the Cydrome baseline
+//! pass caps II escalation and falls back through the backend registry —
+//! to the Cydrome baseline by default, or to whatever `degrade_to` names —
 //! instead of failing the loop outright.
 
 use std::time::Duration;
 
 use lsms::machine::huff_machine;
-use lsms::pipeline::{CompileSession, PassBudget, SchedulerBackend, SessionConfig};
-use lsms::sched::{validate, SchedProblem, SlackConfig};
+use lsms::pipeline::{BackendSelection, CompileSession, PassBudget, SessionConfig};
+use lsms::sched::{validate, SchedProblem};
 
 /// The §2.3 sample loop: small, schedulable by every backend.
 const SOURCE: &str = "loop sample(i = 3..n) {
@@ -17,11 +18,8 @@ const SOURCE: &str = "loop sample(i = 3..n) {
 
 /// A slack backend starved of its iteration budget: every II attempt
 /// gives up immediately, so escalation runs until something stops it.
-fn starved_slack() -> SchedulerBackend {
-    SchedulerBackend::Slack(SlackConfig {
-        budget_factor: 0,
-        ..SlackConfig::default()
-    })
+fn starved_slack() -> BackendSelection {
+    BackendSelection::parse("slack:budget-factor=0").expect("static backend spec")
 }
 
 #[test]
@@ -53,6 +51,34 @@ fn blown_schedule_budget_degrades_to_cydrome() {
     let cydrome = report.get("schedule:cydrome").expect("fallback recorded");
     assert_eq!(cydrome.counters.get("degraded"), Some(&1));
     assert_eq!(cydrome.counters.get("failures"), Some(&0));
+}
+
+#[test]
+fn degradation_target_is_routed_through_the_registry() {
+    let mut config = SessionConfig::new(huff_machine());
+    config.backend = starved_slack();
+    config.degrade_to = "early".to_owned();
+    config.budgets = vec![PassBudget {
+        pass: "schedule:slack",
+        limit: Duration::ZERO,
+    }];
+    let session = CompileSession::new(config);
+    session.validate().expect("early is a registered backend");
+    let unit = session.compile_source(SOURCE).expect("compiles");
+    let artifacts = session.run_loop(&unit.loops[0]).expect("degrades to early");
+    assert!(artifacts.schedule.ii >= 2);
+
+    let report = session.report();
+    let early = report.get("schedule:early").expect("fallback recorded");
+    assert_eq!(early.counters.get("degraded"), Some(&1));
+    assert!(report.get("schedule:cydrome").is_none());
+
+    // An unknown degradation target is an eager E0003 from validate().
+    let mut config = SessionConfig::new(huff_machine());
+    config.degrade_to = "quantum".to_owned();
+    let err = CompileSession::new(config).validate().unwrap_err();
+    assert_eq!(err.code, "E0003");
+    assert!(err.message.contains("degradation"), "{}", err.message);
 }
 
 #[test]

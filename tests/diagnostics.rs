@@ -7,7 +7,9 @@
 use lsms::front::{FrontError, Span};
 use lsms::ir::{LoopBuilder, OpKind, ValueId, ValueType};
 use lsms::machine::huff_machine;
-use lsms::pipeline::{CompileSession, LsmsError, SessionConfig, Stage, VerifySpec};
+use lsms::pipeline::{
+    BackendSelection, CompileSession, LsmsError, SessionConfig, Stage, VerifySpec,
+};
 use lsms::regalloc::AllocError;
 use lsms::sched::{SchedFailure, SchedProblem, SchedStats, ScheduleError};
 use lsms::sim::SimError;
@@ -37,6 +39,47 @@ fn usage_diagnostic() {
         2,
         "error[E0002]: t.loop: simulate-verify applies to the plain modulo \
          pipeline only (drop --unroll / --straight-line) [usage]",
+    );
+}
+
+#[test]
+fn backend_diagnostics() {
+    // An unknown --backend name lists the registered backends. This test
+    // binary registers nothing, so the list is exactly the built-ins.
+    let mut config = SessionConfig::new(huff_machine());
+    config.backend = BackendSelection::named("quantum");
+    let err = CompileSession::new(config).validate().unwrap_err();
+    check(
+        &err,
+        Stage::Usage,
+        "E0003",
+        2,
+        "error[E0003]: t.loop: unknown backend `quantum` \
+         (backends: slack, early, late, cydrome) [usage]",
+    );
+
+    // A malformed option spec fails at parse time with the same code.
+    let err = BackendSelection::parse("slack:increment").unwrap_err();
+    check(
+        &err,
+        Stage::Usage,
+        "E0003",
+        2,
+        "error[E0003]: t.loop: malformed backend option `increment` \
+         (want key=value) [usage]",
+    );
+
+    // An option the backend rejects carries the backend's complaint.
+    let mut config = SessionConfig::new(huff_machine());
+    config.backend = BackendSelection::parse("cydrome:increment=by-one").expect("parses");
+    let err = CompileSession::new(config).validate().unwrap_err();
+    check(
+        &err,
+        Stage::Usage,
+        "E0003",
+        2,
+        "error[E0003]: t.loop: backend `cydrome`: unknown option `increment` \
+         (options: budget-factor, max-ii) [usage]",
     );
 }
 

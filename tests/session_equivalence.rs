@@ -204,6 +204,95 @@ fn session_records_match_the_pre_refactor_path() {
     }
 }
 
+/// The registry guarantee: every backend that was reachable through the
+/// retired `SchedulerBackend` enum produces byte-identical schedules and
+/// `PassReport` rows when dispatched through the trait-object registry.
+#[test]
+fn registry_backends_match_their_enum_era_schedulers() {
+    use lsms::pipeline::{BackendSelection, SessionConfig};
+
+    let machine = huff_machine();
+    let loops = lsms::loops::corpus(12, CORPUS_SEED);
+
+    // The enum-era dispatch, spelled out by hand: a direct scheduler call
+    // per variant, exactly as session.rs matched before the registry.
+    let enum_era = |name: &str,
+                    problem: &SchedProblem<'_>,
+                    cache: &MinDistCache|
+     -> Result<Schedule, lsms::sched::SchedFailure> {
+        let slack = |direction| {
+            SlackScheduler::with_config(SlackConfig {
+                direction,
+                ..SlackConfig::default()
+            })
+            .run_cached(problem, cache)
+        };
+        match name {
+            "slack" => slack(DirectionPolicy::Bidirectional),
+            "early" => slack(DirectionPolicy::AlwaysEarly),
+            "late" => slack(DirectionPolicy::AlwaysLate),
+            "cydrome" => CydromeScheduler::new().run_cached(problem, cache),
+            _ => unreachable!("enum-era backend"),
+        }
+    };
+
+    for name in ["slack", "early", "late", "cydrome"] {
+        let mut config = SessionConfig::new(machine.clone());
+        config.backend = BackendSelection::named(name);
+        let session = CompileSession::new(config);
+        let pass = format!("schedule:{name}");
+
+        let mut invocations = 0u64;
+        let mut sum_ii = 0u64;
+        let mut failures = 0u64;
+        let mut sum_attempts = 0u64;
+        for l in &loops {
+            let problem = SchedProblem::new(&l.body, &machine).expect("well-formed");
+            let cache = MinDistCache::new();
+            invocations += 1;
+            match enum_era(name, &problem, &cache) {
+                Ok(expected) => {
+                    let artifacts = session.run_loop(l).expect("registry path schedules too");
+                    // Byte-identical schedule through the registry.
+                    assert_eq!(expected.ii, artifacts.schedule.ii, "{name} {}", l.def.name);
+                    assert_eq!(
+                        expected.times, artifacts.schedule.times,
+                        "{name} {}",
+                        l.def.name
+                    );
+                    assert_eq!(
+                        expected.assignments, artifacts.schedule.assignments,
+                        "{name} {}",
+                        l.def.name
+                    );
+                    sum_ii += u64::from(expected.ii);
+                    sum_attempts += u64::from(expected.stats.attempts);
+                }
+                Err(failure) => {
+                    let err = session.run_loop(l).expect_err("registry path fails too");
+                    assert_eq!(err.code, "E0501", "{name} {}", l.def.name);
+                    failures += 1;
+                    sum_attempts += u64::from(failure.stats.attempts);
+                }
+            }
+        }
+
+        // The PassReport row carries the same label and work counters the
+        // enum-era dispatch recorded.
+        let report = session.report();
+        let record = report.get(&pass).expect("schedule pass recorded");
+        assert_eq!(record.name, pass, "{name}");
+        assert_eq!(record.invocations, invocations, "{name}");
+        assert_eq!(record.counters.get("ii"), Some(&sum_ii), "{name}");
+        assert_eq!(record.counters.get("failures"), Some(&failures), "{name}");
+        assert_eq!(
+            record.counters.get("attempts"),
+            Some(&sum_attempts),
+            "{name}"
+        );
+    }
+}
+
 #[test]
 fn parallel_session_evaluation_is_deterministic() {
     let session = CompileSession::with_machine(huff_machine());
