@@ -113,6 +113,30 @@ impl LoopRecord {
             .unwrap_or_else(|e| panic!("{}: {e}", compiled.def.name))
     }
 
+    /// The observatory's view of this loop: one
+    /// [`ScheduleQuality`](lsms_obs::ScheduleQuality) record per
+    /// scheduler in the evaluation trio, in the paper's new/early/old
+    /// order. Wall time is the only nondeterministic field; everything
+    /// else is a pure function of the (deterministic) evaluation.
+    pub fn quality_records(&self) -> [lsms_obs::ScheduleQuality; 3] {
+        let mk = |backend: &str, outcome: &SchedOutcome| {
+            lsms_pipeline::quality_of(
+                &self.name,
+                backend,
+                &format!("schedule:{backend}"),
+                self.rec_mii,
+                self.res_mii,
+                self.mii,
+                outcome,
+            )
+        };
+        [
+            mk("slack", &self.new),
+            mk("early", &self.early),
+            mk("cydrome", &self.old),
+        ]
+    }
+
     fn try_evaluate_impl(
         session: &CompileSession,
         compiled: &CompiledLoop,
@@ -170,6 +194,16 @@ impl CorpusReport {
         for f in &self.failures {
             eprintln!("warning: loop {} (#{}): {}", f.name, f.index, f.error);
         }
+    }
+
+    /// Flattens every record's trio into the observatory's corpus-wide
+    /// record list, in corpus order (so the list is byte-stable across
+    /// `--jobs` counts, like the records themselves).
+    pub fn quality_records(&self) -> Vec<lsms_obs::ScheduleQuality> {
+        self.records
+            .iter()
+            .flat_map(LoopRecord::quality_records)
+            .collect()
     }
 }
 

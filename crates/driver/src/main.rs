@@ -30,6 +30,19 @@
 //!                                a pass; overruns emit a
 //!                                `budget_exceeded` trace event and
 //!                                counter (repeatable, never aborts)
+//!   --quality PATH               write per-loop schedule-quality records
+//!                                (II vs MII, MaxLive, lifetimes,
+//!                                backtracking) plus the corpus rollup as
+//!                                JSON ("-" = stdout); writing a real
+//!                                file also appends a timestamped line to
+//!                                the results/quality_history.jsonl
+//!                                ledger (override the ledger path with
+//!                                LSMS_QUALITY_HISTORY, or set it to "0"
+//!                                to disable the append)
+//!   --quality-report PATH        write a self-contained HTML quality
+//!                                dashboard (tables, distribution bars,
+//!                                and — when the history ledger exists —
+//!                                inline SVG sparklines; no JS)
 //!   --explain-pass NAME          describe a pipeline pass; with a FILE
 //!                                or --eval-corpus, also print what the
 //!                                pass did on this invocation
@@ -81,6 +94,8 @@ struct Options {
     timings: Option<String>,
     trace: Option<String>,
     metrics: Option<String>,
+    quality: Option<String>,
+    quality_report: Option<String>,
     budgets: Vec<PassBudget>,
     explain_pass: Option<String>,
 }
@@ -91,6 +106,7 @@ fn usage() -> ! {
          \x20             [--backend NAME[:key=val,...]] [--emit report|sched|list|asm|mve|dot|svg|all]\n\
          \x20             [--unroll N] [--straight-line] [--run TRIP] [--timings PATH|-]\n\
          \x20             [--trace PATH] [--metrics PATH|-] [--pass-budget NAME=MILLIS]\n\
+         \x20             [--quality PATH|-] [--quality-report PATH|-]\n\
          \x20             [--explain-pass NAME]\n\
          \x20      lsmsc --eval-corpus [--corpus-size N] [--jobs N] [--machine ...]\n\
          \x20      lsmsc --explain-pass NAME\n\
@@ -116,6 +132,8 @@ fn parse_args() -> Options {
         timings: None,
         trace: None,
         metrics: None,
+        quality: None,
+        quality_report: None,
         budgets: Vec::new(),
         explain_pass: None,
     };
@@ -208,6 +226,10 @@ fn parse_args() -> Options {
             "--timings" => options.timings = Some(need(&mut args, "--timings")),
             "--trace" => options.trace = Some(need(&mut args, "--trace")),
             "--metrics" => options.metrics = Some(need(&mut args, "--metrics")),
+            "--quality" => options.quality = Some(need(&mut args, "--quality")),
+            "--quality-report" => {
+                options.quality_report = Some(need(&mut args, "--quality-report"))
+            }
             "--pass-budget" => {
                 let spec = need(&mut args, "--pass-budget");
                 options
@@ -300,8 +322,9 @@ fn session_config(options: &Options) -> SessionConfig {
 
 /// `--eval-corpus`: schedule the synthetic corpus with the three schedulers
 /// and print a headline summary (the quick health check the experiment
-/// binaries expand into full tables).
-fn eval_corpus(options: &Options, session: &CompileSession) {
+/// binaries expand into full tables). Returns the corpus's quality
+/// records for `--quality` / `--quality-report`.
+fn eval_corpus(options: &Options, session: &CompileSession) -> Vec<lsms_obs::ScheduleQuality> {
     let corpus = lsms_bench::evaluate_corpus_session(
         session,
         options.corpus_size,
@@ -309,6 +332,7 @@ fn eval_corpus(options: &Options, session: &CompileSession) {
         options.jobs,
     );
     corpus.warn_failures();
+    let quality = corpus.quality_records();
     let records = corpus.records;
     let scheduled = records.iter().filter(|r| r.new.ii.is_some()).count();
     let optimal = records.iter().filter(|r| r.new.ii == Some(r.mii)).count();
@@ -324,17 +348,25 @@ fn eval_corpus(options: &Options, session: &CompileSession) {
         100.0 * optimal as f64 / records.len().max(1) as f64,
         sum_ii as f64 / sum_mii.max(1) as f64,
     );
+    quality
 }
 
 /// Compiles the input file and prints everything the options ask for.
-fn compile_and_emit(options: &Options, session: &CompileSession) -> Result<(), LsmsError> {
+/// Returns one quality record per compiled loop for `--quality` /
+/// `--quality-report`.
+fn compile_and_emit(
+    options: &Options,
+    session: &CompileSession,
+) -> Result<Vec<lsms_obs::ScheduleQuality>, LsmsError> {
     let unit = session.compile_file(&options.file)?;
     if unit.loops.is_empty() {
         return Err(LsmsError::usage(format!("no loops in {}", options.file)));
     }
     let backend = session.backend()?.clone();
+    let mut quality = Vec::with_capacity(unit.loops.len());
     for compiled in &unit.loops {
         let artifacts = session.run_loop(compiled)?;
+        quality.push(artifacts.quality.clone());
         let problem = artifacts.problem(&session.config().machine)?;
         let schedule = &artifacts.schedule;
         for emit in &options.emit {
@@ -378,7 +410,7 @@ fn compile_and_emit(options: &Options, session: &CompileSession) -> Result<(), L
             );
         }
     }
-    Ok(())
+    Ok(quality)
 }
 
 /// `--explain-pass NAME`: static documentation for the pass plus, when
@@ -458,6 +490,75 @@ fn write_timings(path: &str, session: &CompileSession) -> Result<(), LsmsError> 
     Ok(())
 }
 
+/// Where the quality-history ledger lives: `results/quality_history.jsonl`
+/// by default, overridden by `LSMS_QUALITY_HISTORY` (set it to `0` or
+/// empty to disable the append entirely).
+fn history_path() -> Option<std::path::PathBuf> {
+    match std::env::var("LSMS_QUALITY_HISTORY") {
+        Ok(v) if v.is_empty() || v == "0" => None,
+        Ok(v) => Some(v.into()),
+        Err(_) => Some("results/quality_history.jsonl".into()),
+    }
+}
+
+/// `--quality PATH|-` / `--quality-report PATH|-`: rolls the run's
+/// per-loop records up and writes the JSON report and/or the HTML
+/// dashboard. Writing the JSON to a real file (not `-`) also appends one
+/// timestamped line to the history ledger — stdout dumps and dashboards
+/// never grow the ledger, so exploratory runs stay side-effect-free.
+fn write_quality_outputs(
+    options: &Options,
+    machine_name: &str,
+    records: Vec<lsms_obs::ScheduleQuality>,
+) -> Result<(), LsmsError> {
+    use std::fmt::Write as _;
+    let rollup = lsms_obs::QualityRollup::new(machine_name, records);
+    if let Some(path) = &options.quality {
+        let json = rollup.to_json();
+        if path == "-" {
+            print!("{json}");
+        } else {
+            std::fs::write(path, json)
+                .map_err(|e| LsmsError::io(format!("cannot write {path}: {e}")))?;
+            if let Some(ledger) = history_path() {
+                let secs = std::time::SystemTime::now()
+                    .duration_since(std::time::UNIX_EPOCH)
+                    .map_or(0, |d| d.as_secs());
+                let mut line = rollup.history_line(&lsms_obs::iso8601_utc(secs));
+                let _ = writeln!(line);
+                if let Some(dir) = ledger.parent().filter(|d| !d.as_os_str().is_empty()) {
+                    std::fs::create_dir_all(dir).map_err(|e| {
+                        LsmsError::io(format!("cannot create {}: {e}", dir.display()))
+                    })?;
+                }
+                use std::io::Write as _;
+                std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(&ledger)
+                    .and_then(|mut f| f.write_all(line.as_bytes()))
+                    .map_err(|e| {
+                        LsmsError::io(format!("cannot append {}: {e}", ledger.display()))
+                    })?;
+            }
+        }
+    }
+    if let Some(path) = &options.quality_report {
+        let history = history_path()
+            .and_then(|p| std::fs::read_to_string(p).ok())
+            .map(|text| lsms_obs::parse_history(&text))
+            .unwrap_or_default();
+        let html = lsms_obs::quality_dashboard_html(&rollup, &history);
+        if path == "-" {
+            print!("{html}");
+        } else {
+            std::fs::write(path, html)
+                .map_err(|e| LsmsError::io(format!("cannot write {path}: {e}")))?;
+        }
+    }
+    Ok(())
+}
+
 /// `--trace PATH` / `--metrics PATH`: drains the trace collector once
 /// and writes whichever exports were requested.
 fn write_trace_outputs(options: &Options) -> Result<(), LsmsError> {
@@ -499,14 +600,28 @@ fn main() -> ExitCode {
     }
 
     let mut code = 0u8;
+    let mut quality_records = Vec::new();
     if options.eval_corpus {
-        eval_corpus(&options, &session);
+        quality_records = eval_corpus(&options, &session);
     } else if !options.file.is_empty() {
-        if let Err(e) = compile_and_emit(&options, &session) {
-            // I/O messages already name the path; don't prefix it twice.
-            let origin = (e.stage != Stage::Io).then_some(options.file.as_str());
-            eprintln!("lsmsc: {}", e.render(origin));
-            code = e.exit_code();
+        match compile_and_emit(&options, &session) {
+            Ok(quality) => quality_records = quality,
+            Err(e) => {
+                // I/O messages already name the path; don't prefix it twice.
+                let origin = (e.stage != Stage::Io).then_some(options.file.as_str());
+                eprintln!("lsmsc: {}", e.render(origin));
+                code = e.exit_code();
+            }
+        }
+    }
+    if options.quality.is_some() || options.quality_report.is_some() {
+        if let Err(e) =
+            write_quality_outputs(&options, session.config().machine.name(), quality_records)
+        {
+            eprintln!("lsmsc: {}", e.render(None));
+            if code == 0 {
+                code = e.exit_code();
+            }
         }
     }
 

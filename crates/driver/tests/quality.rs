@@ -1,0 +1,158 @@
+//! End-to-end tests of `--quality` / `--quality-report`: report shape,
+//! determinism across worker counts, and the history ledger.
+
+use std::process::Command;
+
+fn lsmsc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_lsmsc"))
+}
+
+fn temp(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(name)
+}
+
+/// Cuts stdout down to the quality JSON document (the corpus summary
+/// banner that precedes it names the job count) and strips the only
+/// nondeterministic field (`wall_us`) so reports compare byte-for-byte.
+fn strip_wall(report: &str) -> String {
+    let json_start = report.find("{\n").expect("quality JSON on stdout");
+    report[json_start..]
+        .lines()
+        .map(|line| match line.find("\"wall_us\":") {
+            Some(at) => &line[..at],
+            None => line,
+        })
+        .fold(String::new(), |mut out, line| {
+            out.push_str(line);
+            out.push('\n');
+            out
+        })
+}
+
+/// The acceptance bar for the quality observatory: per-loop II and
+/// MaxLive (indeed, everything but wall time) must be byte-identical
+/// between `--jobs 1` and `--jobs 4`.
+#[test]
+fn corpus_quality_is_identical_across_job_counts() {
+    let run = |jobs: &str| {
+        let out = lsmsc()
+            .args(["--eval-corpus", "--corpus-size", "32", "--jobs", jobs])
+            .args(["--quality", "-"])
+            .env("LSMS_QUALITY_HISTORY", "") // keep the test hermetic
+            .output()
+            .expect("runs");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8(out.stdout).expect("utf-8 report")
+    };
+    let serial = run("1");
+    let parallel = run("4");
+    assert_eq!(
+        strip_wall(&serial),
+        strip_wall(&parallel),
+        "quality must not depend on worker count"
+    );
+    // 32 loops × 3 backends in the eval harness.
+    assert!(serial.contains("\"loops\": 32,"), "{serial}");
+    assert!(serial.contains("\"records\": 96,"), "{serial}");
+    assert!(serial.contains("\"kind\": \"lsms-quality\""), "{serial}");
+    for backend in ["slack", "early", "cydrome"] {
+        assert!(
+            serial.contains(&format!("\"backend\": \"{backend}\"")),
+            "missing backend {backend} in rollup: {serial}"
+        );
+    }
+}
+
+/// Single-loop compiles report quality too, and stdout output must not
+/// touch the history ledger.
+#[test]
+fn single_loop_quality_reports_bounds_and_skips_the_ledger() {
+    let source = "loop daxpy(i = 1..n) {
+    real x[], y[];
+    param real a;
+    y[i] = y[i] + a * x[i];
+}";
+    let path = temp("lsmsc_quality_daxpy.loop");
+    std::fs::write(&path, source).expect("write test loop");
+    let ledger = temp("lsmsc_quality_daxpy_history.jsonl");
+    let _ = std::fs::remove_file(&ledger);
+
+    let out = lsmsc()
+        .arg(&path)
+        .args(["--emit", "asm", "--quality", "-"])
+        .env("LSMS_QUALITY_HISTORY", &ledger)
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let report = String::from_utf8_lossy(&out.stdout);
+    assert!(report.contains("\"name\": \"daxpy\""), "{report}");
+    assert!(report.contains("\"backend\": \"slack\""), "{report}");
+    // daxpy on the Table 1 machine: MII = achieved II = 2, no gap.
+    assert!(report.contains("\"mii\": 2"), "{report}");
+    assert!(report.contains("\"ii\": 2"), "{report}");
+    assert!(report.contains("\"ii_gap\": 0"), "{report}");
+    assert!(
+        !ledger.exists(),
+        "stdout reports must not append to the history ledger"
+    );
+}
+
+/// File output appends one ledger line per run, and the dashboard is a
+/// self-contained HTML document with a sparkline once history exists.
+#[test]
+fn quality_file_appends_history_and_dashboard_renders() {
+    let source = "loop saxpy(i = 1..n) {
+    real x[], y[];
+    param real a;
+    y[i] = a * x[i] + y[i];
+}";
+    let path = temp("lsmsc_quality_saxpy.loop");
+    std::fs::write(&path, source).expect("write test loop");
+    let report_path = temp("lsmsc_quality_saxpy.json");
+    let html_path = temp("lsmsc_quality_saxpy.html");
+    let ledger = temp("lsmsc_quality_saxpy_history.jsonl");
+    let _ = std::fs::remove_file(&ledger);
+
+    for _ in 0..2 {
+        let out = lsmsc()
+            .arg(&path)
+            .args(["--emit", "asm", "--quality"])
+            .arg(&report_path)
+            .arg("--quality-report")
+            .arg(&html_path)
+            .env("LSMS_QUALITY_HISTORY", &ledger)
+            .output()
+            .expect("runs");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+
+    let ledger_text = std::fs::read_to_string(&ledger).expect("ledger written");
+    let lines: Vec<&str> = ledger_text.lines().collect();
+    assert_eq!(lines.len(), 2, "one ledger line per run: {ledger_text}");
+    for line in &lines {
+        assert!(line.starts_with("{\"ts\": \""), "{line}");
+        assert!(line.contains("\"ii_sum\":"), "{line}");
+        assert!(line.contains("\"max_live_sum\":"), "{line}");
+    }
+
+    let html = std::fs::read_to_string(&html_path).expect("dashboard written");
+    assert!(html.starts_with("<!DOCTYPE html>"), "{html}");
+    assert!(html.contains("<svg"), "history sparkline expected: {html}");
+    assert!(html.contains("saxpy"), "{html}");
+    assert!(
+        !html.contains("<script"),
+        "dashboard must be JS-free: {html}"
+    );
+}

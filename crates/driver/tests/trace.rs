@@ -390,6 +390,60 @@ fn corpus_metrics_are_identical_across_job_counts() {
     assert_eq!(loop_spans, 32, "one corpus.loop span per loop");
 }
 
+/// A pass that panics mid-span must not leave a dangling `B` event:
+/// `SpanGuard` emits its `E` from `Drop` during unwinding, so a drained
+/// trace stays balanced per thread — the invariant Perfetto enforces on
+/// import, and the reason the collector survives a buggy backend.
+///
+/// This one runs in-process (the only test here that touches this
+/// process's collector; every other test shells out to `lsmsc`).
+#[test]
+fn spans_balance_after_a_panicking_pass() {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    lsms_trace::set_enabled(true);
+    let _ = lsms_trace::drain(); // start from an empty collector
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let _pipeline = lsms_trace::span("pipeline");
+        let _pass = lsms_trace::span("schedule:panicky");
+        panic!("injected backend bug");
+    }));
+    lsms_trace::set_enabled(false);
+    assert!(result.is_err(), "the pass must actually panic");
+
+    let trace = lsms_trace::drain();
+    let mut closed_panicky_spans = 0;
+    for thread in &trace.threads {
+        let mut stack: Vec<&str> = Vec::new();
+        for event in &thread.events {
+            match event.phase {
+                lsms_trace::Phase::Begin => stack.push(event.name),
+                lsms_trace::Phase::End => {
+                    assert_eq!(
+                        stack.pop(),
+                        Some(event.name),
+                        "mismatched E on tid {}",
+                        thread.tid
+                    );
+                    if event.name == "schedule:panicky" {
+                        closed_panicky_spans += 1;
+                    }
+                }
+                lsms_trace::Phase::Instant => {}
+            }
+        }
+        assert!(
+            stack.is_empty(),
+            "unclosed spans on tid {}: {stack:?}",
+            thread.tid
+        );
+    }
+    assert_eq!(
+        closed_panicky_spans, 1,
+        "the panicking pass must close its span on unwind"
+    );
+}
+
 #[test]
 fn pass_budget_overruns_are_reported() {
     let path = write_loop("lsmsc_trace_budget.loop", HARD);

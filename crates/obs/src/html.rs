@@ -1,0 +1,296 @@
+//! Self-contained HTML dashboard for the quality observatory.
+//!
+//! One static page, no JavaScript and no external assets: a summary
+//! header, per-backend rollup tables with distribution bars, the
+//! per-loop record table, and — when a history ledger is available —
+//! inline SVG sparklines of ΣII / ΣMaxLive over past runs.
+
+use crate::{HistorySample, QualityRollup, II_GAP_BUCKETS, MAX_LIVE_BUCKETS};
+use std::fmt::Write as _;
+
+/// Renders the dashboard. `history` is the parsed
+/// `quality_history.jsonl` ledger (oldest first); pass `&[]` when no
+/// ledger exists and the sparkline section is omitted.
+pub fn quality_dashboard_html(rollup: &QualityRollup, history: &[HistorySample]) -> String {
+    let mut out = String::new();
+    out.push_str("<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n");
+    let _ = writeln!(
+        out,
+        "<title>lsms schedule quality — {}</title>",
+        esc(&rollup.machine)
+    );
+    out.push_str(STYLE);
+    out.push_str("</head>\n<body>\n");
+    let _ = writeln!(
+        out,
+        "<h1>Schedule quality — <code>{}</code></h1>",
+        esc(&rollup.machine)
+    );
+
+    // Headline numbers.
+    let scheduled: usize = rollup.backends.iter().map(|b| b.scheduled).sum();
+    let at_mii: usize = rollup.backends.iter().map(|b| b.at_mii).sum();
+    let degraded: usize = rollup.backends.iter().map(|b| b.degraded).sum();
+    out.push_str("<div class=\"cards\">\n");
+    for (label, value) in [
+        ("loops", rollup.loops.to_string()),
+        ("records", rollup.records.len().to_string()),
+        (
+            "scheduled",
+            format!("{scheduled} / {}", rollup.records.len()),
+        ),
+        ("at MII", at_mii.to_string()),
+        ("degraded", degraded.to_string()),
+        ("&Sigma;II", rollup.ii_sum().to_string()),
+        ("&Sigma;MII", rollup.mii_sum().to_string()),
+        ("&Sigma;MaxLive", rollup.max_live_sum().to_string()),
+    ] {
+        let _ = writeln!(
+            out,
+            "<div class=\"card\"><div class=\"v\">{value}</div><div class=\"k\">{label}</div></div>"
+        );
+    }
+    out.push_str("</div>\n");
+
+    if !history.is_empty() {
+        out.push_str("<h2>History</h2>\n<div class=\"sparks\">\n");
+        let ii: Vec<u64> = history.iter().map(|s| s.ii_sum).collect();
+        let ml: Vec<u64> = history.iter().map(|s| s.max_live_sum).collect();
+        sparkline(&mut out, "&Sigma;II", &ii);
+        sparkline(&mut out, "&Sigma;MaxLive", &ml);
+        out.push_str("</div>\n");
+        let _ = writeln!(
+            out,
+            "<p class=\"note\">{} ledger samples, {} &rarr; {}</p>",
+            history.len(),
+            esc(&history[0].ts),
+            esc(&history[history.len() - 1].ts)
+        );
+    }
+
+    out.push_str("<h2>Backends</h2>\n");
+    out.push_str("<table>\n<tr><th>backend</th><th>loops</th><th>scheduled</th><th>at MII</th><th>degraded</th><th>&Sigma;II</th><th>&Sigma;MII</th><th>II p50/p99</th><th>MaxLive p50/p99/max</th><th>&Sigma;lifetime</th><th>ejected</th><th>backtracks</th><th>wall ms</th></tr>\n");
+    for b in &rollup.backends {
+        let _ = writeln!(
+            out,
+            "<tr><td><code>{}</code></td><td>{}</td><td>{}</td><td>{}</td><td>{}</td>\
+             <td>{}</td><td>{}</td><td>{} / {}</td><td>{} / {} / {}</td>\
+             <td>{}</td><td>{}</td><td>{}</td><td>{:.1}</td></tr>",
+            esc(&b.backend),
+            b.loops,
+            b.scheduled,
+            b.at_mii,
+            b.degraded,
+            b.ii.sum,
+            b.mii_sum,
+            b.ii.p50,
+            b.ii.p99,
+            b.max_live.p50,
+            b.max_live.p99,
+            b.max_live.max,
+            b.lifetime_sum.sum,
+            b.ejected_ops,
+            b.backtracks,
+            b.wall_us as f64 / 1000.0,
+        );
+    }
+    out.push_str("</table>\n");
+
+    for b in &rollup.backends {
+        let _ = writeln!(
+            out,
+            "<h3><code>{}</code> distributions</h3>",
+            esc(&b.backend)
+        );
+        out.push_str("<div class=\"dists\">\n");
+        histogram(
+            &mut out,
+            "II &minus; MII",
+            II_GAP_BUCKETS,
+            &b.ii_gap_buckets,
+        );
+        histogram(&mut out, "MaxLive", MAX_LIVE_BUCKETS, &b.max_live_buckets);
+        out.push_str("</div>\n");
+    }
+
+    out.push_str("<h2>Loops</h2>\n");
+    out.push_str("<table>\n<tr><th>loop</th><th>backend</th><th>pass</th><th>RecMII</th><th>ResMII</th><th>MII</th><th>II</th><th>gap</th><th>MaxLive</th><th>&Sigma;lt</th><th>mean lt</th><th>max lt</th><th>ejected</th><th>backtracks</th><th>wall &micro;s</th></tr>\n");
+    for r in &rollup.records {
+        let (ii, class) = match r.ii {
+            Some(ii) if ii == r.mii => (ii.to_string(), " class=\"good\""),
+            Some(ii) => (ii.to_string(), ""),
+            None => (format!("&mdash; ({})", r.last_ii), " class=\"bad\""),
+        };
+        let degraded = if r.degraded { " &#9888;" } else { "" };
+        let _ = writeln!(
+            out,
+            "<tr{class}><td><code>{}</code></td><td>{}{degraded}</td><td><code>{}</code></td>\
+             <td>{}</td><td>{}</td><td>{}</td><td>{ii}</td><td>{}</td><td>{}</td>\
+             <td>{}</td><td>{:.2}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td></tr>",
+            esc(&r.loop_name),
+            esc(&r.backend),
+            esc(&r.pass),
+            r.rec_mii,
+            r.res_mii,
+            r.mii,
+            r.ii_gap(),
+            r.max_live,
+            r.lifetime_sum,
+            r.lifetime_mean(),
+            r.lifetime_max,
+            r.ejected_ops,
+            r.backtracks,
+            r.wall_us,
+        );
+    }
+    out.push_str("</table>\n</body>\n</html>\n");
+    out
+}
+
+/// Inline SVG sparkline of one metric over ledger samples. The y-range
+/// is padded so a flat series draws mid-height instead of on the edge.
+fn sparkline(out: &mut String, label: &str, values: &[u64]) {
+    const W: f64 = 260.0;
+    const H: f64 = 48.0;
+    const PAD: f64 = 4.0;
+    let last = *values.last().unwrap_or(&0);
+    let _ = writeln!(
+        out,
+        "<div class=\"spark\"><div class=\"k\">{label} <span class=\"v\">{last}</span></div>"
+    );
+    let min = values.iter().copied().min().unwrap_or(0) as f64;
+    let max = values.iter().copied().max().unwrap_or(0) as f64;
+    let span = if max > min { max - min } else { 1.0 };
+    let x = |i: usize| {
+        if values.len() < 2 {
+            W / 2.0
+        } else {
+            PAD + (W - 2.0 * PAD) * i as f64 / (values.len() - 1) as f64
+        }
+    };
+    let y = |v: u64| H - PAD - (H - 2.0 * PAD) * (v as f64 - min) / span;
+    let pts: Vec<String> = values
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| format!("{:.1},{:.1}", x(i), y(v)))
+        .collect();
+    let _ = writeln!(
+        out,
+        "<svg width=\"{W}\" height=\"{H}\" viewBox=\"0 0 {W} {H}\" role=\"img\" aria-label=\"{label} history\">"
+    );
+    if pts.len() >= 2 {
+        let _ = writeln!(
+            out,
+            "<polyline fill=\"none\" stroke=\"#3465a4\" stroke-width=\"1.5\" points=\"{}\"/>",
+            pts.join(" ")
+        );
+    }
+    if let Some(lastpt) = pts.last() {
+        let (cx, cy) = lastpt.split_once(',').unwrap_or(("0", "0"));
+        let _ = writeln!(
+            out,
+            "<circle cx=\"{cx}\" cy=\"{cy}\" r=\"2.5\" fill=\"#cc0000\"/>"
+        );
+    }
+    out.push_str("</svg></div>\n");
+}
+
+/// Horizontal-bar histogram for one bucketed distribution.
+fn histogram(out: &mut String, label: &str, labels: &[&str], counts: &[u64]) {
+    let peak = counts.iter().copied().max().unwrap_or(0).max(1);
+    let _ = writeln!(out, "<div class=\"dist\"><div class=\"k\">{label}</div>");
+    for (l, &c) in labels.iter().zip(counts) {
+        let pct = 100.0 * c as f64 / peak as f64;
+        let _ = writeln!(
+            out,
+            "<div class=\"row\"><span class=\"lbl\">{l}</span>\
+             <span class=\"bar\" style=\"width: {pct:.0}%\"></span>\
+             <span class=\"cnt\">{c}</span></div>"
+        );
+    }
+    out.push_str("</div>\n");
+}
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+const STYLE: &str = "<style>\n\
+body { font: 14px/1.45 system-ui, sans-serif; margin: 2em auto; max-width: 72em; padding: 0 1em; color: #1a1a1a; }\n\
+h1, h2, h3 { font-weight: 600; }\n\
+code { font: 0.92em/1 ui-monospace, monospace; }\n\
+table { border-collapse: collapse; margin: 0.8em 0 1.6em; }\n\
+th, td { border: 1px solid #d5d5d5; padding: 0.25em 0.6em; text-align: right; }\n\
+th { background: #f2f2f2; }\n\
+td:first-child, th:first-child { text-align: left; }\n\
+tr.good td { background: #f0f8f0; }\n\
+tr.bad td { background: #fcf0f0; }\n\
+.cards { display: flex; flex-wrap: wrap; gap: 0.8em; margin: 1em 0; }\n\
+.card { border: 1px solid #d5d5d5; border-radius: 6px; padding: 0.5em 1em; min-width: 6em; text-align: center; }\n\
+.card .v { font-size: 1.4em; font-weight: 600; }\n\
+.card .k, .spark .k, .dist .k { color: #666; font-size: 0.85em; }\n\
+.sparks, .dists { display: flex; flex-wrap: wrap; gap: 2em; margin: 0.6em 0; }\n\
+.spark .v { color: #1a1a1a; font-weight: 600; }\n\
+.dist { min-width: 20em; }\n\
+.dist .row { display: flex; align-items: center; gap: 0.5em; margin: 2px 0; }\n\
+.dist .lbl { width: 3.5em; text-align: right; color: #666; font-size: 0.85em; }\n\
+.dist .bar { background: #3465a4; height: 0.8em; border-radius: 2px; min-width: 1px; }\n\
+.dist .cnt { font-size: 0.85em; color: #444; }\n\
+.note { color: #666; font-size: 0.9em; }\n\
+</style>\n";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests::record;
+    use crate::QualityRollup;
+
+    #[test]
+    fn dashboard_is_self_contained() {
+        let rollup = QualityRollup::new(
+            "huff",
+            vec![
+                record("a", "slack", 2, 2, 5),
+                record("b", "cydrome", 3, 5, 9),
+            ],
+        );
+        let history = vec![
+            HistorySample {
+                ts: "2026-08-07T00:00:00Z".into(),
+                records: 2,
+                ii_sum: 8,
+                mii_sum: 5,
+                max_live_sum: 15,
+            },
+            HistorySample {
+                ts: "2026-08-08T00:00:00Z".into(),
+                records: 2,
+                ii_sum: 7,
+                mii_sum: 5,
+                max_live_sum: 14,
+            },
+        ];
+        let html = quality_dashboard_html(&rollup, &history);
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(html.contains("<svg"), "sparklines present with history");
+        assert!(html.contains("polyline"));
+        assert!(!html.contains("<script"), "no JS");
+        assert!(!html.contains("http"), "no external assets");
+        assert!(html.contains("slack") && html.contains("cydrome"));
+        // Without history the sparkline section is dropped entirely.
+        let bare = quality_dashboard_html(&rollup, &[]);
+        assert!(!bare.contains("<svg"));
+    }
+
+    #[test]
+    fn html_escapes_names() {
+        let mut r = record("a<b>", "slack", 2, 2, 5);
+        r.loop_name = "x<&>y".into();
+        let html = quality_dashboard_html(&QualityRollup::new("m&m", vec![r]), &[]);
+        assert!(html.contains("x&lt;&amp;&gt;y"));
+        assert!(html.contains("m&amp;m"));
+        assert!(!html.contains("x<&>y"));
+    }
+}

@@ -1,0 +1,827 @@
+//! `lsms-obs`: the schedule-quality observatory.
+//!
+//! The rest of the observability stack answers "where does time go"
+//! (`--timings`, `--trace`, `--metrics`); this crate answers "did
+//! schedule *quality* regress" — the paper's own evaluation axes:
+//! achieved II versus MII and register requirements (MaxLive, lifetime
+//! sums).
+//!
+//! Three artifacts, all dependency-free plain data:
+//!
+//! * [`ScheduleQuality`] — one record per (loop, backend): the bounds
+//!   (RecMII/ResMII/MII), the achieved II and its gap over MII, MaxLive,
+//!   lifetime sum/mean/max, ejection and backtrack counts, the
+//!   budget-degradation flag, and wall time.
+//! * [`QualityRollup`] — the corpus-level aggregation: counts,
+//!   distribution buckets, p50/p99 per metric, per-backend breakdown.
+//!   Serializes to the `BENCH_quality.json` shape ([`QualityRollup::to_json`])
+//!   and to one timestamped ledger line
+//!   ([`QualityRollup::history_line`]) for `results/quality_history.jsonl`.
+//! * [`diff_quality`] — the regression gate `xtask quality-diff` runs:
+//!   exact-count comparison of corpus-wide II and MaxLive sums over two
+//!   quality reports, with per-loop attribution of which loops moved and
+//!   which backend pass produced them.
+//!
+//! Everything here is deterministic: records keep their input order,
+//! aggregation is order-independent arithmetic, and no timestamp enters
+//! [`QualityRollup::to_json`] (the ledger line carries it instead), so
+//! two runs that scheduled the same corpus identically produce
+//! byte-identical rollups regardless of worker count.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod html;
+
+pub use html::quality_dashboard_html;
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// Version stamp of the `BENCH_quality.json` shape and the history
+/// ledger lines; bump on any breaking change so `quality-diff` never
+/// silently misreads an old artifact.
+pub const QUALITY_SCHEMA_VERSION: u32 = 1;
+
+/// One (loop, backend) quality record — the paper's per-loop evaluation
+/// unit, kept as data whether the loop pipelined or not.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScheduleQuality {
+    /// Loop name.
+    pub loop_name: String,
+    /// Registry name of the backend that produced the schedule
+    /// (`slack`, `cydrome`, ...). When a budget-capped run degraded,
+    /// this names the fallback that actually scheduled the loop.
+    pub backend: String,
+    /// The backend's `schedule:<name>` pass label — the join key into
+    /// trace decision events and `--timings` rows.
+    pub pass: String,
+    /// Recurrence-constrained MII (§3.1).
+    pub rec_mii: u32,
+    /// Resource-constrained MII.
+    pub res_mii: u32,
+    /// `max(RecMII, ResMII)`.
+    pub mii: u32,
+    /// Achieved II, or `None` if the loop failed to pipeline.
+    pub ii: Option<u32>,
+    /// The last II attempted (equals `ii` on success).
+    pub last_ii: u32,
+    /// RR-file `MaxLive` of the final schedule (0 when none exists).
+    pub max_live: u32,
+    /// Σ RR lifetime lengths (0 when no schedule exists).
+    pub lifetime_sum: i64,
+    /// Longest single RR lifetime.
+    pub lifetime_max: i64,
+    /// RR values contributing a lifetime (denominator of the mean).
+    pub lifetime_count: u32,
+    /// Operations ejected from the partial schedule (Step 3 work).
+    pub ejected_ops: u64,
+    /// Backtracks: Step 3 (ejection) invocations plus Step 6 (II
+    /// increment) restarts.
+    pub backtracks: u64,
+    /// True when the configured backend blew its `--pass-budget` and
+    /// this record comes from the degradation fallback.
+    pub degraded: bool,
+    /// Wall-clock time the scheduler spent on this loop, microseconds.
+    pub wall_us: u64,
+}
+
+impl ScheduleQuality {
+    /// The II this loop contributes to ΣII: achieved or last-attempted
+    /// (Table 4's failure convention).
+    pub fn counted_ii(&self) -> u64 {
+        u64::from(self.ii.unwrap_or(self.last_ii))
+    }
+
+    /// `II − MII`: zero for optimally scheduled loops.
+    pub fn ii_gap(&self) -> u64 {
+        self.counted_ii().saturating_sub(u64::from(self.mii))
+    }
+
+    /// Mean RR lifetime length (0.0 when no value carries one).
+    pub fn lifetime_mean(&self) -> f64 {
+        if self.lifetime_count == 0 {
+            0.0
+        } else {
+            self.lifetime_sum as f64 / f64::from(self.lifetime_count)
+        }
+    }
+}
+
+/// Distribution summary of one per-loop metric within a backend.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MetricSummary {
+    /// Sum over loops.
+    pub sum: u64,
+    /// Median (nearest-rank).
+    pub p50: u64,
+    /// 99th percentile (nearest-rank).
+    pub p99: u64,
+    /// Maximum.
+    pub max: u64,
+}
+
+impl MetricSummary {
+    fn of(values: &mut [u64]) -> Self {
+        if values.is_empty() {
+            return Self::default();
+        }
+        values.sort_unstable();
+        Self {
+            sum: values.iter().sum(),
+            p50: nearest_rank(values, 50),
+            p99: nearest_rank(values, 99),
+            max: values[values.len() - 1],
+        }
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted non-empty sample.
+fn nearest_rank(sorted: &[u64], p: u64) -> u64 {
+    let rank = (p * sorted.len() as u64).div_ceil(100).max(1) as usize;
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+/// Bucket labels for the II−MII gap distribution.
+pub const II_GAP_BUCKETS: &[&str] = &["0", "1", "2", "3-4", "5-8", ">8"];
+
+/// Bucket labels for the MaxLive distribution.
+pub const MAX_LIVE_BUCKETS: &[&str] = &["0-4", "5-8", "9-16", "17-32", ">32"];
+
+fn ii_gap_bucket(gap: u64) -> usize {
+    match gap {
+        0 => 0,
+        1 => 1,
+        2 => 2,
+        3..=4 => 3,
+        5..=8 => 4,
+        _ => 5,
+    }
+}
+
+fn max_live_bucket(ml: u64) -> usize {
+    match ml {
+        0..=4 => 0,
+        5..=8 => 1,
+        9..=16 => 2,
+        17..=32 => 3,
+        _ => 4,
+    }
+}
+
+/// The per-backend slice of a [`QualityRollup`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct BackendRollup {
+    /// Backend registry name.
+    pub backend: String,
+    /// Records aggregated (one per loop this backend scheduled).
+    pub loops: usize,
+    /// Loops that pipelined (achieved an II).
+    pub scheduled: usize,
+    /// Loops scheduled exactly at MII.
+    pub at_mii: usize,
+    /// Loops this backend scheduled as a budget-degradation fallback.
+    pub degraded: usize,
+    /// Counted-II distribution.
+    pub ii: MetricSummary,
+    /// II−MII gap distribution.
+    pub ii_gap: MetricSummary,
+    /// MaxLive distribution.
+    pub max_live: MetricSummary,
+    /// Σ lifetime distribution.
+    pub lifetime_sum: MetricSummary,
+    /// Σ MII over this backend's loops (denominator of II/MII).
+    pub mii_sum: u64,
+    /// Σ ejected operations.
+    pub ejected_ops: u64,
+    /// Σ backtracks (Step 3 + Step 6).
+    pub backtracks: u64,
+    /// Σ scheduler wall time, microseconds.
+    pub wall_us: u64,
+    /// II−MII gap histogram, bucketed per [`II_GAP_BUCKETS`].
+    pub ii_gap_buckets: Vec<u64>,
+    /// MaxLive histogram, bucketed per [`MAX_LIVE_BUCKETS`].
+    pub max_live_buckets: Vec<u64>,
+}
+
+/// The corpus-level aggregation of every [`ScheduleQuality`] record one
+/// run produced, plus the records themselves (the diff gate needs
+/// per-loop attribution, so they serialize too).
+#[derive(Clone, Debug, PartialEq)]
+pub struct QualityRollup {
+    /// Target machine name, for the report header.
+    pub machine: String,
+    /// Every record, in input (corpus) order.
+    pub records: Vec<ScheduleQuality>,
+    /// Distinct loop names.
+    pub loops: usize,
+    /// Per-backend aggregation, in first-appearance order.
+    pub backends: Vec<BackendRollup>,
+}
+
+impl QualityRollup {
+    /// Aggregates records (kept in input order; backends appear in
+    /// first-record order, so the rollup is deterministic whenever the
+    /// record order is).
+    pub fn new(machine: &str, records: Vec<ScheduleQuality>) -> Self {
+        let loops = records
+            .iter()
+            .map(|r| r.loop_name.as_str())
+            .collect::<BTreeSet<_>>()
+            .len();
+        let mut backends: Vec<BackendRollup> = Vec::new();
+        for r in &records {
+            if !backends.iter().any(|b| b.backend == r.backend) {
+                backends.push(BackendRollup {
+                    backend: r.backend.clone(),
+                    loops: 0,
+                    scheduled: 0,
+                    at_mii: 0,
+                    degraded: 0,
+                    ii: MetricSummary::default(),
+                    ii_gap: MetricSummary::default(),
+                    max_live: MetricSummary::default(),
+                    lifetime_sum: MetricSummary::default(),
+                    mii_sum: 0,
+                    ejected_ops: 0,
+                    backtracks: 0,
+                    wall_us: 0,
+                    ii_gap_buckets: vec![0; II_GAP_BUCKETS.len()],
+                    max_live_buckets: vec![0; MAX_LIVE_BUCKETS.len()],
+                });
+            }
+        }
+        for b in &mut backends {
+            let mine: Vec<&ScheduleQuality> =
+                records.iter().filter(|r| r.backend == b.backend).collect();
+            b.loops = mine.len();
+            b.scheduled = mine.iter().filter(|r| r.ii.is_some()).count();
+            b.at_mii = mine.iter().filter(|r| r.ii == Some(r.mii)).count();
+            b.degraded = mine.iter().filter(|r| r.degraded).count();
+            b.mii_sum = mine.iter().map(|r| u64::from(r.mii)).sum();
+            b.ejected_ops = mine.iter().map(|r| r.ejected_ops).sum();
+            b.backtracks = mine.iter().map(|r| r.backtracks).sum();
+            b.wall_us = mine.iter().map(|r| r.wall_us).sum();
+            b.ii = MetricSummary::of(&mut mine.iter().map(|r| r.counted_ii()).collect::<Vec<_>>());
+            b.ii_gap = MetricSummary::of(&mut mine.iter().map(|r| r.ii_gap()).collect::<Vec<_>>());
+            b.max_live = MetricSummary::of(
+                &mut mine
+                    .iter()
+                    .map(|r| u64::from(r.max_live))
+                    .collect::<Vec<_>>(),
+            );
+            b.lifetime_sum = MetricSummary::of(
+                &mut mine
+                    .iter()
+                    .map(|r| r.lifetime_sum.max(0) as u64)
+                    .collect::<Vec<_>>(),
+            );
+            for r in &mine {
+                b.ii_gap_buckets[ii_gap_bucket(r.ii_gap())] += 1;
+                b.max_live_buckets[max_live_bucket(u64::from(r.max_live))] += 1;
+            }
+        }
+        Self {
+            machine: machine.to_owned(),
+            records,
+            loops,
+            backends,
+        }
+    }
+
+    /// Corpus-wide ΣII over every record (the diff gate's first axis).
+    pub fn ii_sum(&self) -> u64 {
+        self.records.iter().map(ScheduleQuality::counted_ii).sum()
+    }
+
+    /// Corpus-wide ΣMII over every record.
+    pub fn mii_sum(&self) -> u64 {
+        self.records.iter().map(|r| u64::from(r.mii)).sum()
+    }
+
+    /// Corpus-wide ΣMaxLive over every record (the second gate axis).
+    pub fn max_live_sum(&self) -> u64 {
+        self.records.iter().map(|r| u64::from(r.max_live)).sum()
+    }
+
+    /// Serializes the `BENCH_quality.json` shape: one per-loop record per
+    /// line under `"loops"`, then the aggregated `"rollup"`. Contains no
+    /// timestamp — only [`history_line`](Self::history_line) carries one —
+    /// so identical scheduling work yields byte-identical reports.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{{");
+        let _ = writeln!(out, "  \"schema_version\": {QUALITY_SCHEMA_VERSION},");
+        let _ = writeln!(out, "  \"kind\": \"lsms-quality\",");
+        let _ = writeln!(out, "  \"machine\": \"{}\",", self.machine);
+        let _ = writeln!(out, "  \"loops\": [");
+        for (i, r) in self.records.iter().enumerate() {
+            let ii = r.ii.map_or("null".to_owned(), |ii| ii.to_string());
+            let _ = writeln!(
+                out,
+                "    {{\"name\": \"{}\", \"backend\": \"{}\", \"pass\": \"{}\", \
+                 \"rec_mii\": {}, \"res_mii\": {}, \"mii\": {}, \"ii\": {ii}, \
+                 \"counted_ii\": {}, \"ii_gap\": {}, \"max_live\": {}, \
+                 \"lifetime_sum\": {}, \"lifetime_mean\": {:.2}, \"lifetime_max\": {}, \
+                 \"ejected_ops\": {}, \"backtracks\": {}, \"degraded\": {}, \
+                 \"wall_us\": {}}}{}",
+                r.loop_name,
+                r.backend,
+                r.pass,
+                r.rec_mii,
+                r.res_mii,
+                r.mii,
+                r.counted_ii(),
+                r.ii_gap(),
+                r.max_live,
+                r.lifetime_sum,
+                r.lifetime_mean(),
+                r.lifetime_max,
+                r.ejected_ops,
+                r.backtracks,
+                r.degraded,
+                r.wall_us,
+                if i + 1 == self.records.len() { "" } else { "," }
+            );
+        }
+        let _ = writeln!(out, "  ],");
+        let _ = writeln!(out, "  \"rollup\": {{");
+        let _ = writeln!(out, "    \"loops\": {},", self.loops);
+        let _ = writeln!(out, "    \"records\": {},", self.records.len());
+        let _ = writeln!(out, "    \"ii_sum\": {},", self.ii_sum());
+        let _ = writeln!(out, "    \"mii_sum\": {},", self.mii_sum());
+        let _ = writeln!(out, "    \"max_live_sum\": {},", self.max_live_sum());
+        let _ = writeln!(out, "    \"backends\": [");
+        for (i, b) in self.backends.iter().enumerate() {
+            let _ = writeln!(out, "      {{");
+            let _ = writeln!(out, "        \"backend\": \"{}\",", b.backend);
+            let _ = writeln!(
+                out,
+                "        \"loops\": {}, \"scheduled\": {}, \"at_mii\": {}, \"degraded\": {},",
+                b.loops, b.scheduled, b.at_mii, b.degraded
+            );
+            let _ = writeln!(
+                out,
+                "        \"mii_sum\": {}, \"ejected_ops\": {}, \"backtracks\": {}, \"wall_us\": {},",
+                b.mii_sum, b.ejected_ops, b.backtracks, b.wall_us
+            );
+            for (key, m) in [
+                ("ii", &b.ii),
+                ("ii_gap", &b.ii_gap),
+                ("max_live", &b.max_live),
+                ("lifetime_sum", &b.lifetime_sum),
+            ] {
+                let _ = writeln!(
+                    out,
+                    "        \"{key}\": {{\"sum\": {}, \"p50\": {}, \"p99\": {}, \"max\": {}}},",
+                    m.sum, m.p50, m.p99, m.max
+                );
+            }
+            let _ = writeln!(
+                out,
+                "        \"ii_gap_buckets\": {{{}}},",
+                bucket_pairs(II_GAP_BUCKETS, &b.ii_gap_buckets)
+            );
+            let _ = writeln!(
+                out,
+                "        \"max_live_buckets\": {{{}}}",
+                bucket_pairs(MAX_LIVE_BUCKETS, &b.max_live_buckets)
+            );
+            let _ = writeln!(
+                out,
+                "      }}{}",
+                if i + 1 == self.backends.len() {
+                    ""
+                } else {
+                    ","
+                }
+            );
+        }
+        let _ = writeln!(out, "    ]");
+        let _ = writeln!(out, "  }}");
+        let _ = writeln!(out, "}}");
+        out
+    }
+
+    /// One timestamped ledger line for `results/quality_history.jsonl`:
+    /// the corpus-wide sums plus per-backend sums, small enough to append
+    /// forever and parse with [`parse_history`].
+    pub fn history_line(&self, ts_iso: &str) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"ts\": \"{ts_iso}\", \"schema_version\": {QUALITY_SCHEMA_VERSION}, \
+             \"machine\": \"{}\", \"loops\": {}, \"records\": {}, \"ii_sum\": {}, \
+             \"mii_sum\": {}, \"max_live_sum\": {}, \"backends\": [",
+            self.machine,
+            self.loops,
+            self.records.len(),
+            self.ii_sum(),
+            self.mii_sum(),
+            self.max_live_sum(),
+        );
+        for (i, b) in self.backends.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}{{\"backend\": \"{}\", \"ii_sum\": {}, \"max_live_sum\": {}}}",
+                if i == 0 { "" } else { ", " },
+                b.backend,
+                b.ii.sum,
+                b.max_live.sum
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn bucket_pairs(labels: &[&str], counts: &[u64]) -> String {
+    labels
+        .iter()
+        .zip(counts)
+        .map(|(l, c)| format!("\"{l}\": {c}"))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// One parsed ledger sample (see [`parse_history`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistorySample {
+    /// ISO-8601 UTC timestamp the line was appended at.
+    pub ts: String,
+    /// Records in that run.
+    pub records: u64,
+    /// Corpus-wide ΣII.
+    pub ii_sum: u64,
+    /// Corpus-wide ΣMII.
+    pub mii_sum: u64,
+    /// Corpus-wide ΣMaxLive.
+    pub max_live_sum: u64,
+}
+
+/// Parses a `quality_history.jsonl` ledger: one [`HistorySample`] per
+/// well-formed line, unparseable lines skipped (the ledger is
+/// append-only across schema versions).
+pub fn parse_history(text: &str) -> Vec<HistorySample> {
+    text.lines()
+        .filter_map(|line| {
+            Some(HistorySample {
+                ts: scan_str(line, "\"ts\": \"")?,
+                records: scan_u64(line, "\"records\": ")?,
+                ii_sum: scan_u64(line, "\"ii_sum\": ")?,
+                mii_sum: scan_u64(line, "\"mii_sum\": ")?,
+                max_live_sum: scan_u64(line, "\"max_live_sum\": ")?,
+            })
+        })
+        .collect()
+}
+
+fn scan_str(line: &str, key: &str) -> Option<String> {
+    line.split(key).nth(1)?.split('"').next().map(str::to_owned)
+}
+
+fn scan_u64(line: &str, key: &str) -> Option<u64> {
+    line.split(key)
+        .nth(1)?
+        .split(|c: char| !c.is_ascii_digit())
+        .next()?
+        .parse()
+        .ok()
+}
+
+/// Formats a unix timestamp (seconds) as ISO-8601 UTC
+/// (`2026-08-08T12:34:56Z`), dependency-free.
+pub fn iso8601_utc(unix_secs: u64) -> String {
+    let days = unix_secs / 86_400;
+    let secs = unix_secs % 86_400;
+    // Howard Hinnant's civil_from_days, shifted so the era starts on
+    // 0000-03-01 (unix day 0 is 1970-01-01 = day 719468 of that era).
+    let z = days as i64 + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!(
+        "{y:04}-{m:02}-{d:02}T{:02}:{:02}:{:02}Z",
+        secs / 3600,
+        (secs / 60) % 60,
+        secs % 60
+    )
+}
+
+/// One per-loop record parsed back out of a quality report (the subset
+/// the diff gate needs).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParsedRecord {
+    /// Loop name.
+    pub name: String,
+    /// Backend registry name.
+    pub backend: String,
+    /// The `schedule:<name>` pass label (trace/timings join key).
+    pub pass: String,
+    /// Counted II (achieved or last-attempted).
+    pub counted_ii: u64,
+    /// RR MaxLive.
+    pub max_live: u64,
+}
+
+/// Extracts the per-loop records from a `BENCH_quality.json` report.
+/// The format is this crate's own fixed emission (one record per line),
+/// so a targeted scan suffices; surrounding rollup lines are ignored.
+pub fn parse_quality(json: &str) -> Vec<ParsedRecord> {
+    json.lines()
+        .filter_map(|line| {
+            let line = line.trim();
+            if !line.starts_with("{\"name\": \"") {
+                return None;
+            }
+            Some(ParsedRecord {
+                name: scan_str(line, "\"name\": \"")?,
+                backend: scan_str(line, "\"backend\": \"")?,
+                pass: scan_str(line, "\"pass\": \"")?,
+                counted_ii: scan_u64(line, "\"counted_ii\": ")?,
+                max_live: scan_u64(line, "\"max_live\": ")?,
+            })
+        })
+        .collect()
+}
+
+/// One loop whose quality moved between two runs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MovedLoop {
+    /// Loop name.
+    pub name: String,
+    /// Backend registry name.
+    pub backend: String,
+    /// Pass label that produced the new schedule.
+    pub pass: String,
+    /// Counted II before.
+    pub ii_old: u64,
+    /// Counted II after.
+    pub ii_new: u64,
+    /// MaxLive before.
+    pub max_live_old: u64,
+    /// MaxLive after.
+    pub max_live_new: u64,
+}
+
+impl MovedLoop {
+    /// True when either axis got worse for this loop.
+    pub fn worsened(&self) -> bool {
+        self.ii_new > self.ii_old || self.max_live_new > self.max_live_old
+    }
+}
+
+/// The verdict of comparing two quality reports over their common
+/// (loop, backend) records.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct QualityDiff {
+    /// Records present in both reports (the comparison universe).
+    pub compared: usize,
+    /// Records only the old report has (corpus shrank or was renamed).
+    pub only_old: usize,
+    /// Records only the new report has.
+    pub only_new: usize,
+    /// ΣII over compared records, old run.
+    pub ii_sum_old: u64,
+    /// ΣII over compared records, new run.
+    pub ii_sum_new: u64,
+    /// ΣMaxLive over compared records, old run.
+    pub max_live_sum_old: u64,
+    /// ΣMaxLive over compared records, new run.
+    pub max_live_sum_new: u64,
+    /// Every compared record whose II or MaxLive changed, in new-report
+    /// order (regressions and improvements both — the attribution list).
+    pub moved: Vec<MovedLoop>,
+}
+
+impl QualityDiff {
+    /// The exact-count gate: any corpus-wide increase in ΣII or ΣMaxLive
+    /// over the common records is a regression. Schedule quality is
+    /// deterministic, so there is no noise floor to allow for.
+    pub fn regressed(&self) -> bool {
+        self.ii_sum_new > self.ii_sum_old || self.max_live_sum_new > self.max_live_sum_old
+    }
+}
+
+/// Compares two parsed quality reports by (loop, backend) key. Records
+/// missing from either side are counted but never gate — a resized
+/// corpus must not masquerade as a regression or an improvement.
+pub fn diff_quality(old: &[ParsedRecord], new: &[ParsedRecord]) -> QualityDiff {
+    let key = |r: &ParsedRecord| (r.name.clone(), r.backend.clone());
+    let old_keys: BTreeSet<_> = old.iter().map(key).collect();
+    let new_keys: BTreeSet<_> = new.iter().map(key).collect();
+    let mut diff = QualityDiff {
+        only_old: old_keys.difference(&new_keys).count(),
+        only_new: new_keys.difference(&old_keys).count(),
+        ..QualityDiff::default()
+    };
+    for n in new {
+        let Some(o) = old
+            .iter()
+            .find(|o| o.name == n.name && o.backend == n.backend)
+        else {
+            continue;
+        };
+        diff.compared += 1;
+        diff.ii_sum_old += o.counted_ii;
+        diff.ii_sum_new += n.counted_ii;
+        diff.max_live_sum_old += o.max_live;
+        diff.max_live_sum_new += n.max_live;
+        if n.counted_ii != o.counted_ii || n.max_live != o.max_live {
+            diff.moved.push(MovedLoop {
+                name: n.name.clone(),
+                backend: n.backend.clone(),
+                pass: n.pass.clone(),
+                ii_old: o.counted_ii,
+                ii_new: n.counted_ii,
+                max_live_old: o.max_live,
+                max_live_new: n.max_live,
+            });
+        }
+    }
+    diff
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn record(
+        name: &str,
+        backend: &str,
+        mii: u32,
+        ii: u32,
+        max_live: u32,
+    ) -> ScheduleQuality {
+        ScheduleQuality {
+            loop_name: name.to_owned(),
+            backend: backend.to_owned(),
+            pass: format!("schedule:{backend}"),
+            rec_mii: mii,
+            res_mii: 1,
+            mii,
+            ii: Some(ii),
+            last_ii: ii,
+            max_live,
+            lifetime_sum: i64::from(max_live) * 3,
+            lifetime_max: i64::from(max_live),
+            lifetime_count: 3,
+            ejected_ops: 1,
+            backtracks: 2,
+            degraded: false,
+            wall_us: 100,
+        }
+    }
+
+    #[test]
+    fn rollup_aggregates_per_backend() {
+        let rollup = QualityRollup::new(
+            "huff",
+            vec![
+                record("a", "slack", 2, 2, 5),
+                record("b", "slack", 3, 4, 9),
+                record("a", "cydrome", 2, 3, 6),
+            ],
+        );
+        assert_eq!(rollup.loops, 2);
+        assert_eq!(rollup.ii_sum(), 9);
+        assert_eq!(rollup.mii_sum(), 7);
+        assert_eq!(rollup.max_live_sum(), 20);
+        assert_eq!(rollup.backends.len(), 2);
+        let slack = &rollup.backends[0];
+        assert_eq!(slack.backend, "slack");
+        assert_eq!((slack.loops, slack.scheduled, slack.at_mii), (2, 2, 1));
+        assert_eq!(slack.ii.sum, 6);
+        assert_eq!(slack.ii_gap.sum, 1);
+        assert_eq!(slack.max_live.max, 9);
+        assert_eq!(slack.ii_gap_buckets[0], 1); // a at MII
+        assert_eq!(slack.ii_gap_buckets[1], 1); // b one over
+        assert_eq!(slack.max_live_buckets[0], 0);
+        assert_eq!(slack.max_live_buckets[1], 1); // 5
+        assert_eq!(slack.max_live_buckets[2], 1); // 9
+    }
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        let mut v: Vec<u64> = (1..=100).collect();
+        let m = MetricSummary::of(&mut v);
+        assert_eq!((m.p50, m.p99, m.max), (50, 99, 100));
+        let mut v = vec![7];
+        let m = MetricSummary::of(&mut v);
+        assert_eq!((m.p50, m.p99, m.max, m.sum), (7, 7, 7, 7));
+    }
+
+    #[test]
+    fn json_round_trips_through_parse_quality() {
+        let rollup = QualityRollup::new(
+            "huff",
+            vec![
+                record("a", "slack", 2, 2, 5),
+                ScheduleQuality {
+                    ii: None,
+                    last_ii: 9,
+                    ..record("b", "slack", 3, 4, 0)
+                },
+            ],
+        );
+        let json = rollup.to_json();
+        assert!(json.contains("\"schema_version\": 1"));
+        assert!(json.contains("\"ii\": null"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        let parsed = parse_quality(&json);
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].name, "a");
+        assert_eq!(parsed[0].counted_ii, 2);
+        assert_eq!(parsed[0].max_live, 5);
+        assert_eq!(parsed[1].counted_ii, 9, "failures count last_ii");
+        assert_eq!(parsed[1].pass, "schedule:slack");
+    }
+
+    #[test]
+    fn history_line_round_trips() {
+        let rollup = QualityRollup::new("huff", vec![record("a", "slack", 2, 3, 5)]);
+        let line = rollup.history_line("2026-08-08T00:00:00Z");
+        let samples = parse_history(&format!("garbage\n{line}\n"));
+        assert_eq!(samples.len(), 1);
+        assert_eq!(samples[0].ts, "2026-08-08T00:00:00Z");
+        assert_eq!(samples[0].ii_sum, 3);
+        assert_eq!(samples[0].max_live_sum, 5);
+    }
+
+    #[test]
+    fn iso_timestamps_are_civil() {
+        assert_eq!(iso8601_utc(0), "1970-01-01T00:00:00Z");
+        assert_eq!(iso8601_utc(951_782_400), "2000-02-29T00:00:00Z");
+        assert_eq!(iso8601_utc(1_786_147_200), "2026-08-08T00:00:00Z");
+        assert_eq!(iso8601_utc(1_786_190_706), "2026-08-08T12:05:06Z");
+    }
+
+    #[test]
+    fn diff_gates_on_exact_sums_and_attributes_loops() {
+        let base = QualityRollup::new(
+            "huff",
+            vec![record("a", "slack", 2, 2, 5), record("b", "slack", 3, 3, 9)],
+        );
+        let old = parse_quality(&base.to_json());
+
+        // Unchanged rerun: clean.
+        let same = diff_quality(&old, &old);
+        assert!(!same.regressed());
+        assert!(same.moved.is_empty());
+        assert_eq!(same.compared, 2);
+
+        // One loop's II slips by one: the gate trips and names the loop.
+        let worse = QualityRollup::new(
+            "huff",
+            vec![record("a", "slack", 2, 3, 5), record("b", "slack", 3, 3, 9)],
+        );
+        let diff = diff_quality(&old, &parse_quality(&worse.to_json()));
+        assert!(diff.regressed());
+        assert_eq!(diff.moved.len(), 1);
+        assert_eq!(diff.moved[0].name, "a");
+        assert_eq!((diff.moved[0].ii_old, diff.moved[0].ii_new), (2, 3));
+        assert!(diff.moved[0].worsened());
+
+        // MaxLive regression alone also trips.
+        let pressure = QualityRollup::new(
+            "huff",
+            vec![record("a", "slack", 2, 2, 6), record("b", "slack", 3, 3, 9)],
+        );
+        assert!(diff_quality(&old, &parse_quality(&pressure.to_json())).regressed());
+
+        // Improvement never trips.
+        let better = QualityRollup::new(
+            "huff",
+            vec![record("a", "slack", 2, 2, 4), record("b", "slack", 3, 3, 9)],
+        );
+        let diff = diff_quality(&old, &parse_quality(&better.to_json()));
+        assert!(!diff.regressed());
+        assert_eq!(diff.moved.len(), 1);
+        assert!(!diff.moved[0].worsened());
+    }
+
+    #[test]
+    fn diff_ignores_corpus_resizes() {
+        let old = parse_quality(
+            &QualityRollup::new(
+                "huff",
+                vec![record("a", "slack", 2, 2, 5), record("b", "slack", 3, 3, 9)],
+            )
+            .to_json(),
+        );
+        // The corpus shrank to one loop: sums are computed over the
+        // intersection, so nothing regresses.
+        let new = parse_quality(
+            &QualityRollup::new("huff", vec![record("a", "slack", 2, 2, 5)]).to_json(),
+        );
+        let diff = diff_quality(&old, &new);
+        assert!(!diff.regressed());
+        assert_eq!((diff.compared, diff.only_old, diff.only_new), (1, 1, 0));
+    }
+}

@@ -39,6 +39,7 @@
 pub mod backend;
 mod error;
 pub mod passes;
+pub mod quality;
 mod report;
 mod session;
 
@@ -48,6 +49,7 @@ pub use backend::{
 };
 pub use error::{LsmsError, Stage};
 pub use passes::{pass_info, PassInfo, PASSES, SCHED_COUNTERS};
+pub use quality::quality_of;
 pub use report::{PassRecord, PassReport};
 pub use session::{
     CompileSession, LoopArtifacts, LoopEvaluation, PassBudget, SchedOutcome, SessionConfig,

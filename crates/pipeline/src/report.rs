@@ -62,10 +62,15 @@ impl PassReport {
         match self.records.iter().position(|r| r.name == name) {
             Some(i) => &mut self.records[i],
             None => {
+                // Registry passes keep pipeline order; passes the registry
+                // doesn't know (all sharing the same sentinel order) tie-break
+                // by name, so report order never depends on which worker
+                // thread recorded an unknown pass first.
+                let key = |n: &'static str| (pass_order(n), n);
                 let at = self
                     .records
                     .iter()
-                    .position(|r| pass_order(r.name) > pass_order(name))
+                    .position(|r| key(r.name) > key(name))
                     .unwrap_or(self.records.len());
                 self.records.insert(
                     at,
@@ -110,6 +115,7 @@ impl PassReport {
     ///
     /// ```json
     /// {
+    ///   "schema_version": 1,
     ///   "passes": [
     ///     {"name": "parse", "invocations": 1, "wall_us": 42,
     ///      "counters": {"loops": 1}},
@@ -117,8 +123,13 @@ impl PassReport {
     ///   ]
     /// }
     /// ```
+    ///
+    /// The shape is stable: `schema_version` bumps on breaking changes,
+    /// passes keep canonical pipeline order (unknown ones sorted by
+    /// name), and counter keys are `BTreeMap`-ordered — so `timings-diff`
+    /// never flakes on map ordering.
     pub fn to_json(&self) -> String {
-        let mut out = String::from("{\n  \"passes\": [\n");
+        let mut out = String::from("{\n  \"schema_version\": 1,\n  \"passes\": [\n");
         for (i, r) in self.records.iter().enumerate() {
             let _ = write!(
                 out,
@@ -201,9 +212,28 @@ mod tests {
         let mut report = PassReport::new();
         report.record("parse", Duration::from_micros(42), &[("loops", 1)]);
         let json = report.to_json();
+        assert!(json.starts_with("{\n  \"schema_version\": 1,\n"));
         assert!(json.contains("\"name\": \"parse\""));
         assert!(json.contains("\"wall_us\": 42"));
         assert!(json.contains("\"loops\": 1"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    /// Passes the registry doesn't know (runtime-registered backends)
+    /// all share one sentinel order; their report position must not
+    /// depend on which one happened to record first.
+    #[test]
+    fn unknown_passes_order_by_name_not_arrival() {
+        let mut a = PassReport::new();
+        a.record("schedule:zeta", Duration::from_micros(1), &[]);
+        a.record("schedule:acme", Duration::from_micros(1), &[]);
+        a.record("parse", Duration::from_micros(1), &[]);
+        let mut b = PassReport::new();
+        b.record("parse", Duration::from_micros(1), &[]);
+        b.record("schedule:acme", Duration::from_micros(1), &[]);
+        b.record("schedule:zeta", Duration::from_micros(1), &[]);
+        let names = |r: &PassReport| -> Vec<&str> { r.passes().iter().map(|p| p.name).collect() };
+        assert_eq!(names(&a), names(&b));
+        assert_eq!(names(&a), ["parse", "schedule:acme", "schedule:zeta"]);
     }
 }

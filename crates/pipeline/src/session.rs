@@ -131,6 +131,9 @@ pub struct LoopArtifacts {
     pub mve: Option<MveKernel>,
     /// Equivalence report, when the session ran simulate-verify.
     pub equiv: Option<EquivReport>,
+    /// The loop's schedule-quality record (II vs. MII, MaxLive,
+    /// lifetimes, backtracking work) for the observatory.
+    pub quality: lsms_obs::ScheduleQuality,
 }
 
 impl LoopArtifacts {
@@ -154,6 +157,9 @@ pub struct SchedOutcome {
     pub pressure: Option<PressureReport>,
     /// Work counters.
     pub stats: SchedStats,
+    /// True when the configured backend blew its [`PassBudget`] and this
+    /// outcome comes from the degradation fallback.
+    pub degraded: bool,
 }
 
 impl SchedOutcome {
@@ -161,6 +167,17 @@ impl SchedOutcome {
     pub fn counted_ii(&self) -> u64 {
         u64::from(self.ii.unwrap_or(self.last_ii))
     }
+}
+
+/// What one schedule-pass invocation actually ran: the result plus the
+/// registry entry that produced it, which is the fallback's after budget
+/// degradation — so quality records attribute schedules to the backend
+/// that made them, not merely the one that was asked.
+struct ScheduledRun {
+    result: Result<Schedule, lsms_sched::SchedFailure>,
+    pass: &'static str,
+    backend: String,
+    degraded: bool,
 }
 
 /// The three-scheduler evaluation of one loop (the paper's experimental
@@ -408,13 +425,16 @@ impl CompileSession {
     /// degrades to the registry backend named by
     /// [`SessionConfig::degrade_to`] (recorded under that backend's own
     /// pass label with a `degraded` counter) instead of failing the loop.
+    /// The returned [`ScheduledRun`] names the backend that actually
+    /// produced the result (the fallback's, after degradation), so the
+    /// quality record attributes the schedule to the right pass.
     fn schedule(
         &self,
         entry: &BackendEntry,
         problem: &SchedProblem<'_>,
         cache: &MinDistCache,
         ws: &mut EngineWorkspace,
-    ) -> Result<Schedule, lsms_sched::SchedFailure> {
+    ) -> ScheduledRun {
         let pass = entry.pass;
         let deadline = self
             .config
@@ -452,13 +472,19 @@ impl CompileSession {
             all.push(("budget_capped", 1));
         }
         self.record(pass, started, &all);
+        let produced_by = |result, entry: &BackendEntry, degraded| ScheduledRun {
+            result,
+            pass: entry.pass,
+            backend: entry.scheduler.name().to_owned(),
+            degraded,
+        };
         if !capped {
-            return result;
+            return produced_by(result, entry, false);
         }
         let Ok(fallback_entry) = &self.fallback else {
             // Unknown degrade_to name and validate() was skipped: surface
             // the capped failure rather than degrade to nothing.
-            return result;
+            return produced_by(result, entry, false);
         };
 
         // Budget-driven degradation: the configured backend blew its
@@ -492,7 +518,7 @@ impl CompileSession {
                 ("degraded", 1),
             ],
         );
-        fallback
+        produced_by(fallback, fallback_entry, true)
     }
 
     /// Folds the shared MinDist cache's counters into the report under
@@ -574,14 +600,30 @@ impl CompileSession {
 
         let backend = self.backend()?.clone();
         let cache = MinDistCache::new();
-        let (schedule, rr, icr, kernel, mve) = {
+        let (schedule, rr, icr, kernel, mve, quality) = {
             let problem = self.depgraph(&body)?;
-            let schedule = self.schedule(&backend, &problem, &cache, &mut EngineWorkspace::new());
-            self.record_mindist(&cache);
-            let schedule = schedule?;
+            let run = self.schedule(&backend, &problem, &cache, &mut EngineWorkspace::new());
+            let (sched_pass, sched_backend, degraded) = (run.pass, run.backend, run.degraded);
+            let schedule = run.result?;
             if !cfg.straight_line {
                 validate(&problem, &schedule)?;
             }
+            let quality = crate::quality::quality_of(
+                &compiled.def.name,
+                &sched_backend,
+                sched_pass,
+                problem.rec_mii(),
+                problem.res_mii(),
+                problem.mii(),
+                &SchedOutcome {
+                    ii: Some(schedule.ii),
+                    last_ii: schedule.ii,
+                    pressure: Some(measure_cached(&problem, &schedule, &cache)),
+                    stats: schedule.stats.clone(),
+                    degraded,
+                },
+            );
+            self.record_mindist(&cache);
             let (rr, icr) = if cfg.regalloc || cfg.codegen {
                 (
                     Some(self.regalloc(&problem, &schedule, RegClass::Rr)?),
@@ -625,7 +667,7 @@ impl CompileSession {
             } else {
                 None
             };
-            (schedule, rr, icr, kernel, mve)
+            (schedule, rr, icr, kernel, mve, quality)
         };
 
         let equiv = match &cfg.verify {
@@ -642,6 +684,7 @@ impl CompileSession {
             kernel,
             mve,
             equiv,
+            quality,
         })
     }
 
@@ -691,11 +734,8 @@ impl CompileSession {
         let backend = self.backend()?.clone();
         let cache = MinDistCache::new();
         let problem = self.depgraph(&compiled.body)?;
-        let outcome = outcome_of(
-            self.schedule(&backend, &problem, &cache, &mut EngineWorkspace::new()),
-            &problem,
-            &cache,
-        );
+        let run = self.schedule(&backend, &problem, &cache, &mut EngineWorkspace::new());
+        let outcome = outcome_of(run.result, &problem, &cache, run.degraded);
         self.record_mindist(&cache);
         Ok(outcome)
     }
@@ -731,7 +771,7 @@ impl CompileSession {
                     &SchedContext::new(entry.pass),
                 )
             };
-            let outcome = outcome_of(run.result, &problem, &cache);
+            let outcome = outcome_of(run.result, &problem, &cache, false);
             self.record_outcome(entry.pass, started, &outcome);
             (outcome, run.decisions)
         };
@@ -788,6 +828,7 @@ fn outcome_of(
     result: Result<Schedule, lsms_sched::SchedFailure>,
     problem: &SchedProblem<'_>,
     cache: &MinDistCache,
+    degraded: bool,
 ) -> SchedOutcome {
     match result {
         Ok(schedule) => SchedOutcome {
@@ -795,12 +836,14 @@ fn outcome_of(
             last_ii: schedule.ii,
             pressure: Some(measure_cached(problem, &schedule, cache)),
             stats: schedule.stats,
+            degraded,
         },
         Err(failure) => SchedOutcome {
             ii: None,
             last_ii: failure.last_ii,
             pressure: None,
             stats: failure.stats,
+            degraded,
         },
     }
 }

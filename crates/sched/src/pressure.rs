@@ -33,6 +33,11 @@ pub struct PressureReport {
     pub rr_min_avg: u32,
     /// Total RR lifetime length; `AvgLive = total / II`.
     pub rr_total_lifetime: i64,
+    /// Longest single RR lifetime under this schedule.
+    pub rr_max_lifetime: i64,
+    /// RR values that carry a lifetime (the denominator of the mean
+    /// lifetime `rr_total_lifetime / rr_lifetime_count`).
+    pub rr_lifetime_count: u32,
     /// `MaxLive` over source-level predicate values plus one stage
     /// predicate per kernel stage (the ICR file, Figure 8).
     pub icr_max_live: u32,
@@ -216,13 +221,20 @@ pub fn measure_cached(
     let lt = lifetimes(problem, schedule);
     let rr_live_vector = live_vector(problem, schedule, &lt, RegClass::Rr);
     let rr_max_live = rr_live_vector.iter().copied().max().unwrap_or(0);
-    let rr_total_lifetime: i64 = body
+    let mut rr_total_lifetime: i64 = 0;
+    let mut rr_max_lifetime: i64 = 0;
+    let mut rr_lifetime_count: u32 = 0;
+    for l in body
         .values()
         .iter()
         .filter(|v| v.def.is_some() && v.reg_class() == RegClass::Rr)
         .filter_map(|v| lt[v.id.index()])
         .map(|l| l.max(0))
-        .sum();
+    {
+        rr_total_lifetime += l;
+        rr_max_lifetime = rr_max_lifetime.max(l);
+        rr_lifetime_count += 1;
+    }
 
     let md = cache.get(problem, ii);
     let minlt = min_lifetimes(problem, &md);
@@ -256,6 +268,8 @@ pub fn measure_cached(
         rr_max_live,
         rr_min_avg,
         rr_total_lifetime,
+        rr_max_lifetime,
+        rr_lifetime_count,
         icr_max_live,
         stages,
         gprs,

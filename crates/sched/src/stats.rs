@@ -31,6 +31,13 @@ impl SchedStats {
     pub fn backtrack_free(&self) -> bool {
         self.step3_invocations == 0 && self.step6_restarts == 0
     }
+
+    /// Total backtracking work: Step 3 (ejection) invocations plus Step 6
+    /// (II increment) restarts — the quality observatory's per-loop
+    /// backtrack count.
+    pub fn backtracks(&self) -> u64 {
+        self.step3_invocations + self.step6_restarts
+    }
 }
 
 impl AddAssign<&SchedStats> for SchedStats {

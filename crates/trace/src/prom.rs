@@ -42,6 +42,77 @@ pub fn metrics_to_prometheus(metrics: &Metrics) -> String {
     out
 }
 
+/// A histogram series parsed back out of a text exposition: the
+/// cumulative `(le, count)` buckets in file order plus the `_sum` and
+/// `_count` samples.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ParsedHistogram {
+    /// Cumulative buckets, `(le label, cumulative count)`, in the order
+    /// they appeared (ascending bounds, `+Inf` last).
+    pub buckets: Vec<(String, u64)>,
+    /// The `_sum` sample.
+    pub sum: u64,
+    /// The `_count` sample.
+    pub count: u64,
+}
+
+/// Everything [`parse_prometheus`] recovers from an exposition.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ParsedExposition {
+    /// Counter samples by full series name (e.g.
+    /// `lsms_schedule_slack_ii_total`).
+    pub counters: std::collections::BTreeMap<String, u64>,
+    /// Histogram series by base name (e.g. `lsms_sched_slack`).
+    pub histograms: std::collections::BTreeMap<String, ParsedHistogram>,
+}
+
+/// Parses the subset of the Prometheus text exposition format that
+/// [`metrics_to_prometheus`] emits, so tests — and tooling that shells
+/// out to `lsmsc --metrics` — can round-trip the exposition instead of
+/// string-matching it. `# TYPE name histogram` declares a histogram;
+/// sample lines are `name[{le="..."}] value`. Unparseable lines are
+/// skipped.
+pub fn parse_prometheus(text: &str) -> ParsedExposition {
+    let mut out = ParsedExposition::default();
+    for line in text.lines() {
+        let line = line.trim();
+        if let Some(decl) = line.strip_prefix("# TYPE ") {
+            if let Some((name, "histogram")) = decl.split_once(' ') {
+                out.histograms.entry(name.to_owned()).or_default();
+            }
+            continue;
+        }
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some((series, value)) = line.rsplit_once(' ') else {
+            continue;
+        };
+        let Ok(value) = value.parse::<u64>() else {
+            continue;
+        };
+        if let Some((name, le)) = series.split_once("_bucket{le=\"") {
+            let le = le.trim_end_matches("\"}").to_owned();
+            if let Some(h) = out.histograms.get_mut(name) {
+                h.buckets.push((le, value));
+            }
+        } else if let Some(h) = series
+            .strip_suffix("_sum")
+            .and_then(|n| out.histograms.get_mut(n))
+        {
+            h.sum = value;
+        } else if let Some(h) = series
+            .strip_suffix("_count")
+            .and_then(|n| out.histograms.get_mut(n))
+        {
+            h.count = value;
+        } else {
+            out.counters.insert(series.to_owned(), value);
+        }
+    }
+    out
+}
+
 /// Maps a name onto the Prometheus metric-name alphabet
 /// (`[a-zA-Z0-9_]`); every other character becomes `_`.
 fn sanitize(s: &str) -> String {
@@ -94,6 +165,55 @@ mod tests {
         let a = text.find("lsms_a_x_total").unwrap();
         let b = text.find("lsms_b_y_total").unwrap();
         assert!(a < b);
+    }
+
+    #[test]
+    fn parser_round_trips_the_exposition() {
+        let mut m = Metrics::default();
+        m.counters.insert(("schedule:slack", "ii"), 42);
+        m.counters.insert(("sched", "placements"), 7);
+        let mut h = Histogram::default();
+        for v in [1, 3, 3, 900, 5_000, 1 << 20] {
+            h.observe(v);
+        }
+        m.histograms.insert("sched_slack", h.clone());
+
+        let parsed = parse_prometheus(&metrics_to_prometheus(&m));
+        assert_eq!(parsed.counters["lsms_schedule_slack_ii_total"], 42);
+        assert_eq!(parsed.counters["lsms_sched_placements_total"], 7);
+        assert_eq!(parsed.counters.len(), 2);
+
+        let ph = &parsed.histograms["lsms_sched_slack"];
+        // One bucket per bound plus the mandatory +Inf terminator.
+        assert_eq!(ph.buckets.len(), HISTOGRAM_BOUNDS.len() + 1);
+        assert_eq!(ph.buckets.last().unwrap().0, "+Inf");
+        // Exposition buckets are cumulative, so counts never decrease
+        // and the +Inf bucket agrees with _count.
+        for w in ph.buckets.windows(2) {
+            assert!(w[0].1 <= w[1].1, "buckets must be cumulative: {w:?}");
+        }
+        assert_eq!(ph.buckets.last().unwrap().1, ph.count);
+        assert_eq!(ph.count, h.count);
+        assert_eq!(ph.sum, h.sum);
+        // De-cumulating recovers the original per-bucket counts exactly.
+        let mut prev = 0;
+        for (i, (_, cumulative)) in ph.buckets.iter().enumerate() {
+            assert_eq!(cumulative - prev, h.buckets[i], "bucket {i}");
+            prev = *cumulative;
+        }
+    }
+
+    #[test]
+    fn parser_skips_malformed_lines() {
+        let parsed = parse_prometheus(
+            "# HELP noise ignored\n\
+             garbage\n\
+             lsms_ok_total 3\n\
+             lsms_bad_total not_a_number\n",
+        );
+        assert_eq!(parsed.counters["lsms_ok_total"], 3);
+        assert_eq!(parsed.counters.len(), 1);
+        assert!(parsed.histograms.is_empty());
     }
 
     #[test]
