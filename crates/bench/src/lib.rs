@@ -186,6 +186,11 @@ pub struct CorpusReport {
     pub records: Vec<LoopRecord>,
     /// Loops that failed a pipeline stage, in input order.
     pub failures: Vec<CorpusFailure>,
+    /// Total worker idle time (µs) spent waiting for the slowest worker
+    /// to finish — the parallel run's straggler tax. Always 0 on the
+    /// sequential path. Purely informational: records are identical
+    /// whatever this reports.
+    pub straggler_idle_us: u64,
 }
 
 impl CorpusReport {
@@ -223,6 +228,13 @@ pub fn evaluate_corpus_session(
 
 /// Evaluates an already-built loop list through a session on `jobs`
 /// worker threads, preserving input order in the output.
+///
+/// The parallel path dispatches loops in descending expected-cost order
+/// (longest-processing-time-first over [`CompileSession::corpus_cost_hint`]),
+/// so the expensive tail of the corpus starts early instead of landing
+/// on one straggling worker at the end of the run. Dispatch order only
+/// affects wall clock: results are reassembled by input index, so every
+/// downstream report is byte-identical to a sequential run.
 pub fn evaluate_loops_session(
     session: &CompileSession,
     loops: &[CompiledLoop],
@@ -236,35 +248,51 @@ pub fn evaluate_loops_session(
         let _span = lsms_trace::span_with("corpus.loop", &[("index", i as i64)]);
         LoopRecord::try_evaluate(session, &loops[i])
     };
+    let mut straggler_idle_us = 0u64;
     let results: Vec<Result<LoopRecord, LsmsError>> = if jobs == 1 {
         (0..loops.len()).map(eval_one).collect()
     } else {
-        // Work-stealing by atomic counter; results are reassembled by
-        // index so the order (and thus every downstream text report) is
-        // deterministic.
+        // Work-stealing by atomic counter over the cost-sorted order;
+        // results are reassembled by index so the order (and thus every
+        // downstream text report) is deterministic.
+        let order = tail_aware_order(session, loops);
         let next = std::sync::atomic::AtomicUsize::new(0);
         let (tx, rx) = std::sync::mpsc::channel::<(usize, Result<LoopRecord, LsmsError>)>();
         std::thread::scope(|s| {
-            for _ in 0..jobs {
-                let tx = tx.clone();
-                let next = &next;
-                let eval_one = &eval_one;
-                s.spawn(move || loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= loops.len() {
-                        break;
-                    }
-                    let result = eval_one(i);
-                    if tx.send((i, result)).is_err() {
-                        break;
-                    }
-                });
-            }
+            let workers: Vec<_> = (0..jobs)
+                .map(|_| {
+                    let tx = tx.clone();
+                    let next = &next;
+                    let eval_one = &eval_one;
+                    let order = &order;
+                    s.spawn(move || {
+                        loop {
+                            let slot = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            let Some(&i) = order.get(slot) else { break };
+                            let result = eval_one(i);
+                            if tx.send((i, result)).is_err() {
+                                break;
+                            }
+                        }
+                        std::time::Instant::now()
+                    })
+                })
+                .collect();
             drop(tx);
             let mut slots: Vec<Option<Result<LoopRecord, LsmsError>>> =
                 (0..loops.len()).map(|_| None).collect();
             for (i, result) in rx {
                 slots[i] = Some(result);
+            }
+            let finishes: Vec<std::time::Instant> = workers
+                .into_iter()
+                .map(|w| w.join().expect("corpus worker panicked"))
+                .collect();
+            if let Some(&last) = finishes.iter().max() {
+                straggler_idle_us = finishes
+                    .iter()
+                    .map(|&f| last.duration_since(f).as_micros() as u64)
+                    .sum();
             }
             slots
                 .into_iter()
@@ -272,7 +300,10 @@ pub fn evaluate_loops_session(
                 .collect()
         })
     };
-    let mut report = CorpusReport::default();
+    let mut report = CorpusReport {
+        straggler_idle_us,
+        ..CorpusReport::default()
+    };
     for (index, result) in results.into_iter().enumerate() {
         match result {
             Ok(record) => report.records.push(record),
@@ -284,6 +315,16 @@ pub fn evaluate_loops_session(
         }
     }
     report
+}
+
+/// Largest-expected-cost-first dispatch order for a parallel corpus run.
+/// Ties (and ledger-less runs over uniform loops) fall back to input
+/// order, keeping dispatch deterministic.
+fn tail_aware_order(session: &CompileSession, loops: &[CompiledLoop]) -> Vec<usize> {
+    let costs: Vec<u64> = loops.iter().map(|l| session.corpus_cost_hint(l)).collect();
+    let mut order: Vec<usize> = (0..loops.len()).collect();
+    order.sort_by_key(|&i| (std::cmp::Reverse(costs[i]), i));
+    order
 }
 
 /// Evaluates the standard corpus on a machine with [`default_jobs`]
@@ -350,31 +391,42 @@ pub struct BenchArgs {
 }
 
 impl BenchArgs {
-    /// Parses `std::env::args`, exiting with a message on malformed input.
+    /// Parses `std::env::args`, printing the usage line and exiting with
+    /// code 2 (the usage-error convention shared with `lsmsc`) on
+    /// malformed input.
     pub fn parse() -> Self {
-        Self::from_args(std::env::args().skip(1))
+        Self::from_args(std::env::args().skip(1)).unwrap_or_else(|message| {
+            eprintln!("error: {message}");
+            eprintln!("usage: [--corpus-size N] [--jobs N]");
+            std::process::exit(2);
+        })
     }
 
-    /// Parses an explicit argument list (for tests).
-    pub fn from_args(args: impl IntoIterator<Item = String>) -> Self {
+    /// Parses an explicit argument list; malformed input comes back as a
+    /// usage-error message instead of a panic.
+    pub fn from_args(args: impl IntoIterator<Item = String>) -> Result<Self, String> {
         let mut out = Self {
             corpus_size: default_corpus_size(),
             jobs: default_jobs(),
         };
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {
-            let mut value_for = |flag: &str| -> usize {
+            let mut value_for = |flag: &str| -> Result<usize, String> {
                 it.next()
                     .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| panic!("{flag} needs a positive integer"))
+                    .ok_or_else(|| format!("{flag} needs a positive integer"))
             };
             match arg.as_str() {
-                "--corpus-size" => out.corpus_size = value_for("--corpus-size"),
-                "--jobs" => out.jobs = value_for("--jobs").max(1),
-                other => panic!("unknown option `{other}` (expected --corpus-size N / --jobs N)"),
+                "--corpus-size" => out.corpus_size = value_for("--corpus-size")?,
+                "--jobs" => out.jobs = value_for("--jobs")?.max(1),
+                other => {
+                    return Err(format!(
+                        "unknown option `{other}` (expected --corpus-size N / --jobs N)"
+                    ))
+                }
             }
         }
-        out
+        Ok(out)
     }
 }
 
@@ -552,9 +604,39 @@ mod tests {
 
     #[test]
     fn bench_args_parse_flags() {
-        let args = BenchArgs::from_args(["--corpus-size", "40", "--jobs", "3"].map(String::from));
+        let args = BenchArgs::from_args(["--corpus-size", "40", "--jobs", "3"].map(String::from))
+            .expect("parses");
         assert_eq!(args.corpus_size, 40);
         assert_eq!(args.jobs, 3);
+    }
+
+    #[test]
+    fn bench_args_reject_malformed_input_as_usage_errors() {
+        let err = BenchArgs::from_args(["--frobnicate"].map(String::from)).unwrap_err();
+        assert!(err.contains("unknown option `--frobnicate`"), "{err}");
+        let err = BenchArgs::from_args(["--jobs"].map(String::from)).unwrap_err();
+        assert!(err.contains("--jobs needs a positive integer"), "{err}");
+        let err = BenchArgs::from_args(["--corpus-size", "many"].map(String::from)).unwrap_err();
+        assert!(err.contains("--corpus-size"), "{err}");
+    }
+
+    /// The tail-aware dispatch order is a pure scheduling hint: a
+    /// parallel run must stay byte-identical to a sequential one, and
+    /// the order itself must be deterministic, largest-first.
+    #[test]
+    fn tail_aware_order_is_deterministic_and_cost_sorted() {
+        let session = CompileSession::with_machine(huff_machine());
+        let loops = lsms_loops::corpus(12, CORPUS_SEED);
+        let order = tail_aware_order(&session, &loops);
+        assert_eq!(order.len(), loops.len());
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..loops.len()).collect::<Vec<_>>());
+        assert_eq!(order, tail_aware_order(&session, &loops));
+        let costs: Vec<u64> = loops.iter().map(|l| session.corpus_cost_hint(l)).collect();
+        for pair in order.windows(2) {
+            assert!(costs[pair[0]] >= costs[pair[1]]);
+        }
     }
 
     #[test]

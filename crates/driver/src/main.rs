@@ -30,6 +30,12 @@
 //!                                a pass; overruns emit a
 //!                                `budget_exceeded` trace event and
 //!                                counter (repeatable, never aborts)
+//!   --warm-start PATH            load the schedule-cache ledger at PATH
+//!                                (fingerprint → achieved II) before
+//!                                running, seed II escalation from it,
+//!                                and rewrite it afterwards with every
+//!                                schedule this run memoized; schedules
+//!                                stay byte-identical to a cold run
 //!   --quality PATH               write per-loop schedule-quality records
 //!                                (II vs MII, MaxLive, lifetimes,
 //!                                backtracking) plus the corpus rollup as
@@ -98,6 +104,7 @@ struct Options {
     quality_report: Option<String>,
     budgets: Vec<PassBudget>,
     explain_pass: Option<String>,
+    warm_start: Option<String>,
 }
 
 fn usage() -> ! {
@@ -107,7 +114,7 @@ fn usage() -> ! {
          \x20             [--unroll N] [--straight-line] [--run TRIP] [--timings PATH|-]\n\
          \x20             [--trace PATH] [--metrics PATH|-] [--pass-budget NAME=MILLIS]\n\
          \x20             [--quality PATH|-] [--quality-report PATH|-]\n\
-         \x20             [--explain-pass NAME]\n\
+         \x20             [--warm-start PATH] [--explain-pass NAME]\n\
          \x20      lsmsc --eval-corpus [--corpus-size N] [--jobs N] [--machine ...]\n\
          \x20      lsmsc --explain-pass NAME\n\
          \x20      lsmsc --list-backends"
@@ -136,6 +143,7 @@ fn parse_args() -> Options {
         quality_report: None,
         budgets: Vec::new(),
         explain_pass: None,
+        warm_start: None,
     };
     let need = |args: &mut dyn Iterator<Item = String>, flag: &str| -> String {
         args.next().unwrap_or_else(|| {
@@ -240,6 +248,7 @@ fn parse_args() -> Options {
                     }));
             }
             "--explain-pass" => options.explain_pass = Some(need(&mut args, "--explain-pass")),
+            "--warm-start" => options.warm_start = Some(need(&mut args, "--warm-start")),
             "--help" | "-h" => usage(),
             other if options.file.is_empty() && !other.starts_with('-') => {
                 options.file = other.to_owned();
@@ -317,6 +326,7 @@ fn session_config(options: &Options) -> SessionConfig {
     config.mve = options.emit.iter().any(|e| e == "mve");
     config.verify = options.run.map(VerifySpec::with_trip);
     config.budgets = options.budgets.clone();
+    config.warm_start = options.warm_start.clone().map(Into::into);
     config
 }
 
@@ -348,7 +358,38 @@ fn eval_corpus(options: &Options, session: &CompileSession) -> Vec<lsms_obs::Sch
         100.0 * optimal as f64 / records.len().max(1) as f64,
         sum_ii as f64 / sum_mii.max(1) as f64,
     );
+    let report = session.report();
+    if let Some(record) = report.get("sched-cache") {
+        let get = |key| record.counters.get(key).copied().unwrap_or(0);
+        println!(
+            "schedule-cache: hits={} misses={} inserts={} warm={} ledger={} straggler-idle-us={}",
+            get("hits"),
+            get("misses"),
+            get("inserts"),
+            get("warm_hits"),
+            session.warm_ledger_len(),
+            corpus.straggler_idle_us,
+        );
+    }
     quality
+}
+
+/// `--warm-start PATH`: rewrites the schedule-cache ledger with the
+/// loaded entries merged with everything this run memoized.
+fn write_warm_ledger(path: &str, session: &CompileSession) -> Result<(), LsmsError> {
+    let lines = session.warm_ledger_lines();
+    if session.warm_ledger_skipped() > 0 {
+        eprintln!(
+            "lsmsc: warm-start ledger {path}: skipped {} corrupt line(s)",
+            session.warm_ledger_skipped()
+        );
+    }
+    let parent = std::path::Path::new(path).parent();
+    if let Some(dir) = parent.filter(|d| !d.as_os_str().is_empty()) {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| LsmsError::io(format!("cannot create {}: {e}", dir.display())))?;
+    }
+    std::fs::write(path, lines).map_err(|e| LsmsError::io(format!("cannot write {path}: {e}")))
 }
 
 /// Compiles the input file and prints everything the options ask for.
@@ -625,6 +666,16 @@ fn main() -> ExitCode {
         }
     }
 
+    if let Some(path) = &options.warm_start {
+        if options.eval_corpus || !options.file.is_empty() {
+            if let Err(e) = write_warm_ledger(path, &session) {
+                eprintln!("lsmsc: {}", e.render(None));
+                if code == 0 {
+                    code = e.exit_code();
+                }
+            }
+        }
+    }
     if let Some(name) = &options.explain_pass {
         if let Err(e) = explain_pass(name, &session) {
             eprintln!("lsmsc: {}", e.render(None));

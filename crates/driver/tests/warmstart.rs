@@ -1,0 +1,127 @@
+//! End-to-end tests of `--warm-start`: the schedule-cache ledger round
+//! trip, byte-identical quality across cold and warm runs, and graceful
+//! degradation on corrupt ledgers.
+
+use std::process::Command;
+
+fn lsmsc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_lsmsc"))
+}
+
+fn temp(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("{name}-{}", std::process::id()))
+}
+
+/// Cuts stdout down to the quality JSON document and strips the only
+/// nondeterministic field (`wall_us`) so reports compare byte-for-byte.
+fn strip_wall(report: &str) -> String {
+    let json_start = report.find("{\n").expect("quality JSON on stdout");
+    report[json_start..]
+        .lines()
+        .map(|line| match line.find("\"wall_us\":") {
+            Some(at) => &line[..at],
+            None => line,
+        })
+        .fold(String::new(), |mut out, line| {
+            out.push_str(line);
+            out.push('\n');
+            out
+        })
+}
+
+/// The `schedule-cache:` summary line of an `--eval-corpus` run.
+fn cache_line(stdout: &str) -> &str {
+    stdout
+        .lines()
+        .find(|l| l.starts_with("schedule-cache:"))
+        .expect("schedule-cache line on stdout")
+}
+
+fn run_corpus(ledger: &std::path::Path) -> (String, String) {
+    let out = lsmsc()
+        .args(["--eval-corpus", "--corpus-size", "24", "--jobs", "1"])
+        .args(["--quality", "-"])
+        .arg("--warm-start")
+        .arg(ledger)
+        .env("LSMS_QUALITY_HISTORY", "") // keep the test hermetic
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (
+        String::from_utf8(out.stdout).expect("utf-8 stdout"),
+        String::from_utf8(out.stderr).expect("utf-8 stderr"),
+    )
+}
+
+/// A cold run writes the ledger; a warm rerun loads it, reports warm
+/// hits, and produces byte-identical quality records.
+#[test]
+fn warm_start_round_trips_and_matches_cold() {
+    let ledger = temp("lsms-warmstart-roundtrip.jsonl");
+    std::fs::remove_file(&ledger).ok();
+
+    let (cold, _) = run_corpus(&ledger);
+    let cold_line = cache_line(&cold);
+    assert!(cold_line.contains("warm=0"), "{cold_line}");
+    assert!(cold_line.contains("ledger=0"), "{cold_line}");
+    let written = std::fs::read_to_string(&ledger).expect("ledger written");
+    assert!(!written.is_empty());
+    assert!(written.lines().all(|l| l.contains("\"fp\":")), "{written}");
+
+    let (warm, _) = run_corpus(&ledger);
+    let warm_line = cache_line(&warm);
+    assert!(!warm_line.contains("warm=0"), "{warm_line}");
+    assert!(!warm_line.contains("ledger=0"), "{warm_line}");
+    assert_eq!(
+        strip_wall(&cold),
+        strip_wall(&warm),
+        "warm-started quality must match the cold run"
+    );
+    // The rewrite is stable: a warm rerun reproduces the same entries.
+    let rewritten = std::fs::read_to_string(&ledger).expect("ledger rewritten");
+    assert_eq!(
+        written.lines().count(),
+        rewritten.lines().count(),
+        "warm rerun must not grow the ledger"
+    );
+    std::fs::remove_file(&ledger).ok();
+}
+
+/// Corrupt ledger lines are skipped with a warning, and the run falls
+/// back to cold scheduling with identical results.
+#[test]
+fn corrupt_ledger_degrades_to_cold_run() {
+    let clean = temp("lsms-warmstart-clean.jsonl");
+    std::fs::remove_file(&clean).ok();
+    let (cold, _) = run_corpus(&clean);
+
+    let corrupt = temp("lsms-warmstart-corrupt.jsonl");
+    std::fs::write(&corrupt, "this is not a ledger\n{\"v\":7}\n").expect("writes");
+    let (warm, stderr) = run_corpus(&corrupt);
+    assert!(stderr.contains("skipped 2 corrupt line(s)"), "{stderr}");
+    let line = cache_line(&warm);
+    assert!(line.contains("warm=0"), "{line}");
+    assert_eq!(strip_wall(&cold), strip_wall(&warm));
+    // The rewrite drops the corrupt lines and keeps the fresh entries.
+    let rewritten = std::fs::read_to_string(&corrupt).expect("rewritten");
+    assert!(
+        rewritten.lines().all(|l| l.contains("\"fp\":")),
+        "{rewritten}"
+    );
+    std::fs::remove_file(&clean).ok();
+    std::fs::remove_file(&corrupt).ok();
+}
+
+/// `--warm-start` appears in the usage text, and a missing value is a
+/// usage error (exit 2).
+#[test]
+fn warm_start_usage_and_missing_value() {
+    let out = lsmsc().arg("--warm-start").output().expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--warm-start"), "{stderr}");
+}

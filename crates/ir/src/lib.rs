@@ -39,6 +39,7 @@ mod body;
 mod builder;
 mod dep;
 mod dot;
+pub mod fingerprint;
 mod ids;
 mod op;
 mod scc;
@@ -49,6 +50,7 @@ pub use body::{BodyError, LoopBody, LoopClass, LoopMeta};
 pub use builder::LoopBuilder;
 pub use dep::{Dep, DepKind, DepVia};
 pub use dot::{to_dot, to_listing};
+pub use fingerprint::{structural_fingerprint, Fingerprint, FpHasher};
 pub use ids::{DepId, OpId, ValueId};
 pub use op::{Op, OpKind};
 pub use scc::{has_recurrence, tarjan_scc};

@@ -41,6 +41,7 @@ mod error;
 pub mod passes;
 pub mod quality;
 mod report;
+mod schedcache;
 mod session;
 
 pub use backend::{
@@ -166,6 +167,200 @@ mod tests {
             DirectionPolicy::AlwaysEarly
         );
         let _ = SlackConfig::default();
+    }
+
+    /// An alpha-renaming of `DAXPY`: every identifier (loop name, index,
+    /// arrays, parameter) differs, the structure is identical.
+    const DAXPY_RENAMED: &str = "loop saxpy(j = 1..m) { real u[], v[]; param real b;
+         v[j] = v[j] + b * u[j]; }";
+
+    const RECURRENCE: &str = "loop rec(i = 1..n) { real s[], x[];
+         s[i] = s[i-1] + x[i]; }";
+
+    /// A loop's outcome with the wall clock zeroed — everything that must
+    /// be byte-identical between cold, cached, and warm-started runs.
+    fn outcome_key(o: &SchedOutcome) -> (Option<u32>, u32, String, lsms_sched::SchedStats, bool) {
+        let mut stats = o.stats.clone();
+        stats.elapsed = std::time::Duration::ZERO;
+        (
+            o.ii,
+            o.last_ii,
+            format!("{:?}", o.pressure),
+            stats,
+            o.degraded,
+        )
+    }
+
+    fn eval_key(e: &LoopEvaluation) -> String {
+        format!(
+            "{:?}",
+            (
+                e.rec_mii,
+                e.res_mii,
+                e.mii,
+                e.min_avg_at_mii,
+                e.gprs,
+                outcome_key(&e.new),
+                outcome_key(&e.early),
+                outcome_key(&e.old),
+                &e.decisions,
+            )
+        )
+    }
+
+    fn temp_ledger(tag: &str, contents: &str) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(format!(
+            "lsms-test-ledger-{tag}-{}.jsonl",
+            std::process::id()
+        ));
+        std::fs::write(&path, contents).expect("writes ledger");
+        path
+    }
+
+    #[test]
+    fn alpha_equivalent_loops_hit_the_schedule_cache() {
+        let session = CompileSession::with_machine(huff_machine());
+        let unit = session.compile_source(DAXPY).expect("compiles");
+        let renamed = session.compile_source(DAXPY_RENAMED).expect("compiles");
+        let a = session.run_loop(&unit.loops[0]).expect("pipelines");
+        let b = session.run_loop(&renamed.loops[0]).expect("pipelines");
+        // The cached replay is byte-identical, including the stored
+        // elapsed time: the second loop never ran a scheduler.
+        assert_eq!(a.schedule, b.schedule);
+        let report = session.report();
+        let record = report.get("sched-cache").expect("recorded");
+        assert_eq!(record.counters["hits"], 1);
+        assert_eq!(record.counters["misses"], 1);
+        assert_eq!(record.counters["inserts"], 1);
+    }
+
+    #[test]
+    fn repeat_scheduling_replays_byte_identical_outcomes() {
+        let session = CompileSession::with_machine(huff_machine());
+        let unit = session.compile_source(RECURRENCE).expect("compiles");
+        let first = session.schedule_outcome(&unit.loops[0]).expect("schedules");
+        let second = session.schedule_outcome(&unit.loops[0]).expect("schedules");
+        assert_eq!(first.ii, second.ii);
+        assert_eq!(first.stats, second.stats); // including elapsed: a replay
+        assert_eq!(
+            format!("{:?}", first.pressure),
+            format!("{:?}", second.pressure)
+        );
+        let report = session.report();
+        let record = report.get("sched-cache").expect("recorded");
+        assert!(record.counters["hits"] >= 1);
+    }
+
+    #[test]
+    fn disabling_the_cache_reruns_every_backend() {
+        let mut config = SessionConfig::new(huff_machine());
+        config.sched_cache = false;
+        let session = CompileSession::new(config);
+        let unit = session.compile_source(DAXPY).expect("compiles");
+        let first = session.schedule_outcome(&unit.loops[0]).expect("schedules");
+        let second = session.schedule_outcome(&unit.loops[0]).expect("schedules");
+        assert_eq!(outcome_key(&first), outcome_key(&second));
+        assert!(session.report().get("sched-cache").is_none());
+    }
+
+    #[test]
+    fn warm_start_ledger_round_trips_byte_identically() {
+        let cold = CompileSession::with_machine(huff_machine());
+        let mut cold_keys = Vec::new();
+        for src in [DAXPY, RECURRENCE] {
+            let unit = cold.compile_source(src).expect("compiles");
+            let eval = cold
+                .evaluate_variants(&unit.loops[0], false)
+                .expect("evaluates");
+            cold_keys.push(eval_key(&eval));
+        }
+        let lines = cold.warm_ledger_lines();
+        assert!(lines.lines().count() >= 6, "trio × two loops:\n{lines}");
+        let path = temp_ledger("roundtrip", &lines);
+
+        let mut config = SessionConfig::new(huff_machine());
+        config.warm_start = Some(path.clone());
+        let warm = CompileSession::new(config);
+        assert_eq!(warm.warm_ledger_len(), lines.lines().count());
+        assert_eq!(warm.warm_ledger_skipped(), 0);
+        let mut warm_keys = Vec::new();
+        for src in [DAXPY, RECURRENCE] {
+            let unit = warm.compile_source(src).expect("compiles");
+            let eval = warm
+                .evaluate_variants(&unit.loops[0], false)
+                .expect("evaluates");
+            warm_keys.push(eval_key(&eval));
+        }
+        assert_eq!(cold_keys, warm_keys);
+        let report = warm.report();
+        let record = report.get("sched-cache").expect("recorded");
+        assert_eq!(record.counters["hits"], 0);
+        assert_eq!(record.counters["misses"], 6);
+        assert_eq!(record.counters["warm_hits"], 6);
+        // Rewriting the ledger after a warm run reproduces it (modulo
+        // wall time, which keeps the max of old and new).
+        let rewritten = warm.warm_ledger_lines();
+        assert_eq!(rewritten.lines().count(), lines.lines().count());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_and_stale_ledgers_fall_back_to_cold_results() {
+        let cold = CompileSession::with_machine(huff_machine());
+        let unit = cold.compile_source(RECURRENCE).expect("compiles");
+        let eval = cold
+            .evaluate_variants(&unit.loops[0], false)
+            .expect("evaluates");
+        let baseline = eval_key(&eval);
+
+        // Tamper every entry's II to a value no cold escalation reaches,
+        // and add lines that must be skipped outright.
+        let mut tampered = String::from("not json at all\n{\"v\":99,\"fp\":\"zz\"}\n");
+        for line in cold.warm_ledger_lines().lines() {
+            let start = line.find("\"ii\":").expect("has ii") + 5;
+            let end = start + line[start..].find(',').expect("comma");
+            tampered.push_str(&line[..start]);
+            tampered.push_str("9001");
+            tampered.push_str(&line[end..]);
+            tampered.push('\n');
+        }
+        let path = temp_ledger("stale", &tampered);
+
+        let mut config = SessionConfig::new(huff_machine());
+        config.warm_start = Some(path.clone());
+        let warm = CompileSession::new(config);
+        assert_eq!(warm.warm_ledger_skipped(), 2);
+        assert_eq!(warm.warm_ledger_len(), 3);
+        let unit = warm.compile_source(RECURRENCE).expect("compiles");
+        let eval = warm
+            .evaluate_variants(&unit.loops[0], false)
+            .expect("evaluates");
+        assert_eq!(eval_key(&eval), baseline);
+        let report = warm.report();
+        let record = report.get("sched-cache").expect("recorded");
+        assert_eq!(record.counters["warm_hits"], 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corpus_cost_hints_prefer_ledger_wall_time() {
+        let session = CompileSession::with_machine(huff_machine());
+        let unit = session.compile_source(DAXPY).expect("compiles");
+        let estimate = session.corpus_cost_hint(&unit.loops[0]);
+        assert!(estimate > 0, "ops×RecMII estimate");
+
+        let eval_unit = session.compile_source(DAXPY).expect("compiles");
+        session
+            .evaluate_variants(&eval_unit.loops[0], false)
+            .expect("evaluates");
+        let path = temp_ledger("hints", &session.warm_ledger_lines());
+        let mut config = SessionConfig::new(huff_machine());
+        config.warm_start = Some(path.clone());
+        let warm = CompileSession::new(config);
+        let unit = warm.compile_source(DAXPY).expect("compiles");
+        // Ledger wall times are µs-scale sums, clamped to at least 1.
+        assert!(warm.corpus_cost_hint(&unit.loops[0]) >= 1);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -100,6 +100,27 @@ pub const PASSES: &[PassInfo] = &[
         ],
     },
     PassInfo {
+        name: "sched-cache",
+        summary: "content-addressed schedule memoization accounting",
+        details: "Accounting view of the session's schedule cache (wall \
+                  clock ≈ 0; the cost of a miss lives inside the \
+                  scheduling pass that paid it): backend runs are keyed \
+                  by an alpha-invariant fingerprint of (dependence graph, \
+                  machine, backend, options, straight-line flag). Hits \
+                  replay the memoized schedule byte-identically; misses \
+                  may still warm-start II escalation from a persisted \
+                  ledger entry (lsmsc --warm-start).",
+        counters: &[
+            ("hits", "backend runs answered from the in-memory cache"),
+            ("misses", "backend runs that executed a scheduler"),
+            ("inserts", "freshly memoized backend runs"),
+            (
+                "warm_hits",
+                "misses whose ledger-seeded first II attempt verified",
+            ),
+        ],
+    },
+    PassInfo {
         name: "schedule:slack",
         summary: "bidirectional slack modulo scheduling (§4-§5)",
         details: "The paper's lifetime-sensitive scheduler: operations are \

@@ -90,6 +90,13 @@ pub struct SchedContext {
     /// Schedule as a single basic block (no iteration overlap). Only set
     /// for backends with [`BackendCaps::straight_line`].
     pub straight_line: bool,
+    /// An II this problem is known to schedule at (from a warm-start
+    /// ledger). Backends that honour it try one attempt pinned at this
+    /// II first and fall back to full MII escalation if the attempt
+    /// fails or the hint is outside the escalation sequence — so the
+    /// resulting schedule is byte-identical either way, just cheaper to
+    /// reach. Backends may ignore the hint entirely.
+    pub warm_ii: Option<u32>,
 }
 
 impl SchedContext {
@@ -99,7 +106,14 @@ impl SchedContext {
             pass,
             deadline: None,
             straight_line: false,
+            warm_ii: None,
         }
+    }
+
+    /// The same context with a warm-start II hint.
+    pub fn with_warm_ii(mut self, warm_ii: Option<u32>) -> Self {
+        self.warm_ii = warm_ii;
+        self
     }
 }
 
@@ -321,12 +335,32 @@ impl ModuloScheduler for SlackBackend {
                 decisions: DecisionStats::default(),
             };
         }
-        let (result, decisions) = SlackScheduler::with_config(self.config.clone()).run_in(
-            problem,
-            cache,
-            ctx.deadline,
-            ws,
-        );
+        let scheduler = SlackScheduler::with_config(self.config.clone());
+        if let Some(warm) = ctx.warm_ii.filter(|&w| {
+            let max_ii = self
+                .config
+                .max_ii
+                .unwrap_or(4 * problem.mii() + 64)
+                .max(problem.mii());
+            ctx.deadline.is_none()
+                && crate::ii_reachable_by_escalation(
+                    problem.mii(),
+                    max_ii,
+                    self.config.increment,
+                    w,
+                )
+        }) {
+            let (result, decisions) = scheduler.run_at_ii_in(problem, cache, warm, ws);
+            if let Ok(schedule) = result {
+                return BackendRun {
+                    result: Ok(schedule),
+                    decisions,
+                };
+            }
+            // Stale hint: discard the warm attempt's tallies and rerun
+            // the full cold escalation so the outcome matches a cold run.
+        }
+        let (result, decisions) = scheduler.run_in(problem, cache, ctx.deadline, ws);
         BackendRun { result, decisions }
     }
 }
@@ -401,8 +435,29 @@ impl ModuloScheduler for CydromeBackend {
         problem: &SchedProblem<'_>,
         cache: &MinDistCache,
         ws: &mut EngineWorkspace,
-        _ctx: &SchedContext,
+        ctx: &SchedContext,
     ) -> BackendRun {
+        if let Some(warm) = ctx.warm_ii.filter(|&w| {
+            let max_ii = self
+                .scheduler
+                .max_ii
+                .unwrap_or(4 * problem.mii() + 64)
+                .max(problem.mii());
+            ctx.deadline.is_none()
+                && crate::ii_reachable_by_escalation(
+                    problem.mii(),
+                    max_ii,
+                    crate::IiIncrement::default(),
+                    w,
+                )
+        }) {
+            if let Ok(schedule) = self.scheduler.run_at_ii_in(problem, cache, warm, ws) {
+                return BackendRun {
+                    result: Ok(schedule),
+                    decisions: DecisionStats::default(),
+                };
+            }
+        }
         BackendRun {
             result: self.scheduler.run_cached_in(problem, cache, ws),
             decisions: DecisionStats::default(),

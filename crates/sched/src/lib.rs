@@ -52,6 +52,7 @@ pub mod bounds;
 pub mod cydrome;
 mod engine;
 pub mod explain;
+pub mod fingerprint;
 pub mod mindist;
 pub mod pressure;
 pub mod problem;
@@ -67,6 +68,9 @@ pub use backend::{
 pub use bounds::{mii, rec_mii, rec_mii_min_ratio, res_mii};
 pub use cydrome::CydromeScheduler;
 pub use engine::EngineWorkspace;
+pub use fingerprint::{
+    ii_reachable_by_escalation, problem_fingerprint, schedule_key, FINGERPRINT_SALT,
+};
 pub use mindist::{MinDist, MinDistCache, MinDistCacheStats, ParametricMinDist};
 pub use pressure::PressureReport;
 pub use problem::{Arc, ProblemError, SchedProblem};

@@ -4,6 +4,7 @@
 //! cargo run -p xtask -- timings-diff OLD.json NEW.json [--max-ratio R] [--floor-us N]
 //! cargo run -p xtask -- bench-diff OLD.json NEW.json [--max-ratio R] [--floor-ms F]
 //! cargo run -p xtask -- quality-diff OLD.json NEW.json
+//! cargo run -p xtask -- cache-check TIMINGS.json [--min-warm N]
 //! cargo run -p xtask -- backend-audit
 //! ```
 //!
@@ -37,6 +38,12 @@
 //! is a regression — no ratio, no noise floor. Every loop that moved is
 //! attributed by name with the `schedule:<backend>` pass that produced
 //! it. A missing OLD file is a clean first-run skip.
+//!
+//! `cache-check` closes the warm-start loop in CI: given the `--timings`
+//! report of an `--eval-corpus --warm-start` run, it fails unless the
+//! `sched-cache` pass reports at least `--min-warm` warm hits — proof
+//! that the persisted schedule-cache ledger was loaded and actually
+//! seeded II escalation, rather than silently falling back to cold runs.
 
 use std::process::ExitCode;
 
@@ -420,6 +427,68 @@ fn backend_audit() -> ExitCode {
     }
 }
 
+/// One counter of one pass out of a `lsmsc --timings` report, scanned
+/// with the same targeted approach as [`parse_timings`].
+fn parse_pass_counter(json: &str, pass: &str, counter: &str) -> Option<u64> {
+    let record = json
+        .split("{\"name\": \"")
+        .skip(1)
+        .find(|r| r.split('"').next() == Some(pass))?;
+    record
+        .split(&format!("\"{counter}\": "))
+        .nth(1)
+        .and_then(|r| r.split(|c: char| !c.is_ascii_digit()).next())
+        .and_then(|n| n.parse().ok())
+}
+
+/// `cache-check TIMINGS.json [--min-warm N]`: asserts that a warm-started
+/// run actually used its schedule-cache ledger — the `sched-cache` pass
+/// must report at least `--min-warm` (default 1) warm hits. CI runs this
+/// on the second `--eval-corpus --warm-start` invocation to prove the
+/// persisted ledger round-trips.
+fn cache_check(args: &[String]) -> ExitCode {
+    let mut paths = Vec::new();
+    let mut min_warm = 1u64;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--min-warm" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => min_warm = n,
+                None => return usage("--min-warm needs a count"),
+            },
+            other => paths.push(other.to_owned()),
+        }
+    }
+    let [path] = paths.as_slice() else {
+        return usage("cache-check wants exactly one TIMINGS.json");
+    };
+    let json = match std::fs::read_to_string(path) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("cache-check: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(warm) = parse_pass_counter(&json, "sched-cache", "warm_hits") else {
+        eprintln!("cache-check: {path} has no sched-cache pass (cache disabled or no run?)");
+        return ExitCode::FAILURE;
+    };
+    let hits = parse_pass_counter(&json, "sched-cache", "hits").unwrap_or(0);
+    let misses = parse_pass_counter(&json, "sched-cache", "misses").unwrap_or(0);
+    if warm < min_warm {
+        eprintln!(
+            "cache-check: only {warm} warm hit(s) in {path} (wanted >= {min_warm}; \
+             {hits} cache hits, {misses} misses) — the warm-start ledger did not take"
+        );
+        ExitCode::FAILURE
+    } else {
+        println!(
+            "cache-check: {warm} warm hit(s), {hits} cache hit(s), {misses} miss(es) in {path}"
+        );
+        ExitCode::SUCCESS
+    }
+}
+
 fn usage(message: &str) -> ExitCode {
     eprintln!("xtask: {message}");
     eprintln!("usage: cargo run -p xtask -- timings-diff OLD.json NEW.json [--max-ratio R] [--floor-us N]");
@@ -427,6 +496,7 @@ fn usage(message: &str) -> ExitCode {
         "       cargo run -p xtask -- bench-diff OLD.json NEW.json [--max-ratio R] [--floor-ms F]"
     );
     eprintln!("       cargo run -p xtask -- quality-diff OLD.json NEW.json");
+    eprintln!("       cargo run -p xtask -- cache-check TIMINGS.json [--min-warm N]");
     eprintln!("       cargo run -p xtask -- backend-audit");
     ExitCode::FAILURE
 }
@@ -437,8 +507,11 @@ fn main() -> ExitCode {
         Some("timings-diff") => timings_diff(&args[1..]),
         Some("bench-diff") => bench_diff(&args[1..]),
         Some("quality-diff") => quality_diff(&args[1..]),
+        Some("cache-check") => cache_check(&args[1..]),
         Some("backend-audit") => backend_audit(),
-        _ => usage("known tasks: timings-diff, bench-diff, quality-diff, backend-audit"),
+        _ => {
+            usage("known tasks: timings-diff, bench-diff, quality-diff, cache-check, backend-audit")
+        }
     }
 }
 
@@ -454,6 +527,25 @@ mod tests {
   ]
 }
 "#;
+
+    const CACHE_TIMINGS: &str = r#"{
+  "schema_version": 1,
+  "passes": [
+    {"name": "depgraph", "invocations": 24, "wall_us": 900, "counters": {"arcs": 100}},
+    {"name": "sched-cache", "invocations": 72, "wall_us": 3, "counters": {"hits": 5, "inserts": 67, "misses": 67, "warm_hits": 61}}
+  ]
+}
+"#;
+
+    #[test]
+    fn pass_counters_parse_for_cache_check() {
+        let get = |pass, counter| parse_pass_counter(CACHE_TIMINGS, pass, counter);
+        assert_eq!(get("sched-cache", "warm_hits"), Some(61));
+        assert_eq!(get("sched-cache", "hits"), Some(5));
+        assert_eq!(get("sched-cache", "absent"), None);
+        assert_eq!(get("sched-cache", "arcs"), None);
+        assert_eq!(get("no-such-pass", "hits"), None);
+    }
 
     #[test]
     fn parses_the_driver_timings_format() {
