@@ -1,0 +1,28 @@
+//! Dense-vs-sparse bounds-propagation microbench over the corpus's
+//! ejection-heavy loops, writing `BENCH_bounds_sweep.json` at the
+//! repository root (or `LSMS_BOUNDS_OUT`).
+//!
+//! Huff's §4.4 backtracking path (`recompute_bounds` plus the forcing
+//! violation sweep) is where the engine's dense O(n²)-per-ejection cost
+//! lived; this bench isolates exactly those loops and times the retained
+//! dense reference against the default reachability-indexed path,
+//! asserting the schedules are identical. `--jobs` is accepted for CLI
+//! uniformity but both arms are single-threaded by design: the A/B is a
+//! per-ejection cost comparison, not a throughput measurement.
+
+use lsms_bench::{bounds_sweep, BenchArgs, CORPUS_SEED};
+
+fn main() {
+    let args = BenchArgs::parse();
+    println!("bounds_sweep: {} corpus loops", args.corpus_size);
+    let report = bounds_sweep(args.corpus_size, CORPUS_SEED);
+    print!("{}", report.summary());
+    let json = format!(
+        "{{\n  \"benchmark\": \"bounds_sweep\",\n  \"seed\": {},\n  \"report\": {}\n}}\n",
+        CORPUS_SEED,
+        report.json()
+    );
+    let out = std::env::var("LSMS_BOUNDS_OUT").unwrap_or_else(|_| "BENCH_bounds_sweep.json".into());
+    std::fs::write(&out, json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    println!("  wrote {out}");
+}

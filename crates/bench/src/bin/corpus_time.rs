@@ -10,7 +10,7 @@
 
 use std::time::Instant;
 
-use lsms_bench::{evaluate_corpus_session, BenchArgs, LoopRecord, CORPUS_SEED};
+use lsms_bench::{bounds_sweep, evaluate_corpus_session, BenchArgs, LoopRecord, CORPUS_SEED};
 use lsms_machine::huff_machine;
 use lsms_pipeline::CompileSession;
 
@@ -149,16 +149,39 @@ fn run(label: &'static str, count: usize, session: &CompileSession, jobs: usize)
     }
 }
 
+/// Engine work counters summed over a run's records (all three scheduler
+/// variants): the sparsity counters `--timings`/`--metrics` also report.
+fn engine_counters(records: &[LoopRecord]) -> (u64, u64) {
+    records.iter().fold((0, 0), |(cells, scans), r| {
+        let outcomes = [&r.new, &r.early, &r.old];
+        (
+            cells
+                + outcomes
+                    .iter()
+                    .map(|o| o.stats.bounds_cells_touched)
+                    .sum::<u64>(),
+            scans
+                + outcomes
+                    .iter()
+                    .map(|o| o.stats.choose_scan_len)
+                    .sum::<u64>(),
+        )
+    })
+}
+
 fn json_entry(t: &Timing) -> String {
     let m = &t.mindist;
     let c = &t.sched_cache;
+    let (cells, scans) = engine_counters(&t.records);
     format!(
         "{{\"label\": \"{}\", \"jobs\": {}, \"total_secs\": {:.6}, \"per_loop_ms\": {{\"p50\": {:.4}, \"p90\": {:.4}, \"p99\": {:.4}}}, \
          \"straggler_idle_us\": {}, \
+         \"engine\": {{\"bounds_cells_touched\": {}, \"choose_scan_len\": {}}}, \
          \"mindist\": {{\"hits\": {}, \"misses\": {}, \"fw_computes\": {}, \"parametric_builds\": {}, \"materialized\": {}}}, \
          \"sched_cache\": {{\"hits\": {}, \"misses\": {}, \"inserts\": {}, \"warm_hits\": {}}}}}",
         t.label, t.jobs, t.total_secs, t.p50_ms, t.p90_ms, t.p99_ms,
         t.straggler_idle_us,
+        cells, scans,
         m.hits, m.misses, m.fw_computes, m.parametric_builds, m.materialized,
         c.hits, c.misses, c.inserts, c.warm_hits
     )
@@ -214,14 +237,20 @@ fn main() {
         }
     }
 
+    // The dense-vs-sparse bounds-propagation A/B over the ejection-heavy
+    // subset rides along in the same report.
+    let sweep = bounds_sweep(args.corpus_size, CORPUS_SEED);
+    print!("{}", sweep.summary());
+
     let hardware = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let json = format!(
-        "{{\n  \"benchmark\": \"corpus_time\",\n  \"corpus_size\": {},\n  \"seed\": {},\n  \"hardware_threads\": {},\n  \"speedup\": {:.3},\n  \"cached_speedup\": {:.3},\n  \"runs\": [\n    {},\n    {},\n    {}\n  ]\n}}\n",
+        "{{\n  \"benchmark\": \"corpus_time\",\n  \"corpus_size\": {},\n  \"seed\": {},\n  \"hardware_threads\": {},\n  \"speedup\": {:.3},\n  \"cached_speedup\": {:.3},\n  \"bounds_sweep\": {},\n  \"runs\": [\n    {},\n    {},\n    {}\n  ]\n}}\n",
         args.corpus_size,
         CORPUS_SEED,
         hardware,
         speedup,
         cached_speedup,
+        sweep.json(),
         json_entry(&single),
         json_entry(&multi),
         json_entry(&cached),

@@ -59,6 +59,8 @@ mod tests {
                 ejected_ops: 9,
                 step6_restarts: 2,
                 attempts: 5,
+                bounds_cells_touched: 0,
+                choose_scan_len: 0,
                 elapsed: Duration::from_micros(1234),
             },
             degraded: true,

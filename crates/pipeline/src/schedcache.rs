@@ -188,7 +188,7 @@ impl WarmLedger {
 fn format_line(fp: u128, e: &LedgerEntry) -> String {
     format!(
         "{{\"v\":1,\"fp\":\"{:032x}\",\"backend\":\"{}\",\"ii\":{},\"wall_us\":{},\
-         \"stats\":[{},{},{},{},{}],\"decisions\":[{},{},{},{},{},{},{},{}]}}",
+         \"stats\":[{},{},{},{},{},{},{}],\"decisions\":[{},{},{},{},{},{},{},{}]}}",
         fp,
         e.backend,
         e.ii,
@@ -198,6 +198,8 @@ fn format_line(fp: u128, e: &LedgerEntry) -> String {
         e.stats.ejected_ops,
         e.stats.step6_restarts,
         e.stats.attempts,
+        e.stats.bounds_cells_touched,
+        e.stats.choose_scan_len,
         e.decisions.zero_slack,
         e.decisions.isolated_early,
         e.decisions.early_more_inputs,
@@ -249,7 +251,9 @@ fn parse_line(line: &str) -> Option<(u128, LedgerEntry)> {
         return None;
     }
     let wall_us = num_field(line, "wall_us")?;
-    let s = array_field(line, "stats", 5)?;
+    // 7 entries since the sparsity counters landed; older 5-entry lines
+    // fail here and the loop is simply re-scheduled cold.
+    let s = array_field(line, "stats", 7)?;
     let d = array_field(line, "decisions", 8)?;
     Some((
         fp.0,
@@ -263,6 +267,8 @@ fn parse_line(line: &str) -> Option<(u128, LedgerEntry)> {
                 ejected_ops: s[2],
                 step6_restarts: s[3],
                 attempts: u32::try_from(s[4]).ok()?,
+                bounds_cells_touched: s[5],
+                choose_scan_len: s[6],
                 elapsed: Duration::from_micros(wall_us),
             },
             decisions: DecisionStats {
@@ -294,6 +300,8 @@ mod tests {
                 ejected_ops: 3,
                 step6_restarts: 1,
                 attempts: 4,
+                bounds_cells_touched: 99,
+                choose_scan_len: 123,
                 elapsed: Duration::from_micros(1234),
             },
             decisions: DecisionStats {
@@ -324,7 +332,10 @@ mod tests {
         assert!(parse_line("not json at all").is_none());
         assert!(parse_line("{\"v\":2,\"fp\":\"00\"}").is_none());
         // Truncated stats array.
-        let line = format_line(1, &entry()).replace(",4]", "]");
+        let line = format_line(1, &entry()).replace(",123]", "]");
+        assert!(parse_line(&line).is_none());
+        // Pre-sparsity 5-entry stats line: skipped, loop re-scheduled cold.
+        let line = format_line(1, &entry()).replace(",99,123]", "]");
         assert!(parse_line(&line).is_none());
         // Zero II is meaningless.
         let line = format_line(1, &entry()).replace("\"ii\":7", "\"ii\":0");

@@ -492,6 +492,8 @@ impl CompileSession {
             ("ejected_ops", stats.ejected_ops),
             ("step6_restarts", stats.step6_restarts),
             ("attempts", u64::from(stats.attempts)),
+            ("bounds_cells_touched", stats.bounds_cells_touched),
+            ("choose_scan_len", stats.choose_scan_len),
             counters[1],
         ];
         if capped {
@@ -540,6 +542,8 @@ impl CompileSession {
                 ("ejected_ops", stats.ejected_ops),
                 ("step6_restarts", stats.step6_restarts),
                 ("attempts", u64::from(stats.attempts)),
+                ("bounds_cells_touched", stats.bounds_cells_touched),
+                ("choose_scan_len", stats.choose_scan_len),
                 counters[1],
                 ("degraded", 1),
             ],
@@ -999,6 +1003,8 @@ impl CompileSession {
                 ("ejected_ops", outcome.stats.ejected_ops),
                 ("step6_restarts", outcome.stats.step6_restarts),
                 ("attempts", u64::from(outcome.stats.attempts)),
+                ("bounds_cells_touched", outcome.stats.bounds_cells_touched),
+                ("choose_scan_len", outcome.stats.choose_scan_len),
                 ("failures", u64::from(outcome.ii.is_none())),
             ],
         );

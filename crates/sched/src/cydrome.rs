@@ -199,6 +199,9 @@ impl Heuristic for CydromeHeuristic {
 
     fn choose(&mut self, st: &EngineState<'_, '_>, decisions: &mut DecisionStats) -> usize {
         decisions.selections += 1;
+        // The rank embeds the node index in its low 20 bits, so every rank
+        // is unique and the minimum does not depend on the (arbitrary)
+        // order the indexed ready set yields unplaced nodes in.
         st.unplaced()
             .min_by_key(|&node| self.rank[node])
             .expect("choose called with work remaining")

@@ -29,6 +29,28 @@ pub enum Direction {
     Late,
 }
 
+/// How the engine maintains the Estart/Lstart bounds and sweeps for
+/// dependence violations after a forced placement.
+///
+/// The two implementations are *bit-identical in outcome* — same bounds,
+/// same ejection sets, same schedules — and differ only in cost: sparse
+/// iterates the [`Reachability`](crate::mindist::Reachability) lists of
+/// non-`NO_PATH` cells, the dense reference probes whole matrix rows.
+/// The dense path is retained as a test oracle and for the dense-vs-sparse
+/// microbenchmark; production runs use the default.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum BoundsMode {
+    /// Reachability-indexed propagation (the production path).
+    #[default]
+    Sparse,
+    /// The retained dense reference implementation.
+    DenseReference,
+    /// Run sparse on the live state *and* dense on a shadow copy after
+    /// every bounds routine, panicking on any divergence. Test-only by
+    /// construction (it is the slowest of the three).
+    CrossCheck,
+}
+
 /// A scheduler personality plugged into the framework: how to pick the
 /// next operation and which direction to scan.
 pub(crate) trait Heuristic {
@@ -72,12 +94,22 @@ pub struct EngineWorkspace {
     minlt: Vec<Option<i64>>,
     assignments: Vec<UnitAssignment>,
     unplaced: Vec<bool>,
+    /// The indexed ready set: the unplaced nodes, dense.
+    ready: Vec<u32>,
+    /// Position of each node in `ready`, or [`PLACED`].
+    ready_pos: Vec<u32>,
     conflict_buf: Vec<OpId>,
+    /// Scratch for the forcing path's dependence-violation sweep.
+    eject_buf: Vec<usize>,
+    /// Shadow bound buffers for [`BoundsMode::CrossCheck`].
+    check_estart: Vec<i64>,
+    check_lstart: Vec<i64>,
     /// Scratch for the per-attempt unit-assignment ordering.
     order: Vec<usize>,
     /// Scratch for the per-class round-robin cursors.
     next_instance: Vec<u32>,
     mrt: Option<Mrt>,
+    bounds_mode: BoundsMode,
 }
 
 impl EngineWorkspace {
@@ -86,7 +118,24 @@ impl EngineWorkspace {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// Selects the bounds-maintenance implementation for every run drawing
+    /// from this workspace. The default ([`BoundsMode::Sparse`]) is the
+    /// production path; the other modes exist for equivalence tests and
+    /// the dense-vs-sparse microbenchmark — all three produce
+    /// byte-identical schedules.
+    pub fn set_bounds_mode(&mut self, mode: BoundsMode) {
+        self.bounds_mode = mode;
+    }
+
+    /// The bounds-maintenance mode runs from this workspace use.
+    pub fn bounds_mode(&self) -> BoundsMode {
+        self.bounds_mode
+    }
 }
+
+/// `ready_pos` sentinel for a node not in the ready set.
+const PLACED: u32 = u32::MAX;
 
 /// Mutable scheduling state for one II attempt, visible to heuristics.
 pub(crate) struct EngineState<'p, 'a> {
@@ -118,11 +167,31 @@ pub(crate) struct EngineState<'p, 'a> {
     /// to contend for the same kernel cycle land on different instances.
     assignments: Vec<UnitAssignment>,
     mrt: Mrt,
+    /// O(1) unplaced-membership test, kept in lockstep with the ready set.
     unplaced: Vec<bool>,
     unplaced_count: usize,
+    /// The indexed ready set: exactly the unplaced nodes, in arbitrary
+    /// order (swap-remove on place, push on eject). `choose` iterates this
+    /// instead of filtering an `n`-bool scan; heuristic selection keys are
+    /// total (node index as the final component), so the permuted order
+    /// cannot change which node wins.
+    ready: Vec<u32>,
+    /// Position of each node in `ready`, or [`PLACED`].
+    ready_pos: Vec<u32>,
+    /// Bounds-maintenance implementation (see [`BoundsMode`]).
+    bounds_mode: BoundsMode,
+    /// MinDist cells read while maintaining bounds and sweeping for
+    /// dependence violations this attempt (flushed into
+    /// [`SchedStats::bounds_cells_touched`]).
+    cells_touched: u64,
     /// Scratch list reused by the forcing path's conflict queries so the
     /// central loop stays allocation-free after setup.
     conflict_buf: Vec<OpId>,
+    /// Scratch for the forcing path's dependence-violation sweep.
+    eject_buf: Vec<usize>,
+    /// Shadow bound buffers for [`BoundsMode::CrossCheck`].
+    check_estart: Vec<i64>,
+    check_lstart: Vec<i64>,
 }
 
 impl<'p, 'a> EngineState<'p, 'a> {
@@ -247,8 +316,23 @@ impl<'p, 'a> EngineState<'p, 'a> {
         unplaced.resize(n, true);
         unplaced[start] = false;
         let unplaced_count = n - 1;
+        // The ready set starts in ascending node order (matching the old
+        // bool-scan); later swap-removes permute it freely.
+        let mut ready = std::mem::take(&mut ws.ready);
+        ready.clear();
+        let mut ready_pos = std::mem::take(&mut ws.ready_pos);
+        ready_pos.clear();
+        ready_pos.resize(n, PLACED);
+        for (x, pos) in ready_pos.iter_mut().enumerate() {
+            if x != start {
+                *pos = ready.len() as u32;
+                ready.push(x as u32);
+            }
+        }
         let mut conflict_buf = std::mem::take(&mut ws.conflict_buf);
         conflict_buf.clear();
+        let mut eject_buf = std::mem::take(&mut ws.eject_buf);
+        eject_buf.clear();
         Some(Self {
             problem,
             ii,
@@ -266,7 +350,14 @@ impl<'p, 'a> EngineState<'p, 'a> {
             mrt,
             unplaced,
             unplaced_count,
+            ready,
+            ready_pos,
+            bounds_mode: ws.bounds_mode,
+            cells_touched: 0,
             conflict_buf,
+            eject_buf,
+            check_estart: std::mem::take(&mut ws.check_estart),
+            check_lstart: std::mem::take(&mut ws.check_lstart),
         })
     }
 
@@ -280,17 +371,23 @@ impl<'p, 'a> EngineState<'p, 'a> {
         ws.minlt = self.minlt;
         ws.assignments = self.assignments;
         ws.unplaced = self.unplaced;
+        ws.ready = self.ready;
+        ws.ready_pos = self.ready_pos;
         ws.conflict_buf = self.conflict_buf;
+        ws.eject_buf = self.eject_buf;
+        ws.check_estart = self.check_estart;
+        ws.check_lstart = self.check_lstart;
         ws.mrt = Some(self.mrt);
     }
 
-    /// Iterates over the indices of unplaced nodes.
+    /// Iterates over the indices of unplaced nodes, driven by the indexed
+    /// ready set — O(unplaced), not O(n).
+    ///
+    /// The order is *arbitrary* (swap-removes permute the set), which is
+    /// safe because every heuristic selection key is total: the node index
+    /// is its final tie-break component, so the minimum is order-invariant.
     pub fn unplaced(&self) -> impl Iterator<Item = usize> + '_ {
-        self.unplaced
-            .iter()
-            .enumerate()
-            .filter(|(_, &u)| u)
-            .map(|(i, _)| i)
+        self.ready.iter().map(|&x| x as usize)
     }
 
     /// True if the node is currently placed (Start always is).
@@ -353,6 +450,13 @@ impl<'p, 'a> EngineState<'p, 'a> {
         self.last_place[node] = Some(t);
         self.unplaced[node] = false;
         self.unplaced_count -= 1;
+        // Swap-remove from the ready set, patching the moved node's index.
+        let pos = self.ready_pos[node] as usize;
+        self.ready.swap_remove(pos);
+        if let Some(&moved) = self.ready.get(pos) {
+            self.ready_pos[moved as usize] = pos as u32;
+        }
+        self.ready_pos[node] = PLACED;
     }
 
     fn eject(&mut self, node: usize) {
@@ -368,60 +472,223 @@ impl<'p, 'a> EngineState<'p, 'a> {
         self.time[node] = None;
         self.unplaced[node] = true;
         self.unplaced_count += 1;
+        self.ready_pos[node] = self.ready.len() as u32;
+        self.ready.push(node as u32);
     }
 
     /// §4.1 incremental update after placing `node` at `t`: tighten the
     /// bounds of every unplaced node.
     fn tighten_bounds_after(&mut self, node: usize, t: i64) {
-        let n = self.problem.num_nodes();
-        for u in 0..n {
-            if !self.unplaced[u] {
-                continue;
+        match self.bounds_mode {
+            BoundsMode::Sparse => self.sparse_tighten_after(node, t),
+            BoundsMode::DenseReference => {
+                let (mut estart, mut lstart) = self.take_bounds();
+                self.cells_touched += self.dense_tighten_after(node, t, &mut estart, &mut lstart);
+                self.put_bounds(estart, lstart);
             }
-            let fwd = self.md.get(node, u);
-            if fwd != NO_PATH {
-                self.estart[u] = self.estart[u].max(t + fwd);
-            }
-            let back = self.md.get(u, node);
-            if back != NO_PATH {
-                self.lstart[u] = self.lstart[u].min(t - back);
+            BoundsMode::CrossCheck => {
+                let (mut estart, mut lstart) = self.shadow_bounds();
+                self.sparse_tighten_after(node, t);
+                self.dense_tighten_after(node, t, &mut estart, &mut lstart);
+                self.assert_shadow_matches("tighten_bounds_after", estart, lstart);
             }
         }
         self.maybe_grow_lstart_stop();
     }
 
-    /// Full O(p·u) recomputation of the bounds of all unplaced nodes from
-    /// the placed set, used after ejections (§4.4).
-    fn recompute_bounds(&mut self) {
+    /// Sparse §4.1 tightening: only the nodes sharing a path with `node`
+    /// can have their bounds moved by its placement, and the reachability
+    /// lists carry the distances, so the whole update reads exactly the
+    /// reachable cells.
+    fn sparse_tighten_after(&mut self, node: usize, t: i64) {
+        let md = Arc::clone(&self.md);
+        let reach = md.reach();
+        for &(u, fwd) in reach.succs(node) {
+            let u = u as usize;
+            if self.unplaced[u] {
+                self.estart[u] = self.estart[u].max(t + fwd);
+            }
+        }
+        for &(u, back) in reach.preds(node) {
+            let u = u as usize;
+            if self.unplaced[u] {
+                self.lstart[u] = self.lstart[u].min(t - back);
+            }
+        }
+        self.cells_touched += (reach.succs(node).len() + reach.preds(node).len()) as u64;
+    }
+
+    /// Dense §4.1 tightening (the reference implementation): probe both
+    /// cells of every unplaced node. Returns cells read.
+    fn dense_tighten_after(
+        &self,
+        node: usize,
+        t: i64,
+        estart: &mut [i64],
+        lstart: &mut [i64],
+    ) -> u64 {
         let n = self.problem.num_nodes();
-        let start = self.problem.start();
-        let stop = self.problem.stop();
+        let mut touched = 0u64;
         for u in 0..n {
             if !self.unplaced[u] {
                 continue;
             }
+            touched += 2;
+            let fwd = self.md.get(node, u);
+            if fwd != NO_PATH {
+                estart[u] = estart[u].max(t + fwd);
+            }
+            let back = self.md.get(u, node);
+            if back != NO_PATH {
+                lstart[u] = lstart[u].min(t - back);
+            }
+        }
+        touched
+    }
+
+    /// Full recomputation of the bounds of all unplaced nodes from the
+    /// placed set, used after ejections (§4.4): the from-scratch Estart
+    /// refresh, the shared Lstart refresh, then the §4.2 deadline check.
+    fn recompute_bounds(&mut self) {
+        match self.bounds_mode {
+            BoundsMode::Sparse => self.sparse_refresh_estarts(),
+            BoundsMode::DenseReference => {
+                let (mut estart, lstart) = self.take_bounds();
+                self.cells_touched += self.dense_refresh_estarts(&mut estart);
+                self.put_bounds(estart, lstart);
+            }
+            BoundsMode::CrossCheck => {
+                let (mut estart, lstart) = self.shadow_bounds();
+                self.sparse_refresh_estarts();
+                self.dense_refresh_estarts(&mut estart);
+                self.assert_shadow_matches("recompute_bounds/estart", estart, lstart);
+            }
+        }
+        self.refresh_lstarts();
+        self.maybe_grow_lstart_stop();
+    }
+
+    /// From-scratch Estart for every unplaced node: `MinDist(Start, u)`
+    /// floored at 0, raised by every placed node that reaches `u`.
+    fn sparse_refresh_estarts(&mut self) {
+        let md = Arc::clone(&self.md);
+        let start = self.problem.start();
+        for i in 0..self.ready.len() {
+            let u = self.ready[i] as usize;
+            self.estart[u] = md.get(start, u).max(0);
+        }
+        self.cells_touched += self.ready.len() as u64;
+        let reach = md.reach();
+        let n = self.problem.num_nodes();
+        for z in 0..n {
+            let Some(t) = self.time[z] else { continue };
+            for &(u, fwd) in reach.succs(z) {
+                let u = u as usize;
+                if self.unplaced[u] {
+                    self.estart[u] = self.estart[u].max(t + fwd);
+                }
+            }
+            self.cells_touched += reach.succs(z).len() as u64;
+        }
+    }
+
+    /// Dense from-scratch Estart refresh (reference). Returns cells read.
+    fn dense_refresh_estarts(&self, estart: &mut [i64]) -> u64 {
+        let n = self.problem.num_nodes();
+        let start = self.problem.start();
+        let mut touched = 0u64;
+        for (u, slot) in estart.iter_mut().enumerate() {
+            if !self.unplaced[u] {
+                continue;
+            }
             let mut e = self.md.get(start, u).max(0);
-            let mut l = self.lstart_stop - self.md.get(u, stop);
+            touched += 1;
             for z in 0..n {
                 let Some(t) = self.time[z] else { continue };
+                touched += 1;
                 let fwd = self.md.get(z, u);
                 if fwd != NO_PATH {
                     e = e.max(t + fwd);
                 }
+            }
+            *slot = e;
+        }
+        touched
+    }
+
+    /// From-scratch Lstart refresh for every unplaced node — the single
+    /// definition shared by [`recompute_bounds`](Self::recompute_bounds)
+    /// and [`maybe_grow_lstart_stop`](Self::maybe_grow_lstart_stop)
+    /// (which used to carry duplicate copies of this loop):
+    /// `Lstart(u) = min(Lstart(Stop) − MinDist(u, Stop),
+    /// min over placed z of t_z − MinDist(u, z))`.
+    fn refresh_lstarts(&mut self) {
+        match self.bounds_mode {
+            BoundsMode::Sparse => self.sparse_refresh_lstarts(),
+            BoundsMode::DenseReference => {
+                let (estart, mut lstart) = self.take_bounds();
+                self.cells_touched += self.dense_refresh_lstarts(&mut lstart);
+                self.put_bounds(estart, lstart);
+            }
+            BoundsMode::CrossCheck => {
+                let (estart, mut lstart) = self.shadow_bounds();
+                self.sparse_refresh_lstarts();
+                self.dense_refresh_lstarts(&mut lstart);
+                self.assert_shadow_matches("refresh_lstarts", estart, lstart);
+            }
+        }
+    }
+
+    fn sparse_refresh_lstarts(&mut self) {
+        let md = Arc::clone(&self.md);
+        let stop = self.problem.stop();
+        for i in 0..self.ready.len() {
+            let u = self.ready[i] as usize;
+            self.lstart[u] = self.lstart_stop - md.get(u, stop);
+        }
+        self.cells_touched += self.ready.len() as u64;
+        let reach = md.reach();
+        let n = self.problem.num_nodes();
+        for z in 0..n {
+            let Some(t) = self.time[z] else { continue };
+            for &(u, back) in reach.preds(z) {
+                let u = u as usize;
+                if self.unplaced[u] {
+                    self.lstart[u] = self.lstart[u].min(t - back);
+                }
+            }
+            self.cells_touched += reach.preds(z).len() as u64;
+        }
+    }
+
+    /// Dense from-scratch Lstart refresh (reference). Returns cells read.
+    fn dense_refresh_lstarts(&self, lstart: &mut [i64]) -> u64 {
+        let n = self.problem.num_nodes();
+        let stop = self.problem.stop();
+        let mut touched = 0u64;
+        for (u, slot) in lstart.iter_mut().enumerate() {
+            if !self.unplaced[u] {
+                continue;
+            }
+            let mut l = self.lstart_stop - self.md.get(u, stop);
+            touched += 1;
+            for z in 0..n {
+                let Some(t) = self.time[z] else { continue };
+                touched += 1;
                 let back = self.md.get(u, z);
                 if back != NO_PATH {
                     l = l.min(t - back);
                 }
             }
-            self.estart[u] = e;
-            self.lstart[u] = l;
+            *slot = l;
         }
-        self.maybe_grow_lstart_stop();
+        touched
     }
 
     /// §4.2: `Lstart(Stop)` is reset only when `Estart(Stop)` is pushed out
     /// beyond it (being pushed beyond Stop's *placement* is handled by
-    /// ejecting Stop during forcing).
+    /// ejecting Stop during forcing). Loosening `Lstart(Stop)` can only
+    /// loosen other Lstarts; refresh them all through the shared helper.
     fn maybe_grow_lstart_stop(&mut self) {
         let stop = self.problem.stop();
         if self.unplaced[stop] && self.estart[stop] > self.lstart_stop {
@@ -436,24 +703,132 @@ impl<'p, 'a> EngineState<'p, 'a> {
             } else {
                 round_up(self.estart[stop], i64::from(self.ii))
             };
-            // Loosening Lstart(Stop) can only loosen other Lstarts; refresh
-            // them all.
-            let n = self.problem.num_nodes();
-            for u in 0..n {
-                if !self.unplaced[u] {
-                    continue;
-                }
-                let mut l = self.lstart_stop - self.md.get(u, stop);
-                for z in 0..n {
-                    let Some(t) = self.time[z] else { continue };
-                    let back = self.md.get(u, z);
-                    if back != NO_PATH {
-                        l = l.min(t - back);
-                    }
-                }
-                self.lstart[u] = l;
+            self.refresh_lstarts();
+        }
+    }
+
+    /// Moves the live bound vectors out for a dense-reference update (the
+    /// dense routines take `&self` plus explicit buffers, sidestepping the
+    /// aliasing between `self.md` and `self.estart`).
+    fn take_bounds(&mut self) -> (Vec<i64>, Vec<i64>) {
+        (
+            std::mem::take(&mut self.estart),
+            std::mem::take(&mut self.lstart),
+        )
+    }
+
+    fn put_bounds(&mut self, estart: Vec<i64>, lstart: Vec<i64>) {
+        self.estart = estart;
+        self.lstart = lstart;
+    }
+
+    /// Copies the pre-update bounds into the recycled shadow buffers, for
+    /// the dense reference to update in parallel with the sparse path.
+    fn shadow_bounds(&mut self) -> (Vec<i64>, Vec<i64>) {
+        let mut estart = std::mem::take(&mut self.check_estart);
+        estart.clear();
+        estart.extend_from_slice(&self.estart);
+        let mut lstart = std::mem::take(&mut self.check_lstart);
+        lstart.clear();
+        lstart.extend_from_slice(&self.lstart);
+        (estart, lstart)
+    }
+
+    /// Cross-check assertion: after a bounds routine, the sparse result on
+    /// the live state must equal the dense result on the shadow copy,
+    /// entry for entry.
+    fn assert_shadow_matches(&mut self, routine: &str, estart: Vec<i64>, lstart: Vec<i64>) {
+        assert_eq!(self.estart, estart, "{routine}: Estart diverged");
+        assert_eq!(self.lstart, lstart, "{routine}: Lstart diverged");
+        self.check_estart = estart;
+        self.check_lstart = lstart;
+    }
+
+    /// Collects (into `self.eject_buf`, ascending and deduplicated) every
+    /// placed node whose dependence constraints a forced placement of `x`
+    /// at `t` violates. `MinDist` reflects the transitive closure, so this
+    /// reaches beyond immediate successors (§4.4). Sparse mode walks `x`'s
+    /// reachability lists; the dense reference scans every node; both
+    /// produce the same ascending victim order, so ejection traces are
+    /// identical across modes.
+    fn collect_dependence_victims(&mut self, x: usize, t: i64) {
+        let start = self.problem.start();
+        let mut victims = std::mem::take(&mut self.eject_buf);
+        victims.clear();
+        let md = Arc::clone(&self.md);
+        match self.bounds_mode {
+            BoundsMode::Sparse => {
+                self.sparse_victims(&md, x, t, &mut victims);
+            }
+            BoundsMode::DenseReference => {
+                self.cells_touched += self.dense_victims(&md, x, t, start, &mut victims);
+            }
+            BoundsMode::CrossCheck => {
+                self.sparse_victims(&md, x, t, &mut victims);
+                let mut dense = Vec::new();
+                self.dense_victims(&md, x, t, start, &mut dense);
+                assert_eq!(victims, dense, "dependence-violation sweep diverged");
             }
         }
+        self.eject_buf = victims;
+    }
+
+    fn sparse_victims(&mut self, md: &MinDist, x: usize, t: i64, victims: &mut Vec<usize>) {
+        let start = self.problem.start();
+        let reach = md.reach();
+        for &(z, fwd) in reach.succs(x) {
+            let z = z as usize;
+            if z == start {
+                continue;
+            }
+            if let Some(tz) = self.time[z] {
+                if t + fwd > tz {
+                    victims.push(z);
+                }
+            }
+        }
+        for &(z, back) in reach.preds(x) {
+            let z = z as usize;
+            if z == start {
+                continue;
+            }
+            if let Some(tz) = self.time[z] {
+                if tz + back > t {
+                    victims.push(z);
+                }
+            }
+        }
+        self.cells_touched += (reach.succs(x).len() + reach.preds(x).len()) as u64;
+        // A node violated in both directions appears in both lists; the
+        // dense scan visits each node once in ascending order — match it.
+        victims.sort_unstable();
+        victims.dedup();
+    }
+
+    /// Dense violation sweep (reference). Returns cells read.
+    fn dense_victims(
+        &self,
+        md: &MinDist,
+        x: usize,
+        t: i64,
+        start: usize,
+        victims: &mut Vec<usize>,
+    ) -> u64 {
+        let n = self.problem.num_nodes();
+        let mut touched = 0u64;
+        for z in 0..n {
+            if z == x || z == start {
+                continue;
+            }
+            let Some(tz) = self.time[z] else { continue };
+            touched += 2;
+            let fwd = md.get(x, z);
+            let back = md.get(z, x);
+            if (fwd != NO_PATH && t + fwd > tz) || (back != NO_PATH && tz + back > t) {
+                victims.push(z);
+            }
+        }
+        touched
     }
 }
 
@@ -488,17 +863,19 @@ fn attempt(
     let _attempt_span = lsms_trace::span_with("sched.attempt", &[("ii", i64::from(ii))]);
     heuristic.begin_attempt(&st);
     let brtop = problem.brtop();
-    let start = problem.start();
     let mut iterations = 0u64;
 
     while st.unplaced_count > 0 {
         iterations += 1;
         stats.central_iterations += 1;
         if iterations > budget {
+            stats.bounds_cells_touched += st.cells_touched;
             st.recycle(ws);
             return Attempt::BudgetExhausted;
         }
-        // Step 1: choose an operation.
+        // Step 1: choose an operation. The ready set holds exactly the
+        // unplaced nodes, so this is what the heuristic will scan.
+        stats.choose_scan_len += st.ready.len() as u64;
         let x = heuristic.choose(&st, decisions);
         debug_assert!(st.unplaced[x]);
         // Step 2: search for an issue cycle within the bounds.
@@ -606,34 +983,27 @@ fn attempt(
                 // transitive closure, so this reaches beyond immediate
                 // successors, which "tends to reduce the overall amount of
                 // backtracking and improve the final schedule" (§4.4).
-                let n = st.problem.num_nodes();
-                for z in 0..n {
-                    if z == x || z == start {
-                        continue;
-                    }
-                    let Some(tz) = st.time[z] else { continue };
-                    let fwd = st.md.get(x, z);
-                    let back = st.md.get(z, x);
-                    let violated =
-                        (fwd != NO_PATH && t + fwd > tz) || (back != NO_PATH && tz + back > t);
-                    if violated {
-                        debug_assert!(
-                            Some(z) != brtop,
-                            "dependence conflict with brtop cannot be repaired"
-                        );
-                        lsms_trace::instant(
-                            "sched.eject",
-                            &[("op", z as i64), ("by", x as i64), ("cycle", t)],
-                        );
-                        lsms_trace::add("sched", "ejections", 1);
-                        st.eject(z);
-                        stats.ejected_ops += 1;
-                    }
+                st.collect_dependence_victims(x, t);
+                let victims = std::mem::take(&mut st.eject_buf);
+                for &z in &victims {
+                    debug_assert!(
+                        Some(z) != brtop,
+                        "dependence conflict with brtop cannot be repaired"
+                    );
+                    lsms_trace::instant(
+                        "sched.eject",
+                        &[("op", z as i64), ("by", x as i64), ("cycle", t)],
+                    );
+                    lsms_trace::add("sched", "ejections", 1);
+                    st.eject(z);
+                    stats.ejected_ops += 1;
                 }
+                st.eject_buf = victims;
                 st.recompute_bounds();
             }
         }
     }
+    stats.bounds_cells_touched += st.cells_touched;
     let times: Vec<i64> = (0..problem.num_real_ops())
         .map(|op| st.time[op].expect("all real ops placed"))
         .collect();
@@ -880,6 +1250,87 @@ mod tests {
         assert_eq!(problem.rec_mii(), 4);
         assert!(EngineState::new(&problem, 3, false, &MinDistCache::new()).is_none());
         assert!(EngineState::new(&problem, 4, false, &MinDistCache::new()).is_some());
+    }
+
+    #[test]
+    fn ready_set_mirrors_unplaced_through_place_and_eject() {
+        let body = chain_body();
+        let machine = huff_machine();
+        let problem = SchedProblem::new(&body, &machine).unwrap();
+        let cache = MinDistCache::new();
+        let mut st = EngineState::new(&problem, problem.mii(), false, &cache).unwrap();
+        let check = |st: &EngineState<'_, '_>| {
+            let n = st.problem.num_nodes();
+            assert_eq!(st.ready.len(), st.unplaced_count);
+            for (pos, &node) in st.ready.iter().enumerate() {
+                assert!(st.unplaced[node as usize]);
+                assert_eq!(st.ready_pos[node as usize], pos as u32);
+            }
+            for node in 0..n {
+                if !st.unplaced[node] {
+                    assert_eq!(st.ready_pos[node], PLACED);
+                }
+            }
+        };
+        check(&st);
+        // Start is pre-placed and never in the ready set.
+        assert!(!st.ready.contains(&(problem.start() as u32)));
+        st.place(0, 0);
+        st.tighten_bounds_after(0, 0);
+        check(&st);
+        assert!(!st.ready.contains(&0));
+        st.place(1, 13);
+        check(&st);
+        st.eject(0);
+        st.recompute_bounds();
+        check(&st);
+        assert!(st.ready.contains(&0));
+        assert!(st.unplaced().any(|x| x == 0));
+    }
+
+    /// Drives the same placement/ejection sequence through a CrossCheck
+    /// state (every bounds routine self-asserts sparse == dense) and a
+    /// DenseReference state, then compares all three bound vectors.
+    #[test]
+    fn sparse_bounds_match_the_dense_reference() {
+        let body = chain_body();
+        let machine = huff_machine();
+        let problem = SchedProblem::new(&body, &machine).unwrap();
+        let cache = MinDistCache::new();
+        let mut states: Vec<EngineState<'_, '_>> = [
+            BoundsMode::Sparse,
+            BoundsMode::DenseReference,
+            BoundsMode::CrossCheck,
+        ]
+        .into_iter()
+        .map(|mode| {
+            let mut ws = EngineWorkspace::new();
+            ws.set_bounds_mode(mode);
+            assert_eq!(ws.bounds_mode(), mode);
+            let ws = Box::leak(Box::new(ws));
+            EngineState::new_in(&problem, problem.mii(), false, &cache, ws).unwrap()
+        })
+        .collect();
+        for st in &mut states {
+            st.place(0, 0);
+            st.tighten_bounds_after(0, 0);
+            st.place(3, 1);
+            st.tighten_bounds_after(3, 1);
+            st.eject(0);
+            st.recompute_bounds();
+            st.collect_dependence_victims(1, 20);
+        }
+        let (sparse, rest) = states.split_first().unwrap();
+        for other in rest {
+            assert_eq!(sparse.estart, other.estart);
+            assert_eq!(sparse.lstart, other.lstart);
+            assert_eq!(sparse.lstart_stop, other.lstart_stop);
+            assert_eq!(sparse.eject_buf, other.eject_buf);
+        }
+        // Dense probing inspects strictly more cells than the sparse walk
+        // on this sparse chain problem.
+        assert!(states[1].cells_touched > states[0].cells_touched);
+        assert!(states[0].cells_touched > 0);
     }
 
     #[test]

@@ -34,6 +34,89 @@ pub struct MinDist {
     ii: u32,
     feasible: bool,
     d: Vec<i64>,
+    reach: Reachability,
+}
+
+/// Compact reachability index over a [`MinDist`] matrix: per node, the
+/// CSR lists of `(other, distance)` pairs whose cell is not [`NO_PATH`],
+/// diagonal excluded — the transitive closure of the dependence graph,
+/// annotated with the longest-path distances at the matrix's II.
+///
+/// Dependence graphs are sparse, so most matrix cells are `NO_PATH`; the
+/// scheduling engine's bound maintenance iterates these lists instead of
+/// probing whole matrix rows. Distances ride along in the pairs so the
+/// hot loops never re-probe the dense matrix. Built once per materialized
+/// matrix (O(n²), trivial next to the Floyd–Warshall or envelope
+/// evaluation that produced it) and shared through the matrix's `Arc`.
+#[derive(Clone, Debug, Default)]
+pub struct Reachability {
+    /// `succs[succ_offsets[x]..succ_offsets[x+1]]` = the `(y, MinDist(x, y))`
+    /// pairs with a path `x → y`.
+    succ_offsets: Vec<u32>,
+    succs: Vec<(u32, i64)>,
+    /// `preds[pred_offsets[y]..pred_offsets[y+1]]` = the `(x, MinDist(x, y))`
+    /// pairs with a path `x → y`.
+    pred_offsets: Vec<u32>,
+    preds: Vec<(u32, i64)>,
+}
+
+impl Reachability {
+    /// Builds both CSR sides from a dense `n × n` matrix.
+    fn build(n: usize, d: &[i64]) -> Self {
+        debug_assert_eq!(d.len(), n * n);
+        let mut succ_offsets = vec![0u32; n + 1];
+        let mut pred_offsets = vec![0u32; n + 1];
+        for x in 0..n {
+            for y in 0..n {
+                if x != y && d[x * n + y] != NO_PATH {
+                    succ_offsets[x + 1] += 1;
+                    pred_offsets[y + 1] += 1;
+                }
+            }
+        }
+        for i in 0..n {
+            succ_offsets[i + 1] += succ_offsets[i];
+            pred_offsets[i + 1] += pred_offsets[i];
+        }
+        let mut succs = vec![(0u32, 0i64); succ_offsets[n] as usize];
+        let mut preds = vec![(0u32, 0i64); pred_offsets[n] as usize];
+        let mut succ_cursor: Vec<u32> = succ_offsets[..n].to_vec();
+        let mut pred_cursor: Vec<u32> = pred_offsets[..n].to_vec();
+        for x in 0..n {
+            for y in 0..n {
+                let w = d[x * n + y];
+                if x != y && w != NO_PATH {
+                    succs[succ_cursor[x] as usize] = (y as u32, w);
+                    succ_cursor[x] += 1;
+                    preds[pred_cursor[y] as usize] = (x as u32, w);
+                    pred_cursor[y] += 1;
+                }
+            }
+        }
+        Self {
+            succ_offsets,
+            succs,
+            pred_offsets,
+            preds,
+        }
+    }
+
+    /// The `(y, MinDist(x, y))` pairs reachable *from* `x` (`x` excluded).
+    #[inline]
+    pub fn succs(&self, x: usize) -> &[(u32, i64)] {
+        &self.succs[self.succ_offsets[x] as usize..self.succ_offsets[x + 1] as usize]
+    }
+
+    /// The `(y, MinDist(y, x))` pairs that reach `x` (`x` excluded).
+    #[inline]
+    pub fn preds(&self, x: usize) -> &[(u32, i64)] {
+        &self.preds[self.pred_offsets[x] as usize..self.pred_offsets[x + 1] as usize]
+    }
+
+    /// Total reachable (off-diagonal, non-`NO_PATH`) cells in the matrix.
+    pub fn cells(&self) -> usize {
+        self.succs.len()
+    }
 }
 
 impl MinDist {
@@ -112,7 +195,14 @@ impl MinDist {
                 d[i * n + i] = 0;
             }
         }
-        Self { n, ii, feasible, d }
+        let reach = Reachability::build(n, &d);
+        Self {
+            n,
+            ii,
+            feasible,
+            d,
+            reach,
+        }
     }
 
     /// The II this matrix was computed for.
@@ -131,6 +221,13 @@ impl MinDist {
     pub fn get(&self, x: usize, y: usize) -> i64 {
         debug_assert!(x < self.n && y < self.n);
         self.d[x * self.n + y]
+    }
+
+    /// The matrix's reachability index: per node, the compact successor
+    /// and predecessor lists of non-[`NO_PATH`] cells.
+    #[inline]
+    pub fn reach(&self) -> &Reachability {
+        &self.reach
     }
 
     /// Recovers the matrix storage, for recycling through
@@ -484,11 +581,13 @@ impl ParametricMinDist {
             }
             *slot = best;
         }
+        let reach = Reachability::build(n, &buf);
         MinDist {
             n,
             ii,
             feasible: true,
             d: buf,
+            reach,
         }
     }
 }
@@ -916,6 +1015,80 @@ mod tests {
         let stats = cache.stats();
         assert_eq!(stats.fw_computes, 4, "IIs 5, 6, 8 cold + II 3 fallback");
         assert_eq!(stats.materializations, 1, "II 7 from the envelope");
+    }
+
+    /// The reachability CSR must mirror the dense matrix exactly: every
+    /// off-diagonal non-`NO_PATH` cell appears in both the successor and
+    /// the predecessor list with the matrix's distance, and nothing else.
+    fn assert_reach_mirrors_matrix(md: &MinDist) {
+        let n = md.n;
+        let r = md.reach();
+        let mut cells = 0usize;
+        for x in 0..n {
+            for y in 0..n {
+                let w = md.get(x, y);
+                let in_succs = r.succs(x).contains(&(y as u32, w));
+                let in_preds = r.preds(y).contains(&(x as u32, w));
+                if x != y && w != NO_PATH {
+                    cells += 1;
+                    assert!(in_succs, "({x},{y}) missing from succs");
+                    assert!(in_preds, "({x},{y}) missing from preds");
+                } else {
+                    assert!(!r.succs(x).iter().any(|&(z, _)| z as usize == y));
+                    assert!(!r.preds(y).iter().any(|&(z, _)| z as usize == x));
+                }
+            }
+        }
+        assert_eq!(r.cells(), cells);
+        assert_eq!(r.cells(), r.preds.len());
+    }
+
+    #[test]
+    fn reachability_mirrors_the_matrix() {
+        let body = chain_body();
+        let m = huff_machine();
+        let p = SchedProblem::new(&body, &m).unwrap();
+        let md = MinDist::compute(&p, 3);
+        assert_reach_mirrors_matrix(&md);
+        // The chain's closure: load reaches fadd, store and Stop.
+        let succs_of_load: Vec<usize> = md
+            .reach()
+            .succs(0)
+            .iter()
+            .map(|&(y, _)| y as usize)
+            .collect();
+        assert!(succs_of_load.contains(&1));
+        assert!(succs_of_load.contains(&2));
+        assert!(succs_of_load.contains(&p.stop()));
+        // Distances ride along so the engine never re-probes the matrix.
+        assert!(md.reach().succs(0).contains(&(1, 13)));
+        assert!(md.reach().preds(1).contains(&(0, 13)));
+        // Nothing reaches the load except Start.
+        assert_eq!(md.reach().preds(0).len(), 1);
+        assert_eq!(md.reach().preds(0)[0].0 as usize, p.start());
+    }
+
+    #[test]
+    fn materialized_reachability_matches_floyd_warshall() {
+        // A recurrence keeps some cells NO_PATH and some negative; the
+        // envelope-materialized matrix must index both identically to the
+        // Floyd–Warshall tier.
+        let mut b = LoopBuilder::new("rec");
+        let x = b.new_value(ValueType::Float);
+        let y = b.new_value(ValueType::Float);
+        let o1 = b.op(OpKind::FMul, &[y, y], Some(x));
+        let o2 = b.op(OpKind::FMul, &[x, x], Some(y));
+        b.flow_dep(o1, o2, 0);
+        b.flow_dep(o2, o1, 1);
+        let body = b.finish();
+        let m = huff_machine();
+        let p = SchedProblem::new(&body, &m).unwrap();
+        let pm = ParametricMinDist::compute(&p).expect("tiny envelope");
+        for ii in pm.rec_mii()..pm.rec_mii() + 4 {
+            let materialized = pm.materialize_into(ii, Vec::new());
+            assert_reach_mirrors_matrix(&materialized);
+            assert_reach_mirrors_matrix(&MinDist::compute(&p, ii));
+        }
     }
 
     #[test]

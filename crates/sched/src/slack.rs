@@ -372,7 +372,7 @@ impl Heuristic for SlackHeuristic {
 
     fn choose(&mut self, st: &EngineState<'_, '_>, decisions: &mut DecisionStats) -> usize {
         let mut best = usize::MAX;
-        let mut best_key = (i64::MAX, i64::MAX);
+        let mut best_key = (i64::MAX, i64::MAX, usize::MAX);
         let mut ties = 0u32;
         for node in st.unplaced() {
             let priority = st.dynamic_priority(node);
@@ -383,8 +383,12 @@ impl Heuristic for SlackHeuristic {
             }
             // Ties are broken by choosing the operation with the smallest
             // Lstart: "this top-down bias interacts well with the
-            // scheduler's backtracking policy" (§4.3).
-            let key = (priority, st.lstart[node]);
+            // scheduler's backtracking policy" (§4.3). The node index makes
+            // the key total, so the winner is independent of the order
+            // `unplaced()` yields nodes in (the indexed ready set permutes
+            // under swap-remove; `ties` counts nodes at the global minimum
+            // priority, which is also order-invariant).
+            let key = (priority, st.lstart[node], node);
             if key < best_key {
                 best_key = key;
                 best = node;

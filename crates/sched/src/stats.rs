@@ -21,6 +21,14 @@ pub struct SchedStats {
     pub step6_restarts: u64,
     /// Number of II values attempted (at least 1).
     pub attempts: u32,
+    /// `MinDist` cells read by bounds propagation (tightening, post-eject
+    /// recomputation, forcing sweeps). Sparse mode counts reachability-list
+    /// entries; the dense reference counts matrix probes — the dense/sparse
+    /// ratio is the work the reachability index avoids.
+    pub bounds_cells_touched: u64,
+    /// Sum over central-loop iterations of the ready-set length scanned by
+    /// `choose` — the selection cost the indexed ready set bounds.
+    pub choose_scan_len: u64,
     /// Wall-clock time spent scheduling.
     pub elapsed: Duration,
 }
@@ -47,6 +55,8 @@ impl AddAssign<&SchedStats> for SchedStats {
         self.ejected_ops += rhs.ejected_ops;
         self.step6_restarts += rhs.step6_restarts;
         self.attempts += rhs.attempts;
+        self.bounds_cells_touched += rhs.bounds_cells_touched;
+        self.choose_scan_len += rhs.choose_scan_len;
         self.elapsed += rhs.elapsed;
     }
 }
@@ -136,12 +146,16 @@ mod tests {
             ejected_ops: 3,
             step6_restarts: 1,
             attempts: 2,
+            bounds_cells_touched: 40,
+            choose_scan_len: 30,
             elapsed: Duration::from_millis(5),
         };
         total += &one;
         total += &one;
         assert_eq!(total.central_iterations, 20);
         assert_eq!(total.attempts, 4);
+        assert_eq!(total.bounds_cells_touched, 80);
+        assert_eq!(total.choose_scan_len, 60);
         assert_eq!(total.elapsed, Duration::from_millis(10));
     }
 

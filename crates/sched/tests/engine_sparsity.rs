@@ -1,0 +1,188 @@
+//! Sparse bounds propagation against the retained dense reference, over
+//! seeded random dependence graphs.
+//!
+//! The reachability-indexed engine must be a pure cost optimisation:
+//! same schedules, same bounds, same ejection sequences — only fewer
+//! `MinDist` cells read. This suite runs every random problem through
+//! all three [`BoundsMode`]s and demands bit-identical results, and it
+//! verifies the corpus of cases actually exercises the ejection path
+//! (where the sparse/dense divergence risk lives).
+
+use lsms_ir::{LoopBody, LoopBuilder, OpKind, ValueType};
+use lsms_machine::huff_machine;
+use lsms_prng::SmallRng;
+use lsms_sched::{
+    BoundsMode, CydromeScheduler, EngineWorkspace, MinDistCache, SchedProblem, Schedule,
+    SlackScheduler,
+};
+
+/// A random DAG-with-back-arcs body (same construction as the MinDist
+/// property suites).
+fn body_from(arcs: &[(u8, u8, u8)], n: usize) -> LoopBody {
+    let mut b = LoopBuilder::new("g");
+    let fin = b.invariant(ValueType::Float, "fin");
+    let ops: Vec<_> = (0..n)
+        .map(|_| {
+            let v = b.new_value(ValueType::Float);
+            b.op(OpKind::FMul, &[fin, fin], Some(v))
+        })
+        .collect();
+    for &(from, to, omega) in arcs {
+        let (f, t) = (from as usize % n, to as usize % n);
+        // Keep zero-omega arcs forward so no zero-omega cycle forms.
+        let omega = if t <= f {
+            u32::from(omega % 3) + 1
+        } else {
+            u32::from(omega % 3)
+        };
+        b.flow_dep(ops[f], ops[t], omega);
+    }
+    b.finish()
+}
+
+/// 1..`max_arcs` random arcs of (from, to, omega) with small endpoints.
+fn random_arcs(rng: &mut SmallRng, ends: u8, max_arcs: usize) -> Vec<(u8, u8, u8)> {
+    let count = rng.gen_range(1..=max_arcs);
+    (0..count)
+        .map(|_| {
+            (
+                rng.gen_range(0..ends),
+                rng.gen_range(0..ends),
+                rng.gen_range(0..3u8),
+            )
+        })
+        .collect()
+}
+
+fn workspace(mode: BoundsMode) -> EngineWorkspace {
+    let mut ws = EngineWorkspace::new();
+    ws.set_bounds_mode(mode);
+    ws
+}
+
+/// Everything observable about a schedule that must not move between
+/// bounds modes: the result itself and the deterministic work counters
+/// (`elapsed` and the cost counters are mode-dependent by design).
+type Fingerprint = (u32, Vec<i64>, Vec<(usize, u32)>, [u64; 4], u32);
+
+fn fingerprint(s: &Schedule) -> Fingerprint {
+    (
+        s.ii,
+        s.times.clone(),
+        s.assignments
+            .iter()
+            .map(|a| (a.class.index(), a.instance))
+            .collect(),
+        [
+            s.stats.central_iterations,
+            s.stats.step3_invocations,
+            s.stats.ejected_ops,
+            s.stats.step6_restarts,
+        ],
+        s.stats.attempts,
+    )
+}
+
+#[test]
+fn slack_schedules_are_identical_across_bounds_modes() {
+    let scheduler = SlackScheduler::new();
+    let mut ejection_cases = 0u32;
+    for case in 0u64..96 {
+        let mut rng = SmallRng::seed_from_u64(0x5ba7 + case);
+        let arcs = random_arcs(&mut rng, 12, 23);
+        let body = body_from(&arcs, 12);
+        let machine = huff_machine();
+        let problem = SchedProblem::new(&body, &machine).expect("buildable");
+        let mut results = Vec::new();
+        for mode in [
+            BoundsMode::Sparse,
+            BoundsMode::DenseReference,
+            BoundsMode::CrossCheck,
+        ] {
+            // Fresh cache per mode: identical MinDist/reachability inputs,
+            // no shared memo effects.
+            let cache = MinDistCache::new();
+            let mut ws = workspace(mode);
+            let (res, decisions) = scheduler.run_in(&problem, &cache, None, &mut ws);
+            let sched = res.unwrap_or_else(|e| panic!("case {case} ({mode:?}): {e:?}"));
+            results.push((mode, fingerprint(&sched), decisions, sched));
+        }
+        let (_, sparse_fp, sparse_dec, sparse_sched) = &results[0];
+        for (mode, fp, dec, sched) in &results[1..] {
+            assert_eq!(sparse_fp, fp, "case {case}: {mode:?} diverged");
+            assert_eq!(sparse_dec, dec, "case {case}: {mode:?} decisions diverged");
+            // Cost counters may differ; the bounds themselves may not, and
+            // the CrossCheck run already asserted that per update. The
+            // cells counter must be live in every mode.
+            assert!(sched.stats.bounds_cells_touched > 0, "case {case}");
+            assert_eq!(
+                sched.stats.choose_scan_len, sparse_sched.stats.choose_scan_len,
+                "case {case}: {mode:?} scanned a different ready-set total"
+            );
+        }
+        if sparse_sched.stats.ejected_ops > 0 {
+            ejection_cases += 1;
+        }
+    }
+    // The suite is only meaningful if the backtracking path (forced
+    // placements + dependence ejections + recompute_bounds) runs.
+    assert!(
+        ejection_cases >= 8,
+        "only {ejection_cases} ejection-heavy cases; the sweep no longer \
+         exercises the §4.4 path"
+    );
+}
+
+#[test]
+fn cydrome_schedules_are_identical_across_bounds_modes() {
+    let scheduler = CydromeScheduler::new();
+    for case in 0u64..48 {
+        let mut rng = SmallRng::seed_from_u64(0xcd40 + case);
+        let arcs = random_arcs(&mut rng, 10, 19);
+        let body = body_from(&arcs, 10);
+        let machine = huff_machine();
+        let problem = SchedProblem::new(&body, &machine).expect("buildable");
+        let mut fps = Vec::new();
+        for mode in [
+            BoundsMode::Sparse,
+            BoundsMode::DenseReference,
+            BoundsMode::CrossCheck,
+        ] {
+            let cache = MinDistCache::new();
+            let mut ws = workspace(mode);
+            let sched = scheduler
+                .run_cached_in(&problem, &cache, &mut ws)
+                .unwrap_or_else(|e| panic!("case {case} ({mode:?}): {e:?}"));
+            fps.push((mode, fingerprint(&sched)));
+        }
+        let (_, sparse_fp) = &fps[0];
+        for (mode, fp) in &fps[1..] {
+            assert_eq!(sparse_fp, fp, "case {case}: {mode:?} diverged");
+        }
+    }
+}
+
+/// Workspace recycling across problems must not leak ready-set or shadow
+/// state between runs: one long-lived workspace per mode over the whole
+/// sweep produces the same schedules as the fresh-workspace sweep above.
+#[test]
+fn recycled_workspaces_preserve_mode_and_schedules() {
+    let scheduler = SlackScheduler::new();
+    let mut sparse_ws = workspace(BoundsMode::Sparse);
+    let mut check_ws = workspace(BoundsMode::CrossCheck);
+    for case in 0u64..32 {
+        let mut rng = SmallRng::seed_from_u64(0x2ec1 + case);
+        let arcs = random_arcs(&mut rng, 12, 23);
+        let body = body_from(&arcs, 12);
+        let machine = huff_machine();
+        let problem = SchedProblem::new(&body, &machine).expect("buildable");
+        // Caches serve exactly one problem; only the workspaces persist.
+        let (a, _) = scheduler.run_in(&problem, &MinDistCache::new(), None, &mut sparse_ws);
+        let (b, _) = scheduler.run_in(&problem, &MinDistCache::new(), None, &mut check_ws);
+        let a = a.expect("sparse run");
+        let b = b.expect("cross-check run");
+        assert_eq!(fingerprint(&a), fingerprint(&b), "case {case}");
+        assert_eq!(sparse_ws.bounds_mode(), BoundsMode::Sparse);
+        assert_eq!(check_ws.bounds_mode(), BoundsMode::CrossCheck);
+    }
+}

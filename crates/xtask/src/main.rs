@@ -164,12 +164,14 @@ fn timings_diff(args: &[String]) -> ExitCode {
     }
 }
 
-/// Pulls the p99 per-loop latency out of a `corpus_time` report: the
-/// minimum across the report's runs (same corpus, so the best run is the
-/// least noisy measurement). The format is the bench binary's own fixed
-/// emission, so a targeted scan suffices, as in [`parse_timings`].
-fn parse_bench_p99(json: &str) -> Option<f64> {
-    json.split("\"p99\": ")
+/// Pulls one per-loop latency percentile (`"p50"`, `"p99"`, …) out of a
+/// `corpus_time` report: the minimum across the report's runs (same
+/// corpus, so the best run is the least noisy measurement). The format is
+/// the bench binary's own fixed emission, so a targeted scan suffices, as
+/// in [`parse_timings`].
+fn parse_bench_stat(json: &str, stat: &str) -> Option<f64> {
+    let tag = format!("\"{stat}\": ");
+    json.split(tag.as_str())
         .skip(1)
         .filter_map(|rest| {
             rest.split(|c: char| !c.is_ascii_digit() && c != '.')
@@ -179,10 +181,10 @@ fn parse_bench_p99(json: &str) -> Option<f64> {
         .min_by(f64::total_cmp)
 }
 
-/// The bench gate: a new p99 is a regression when it clears both the
-/// noise floor and `max_ratio ×` the old p99.
-fn bench_regressed(old_p99: f64, new_p99: f64, max_ratio: f64, floor_ms: f64) -> bool {
-    new_p99 > floor_ms && new_p99 > old_p99 * max_ratio
+/// The bench gate: a new percentile is a regression when it clears both
+/// the noise floor and `max_ratio ×` the old value.
+fn bench_regressed(old_ms: f64, new_ms: f64, max_ratio: f64, floor_ms: f64) -> bool {
+    new_ms > floor_ms && new_ms > old_ms * max_ratio
 }
 
 fn bench_diff(args: &[String]) -> ExitCode {
@@ -219,24 +221,35 @@ fn bench_diff(args: &[String]) -> ExitCode {
         }
     };
 
-    let Some(old_p99) = parse_bench_p99(&old_json) else {
-        eprintln!("bench-diff: {old_path} contains no p99 samples");
-        return ExitCode::FAILURE;
-    };
-    let Some(new_p99) = parse_bench_p99(&new_json) else {
-        eprintln!("bench-diff: {new_path} contains no p99 samples");
-        return ExitCode::FAILURE;
-    };
-    if bench_regressed(old_p99, new_p99, max_ratio, floor_ms) {
-        eprintln!(
-            "bench-diff: corpus p99 regressed {:.2}x ({old_p99:.4} ms -> {new_p99:.4} ms, gate {max_ratio}x)",
-            new_p99 / old_p99.max(1e-9)
-        );
+    // Both ends of the latency distribution are gated with the same rule:
+    // the p99 tail (the expensive loops) and the p50 median (the common
+    // case the ready-set/sparsity machinery must never bloat). The 1 ms
+    // floor keeps sub-millisecond medians from tripping on noise.
+    let mut failed = false;
+    for stat in ["p50", "p99"] {
+        let Some(old_ms) = parse_bench_stat(&old_json, stat) else {
+            eprintln!("bench-diff: {old_path} contains no {stat} samples");
+            return ExitCode::FAILURE;
+        };
+        let Some(new_ms) = parse_bench_stat(&new_json, stat) else {
+            eprintln!("bench-diff: {new_path} contains no {stat} samples");
+            return ExitCode::FAILURE;
+        };
+        if bench_regressed(old_ms, new_ms, max_ratio, floor_ms) {
+            eprintln!(
+                "bench-diff: corpus {stat} regressed {:.2}x ({old_ms:.4} ms -> {new_ms:.4} ms, gate {max_ratio}x)",
+                new_ms / old_ms.max(1e-9)
+            );
+            failed = true;
+        } else {
+            println!(
+                "bench-diff: corpus {stat} {old_ms:.4} ms -> {new_ms:.4} ms, within {max_ratio}x (floor {floor_ms} ms)"
+            );
+        }
+    }
+    if failed {
         ExitCode::FAILURE
     } else {
-        println!(
-            "bench-diff: corpus p99 {old_p99:.4} ms -> {new_p99:.4} ms, within {max_ratio}x (floor {floor_ms} ms)"
-        );
         ExitCode::SUCCESS
     }
 }
@@ -614,9 +627,11 @@ mod tests {
 "#;
 
     #[test]
-    fn bench_p99_is_the_best_run() {
-        assert_eq!(parse_bench_p99(BENCH), Some(23.3062));
-        assert_eq!(parse_bench_p99("{}"), None);
+    fn bench_stats_take_the_best_run() {
+        assert_eq!(parse_bench_stat(BENCH, "p99"), Some(23.3062));
+        assert_eq!(parse_bench_stat(BENCH, "p50"), Some(0.0348));
+        assert_eq!(parse_bench_stat(BENCH, "p90"), Some(1.1457));
+        assert_eq!(parse_bench_stat("{}", "p99"), None);
     }
 
     const QUALITY: &str = r#"{
@@ -682,13 +697,19 @@ mod tests {
 
     #[test]
     fn bench_gate_respects_ratio_and_floor() {
-        let old = parse_bench_p99(BENCH).unwrap();
+        let old = parse_bench_stat(BENCH, "p99").unwrap();
         // 3x over the baseline trips the 2x gate; improvement never does.
         assert!(bench_regressed(old, old * 3.0, 2.0, 1.0));
         assert!(!bench_regressed(old, old * 1.9, 2.0, 1.0));
         assert!(!bench_regressed(old, old / 2.0, 2.0, 1.0));
         // A p99 under the floor never regresses, however large the
-        // ratio: sub-floor numbers are noise, not regressions.
+        // ratio: sub-floor numbers are noise, not regressions. This is
+        // also what keeps the p50 gate (same rule, same floor) quiet on
+        // the corpus's sub-0.1 ms medians while still catching a median
+        // that blows past a full millisecond.
         assert!(!bench_regressed(0.01, 0.9, 2.0, 1.0));
+        let p50 = parse_bench_stat(BENCH, "p50").unwrap();
+        assert!(!bench_regressed(p50, p50 * 20.0, 2.0, 1.0));
+        assert!(bench_regressed(p50, 1.5, 2.0, 1.0));
     }
 }
